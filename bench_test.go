@@ -1,0 +1,453 @@
+// Package repro holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation. Each
+// benchmark prints the regenerated rows/series once (matching
+// cmd/sirius-bench) and then times a representative unit of the
+// experiment's work, reporting headline scalars via b.ReportMetric.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sirius/internal/accel"
+	"sirius/internal/asr"
+	"sirius/internal/dcsim"
+	"sirius/internal/kb"
+	"sirius/internal/profile"
+	"sirius/internal/report"
+	"sirius/internal/suite"
+	"sirius/internal/vision"
+)
+
+var (
+	harnessOnce sync.Once
+	harness     *report.Harness
+	printedOnce sync.Map
+)
+
+func getHarness(b *testing.B) *report.Harness {
+	b.Helper()
+	harnessOnce.Do(func() {
+		h, err := report.NewHarness(suite.DefaultScale())
+		if err != nil {
+			panic(err)
+		}
+		harness = h
+	})
+	return harness
+}
+
+// printOnce emits an experiment's formatted output exactly once per
+// process, no matter how many times the benchmark function reruns.
+func printOnce(id, out string) {
+	if _, loaded := printedOnce.LoadOrStore(id, true); !loaded {
+		fmt.Println(out)
+	}
+}
+
+func design(b *testing.B) dcsim.Design {
+	d, err := getHarness(b).DesignFor(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkFig7aScalabilityGap measures the web-search vs Sirius compute
+// gap (Fig 1 / Fig 7a). The timed unit is one web-search query plus one
+// voice command, the two ends of the comparison.
+func BenchmarkFig7aScalabilityGap(b *testing.B) {
+	h := getHarness(b)
+	r, err := h.RunFig7a()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig7a", r.String())
+	b.ReportMetric(r.Gap, "gap-x")
+	ix := kb.BuildCorpus(kb.DefaultCorpusConfig())
+	samples, err := asr.SynthesizeText(h.Pipeline.Lexicon(), kb.VoiceCommands[0].Text, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("capital of italy", 10)
+		if _, err := h.Pipeline.ProcessVoice(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7bQueryTypeLatency runs one query of each class per
+// iteration (Fig 7b).
+func BenchmarkFig7bQueryTypeLatency(b *testing.B) {
+	h := getHarness(b)
+	r, err := h.RunFig7b()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig7b", r.String())
+	vc, _ := asr.SynthesizeText(h.Pipeline.Lexicon(), kb.VoiceCommands[1].Text, 2)
+	vq, _ := asr.SynthesizeText(h.Pipeline.Lexicon(), kb.VoiceQueries[1].Text, 3)
+	viqQ := kb.VoiceImageQueries[0]
+	viq, _ := asr.SynthesizeText(h.Pipeline.Lexicon(), viqQ.Text, 4)
+	photo := vision.Warp(vision.GenerateScene(viqQ.ImageID, vision.DefaultSceneConfig()), vision.DefaultWarp(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Pipeline.ProcessVoice(vc); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Pipeline.ProcessVoice(vq); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Pipeline.ProcessVoiceImage(viq, photo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8aServiceVariability reports per-service latency spreads.
+func BenchmarkFig8aServiceVariability(b *testing.B) {
+	h := getHarness(b)
+	rows, err := h.RunFig8a()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig8a", report.FormatFig8a(rows))
+	for _, r := range rows {
+		if r.Service == "QA" {
+			b.ReportMetric(r.Ratio, "qa-maxmin-x")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Pipeline.ProcessText(kb.VoiceQueries[i%len(kb.VoiceQueries)].Text)
+	}
+}
+
+// BenchmarkFig8bOpenEphyraBreakdown times QA per query and prints the
+// per-query component split.
+func BenchmarkFig8bOpenEphyraBreakdown(b *testing.B) {
+	h := getHarness(b)
+	rows, corr, err := h.RunFig8bc()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig8b", report.FormatFig8bc(rows, corr))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Pipeline.ProcessText(kb.VoiceQueries[i%len(kb.VoiceQueries)].Text)
+	}
+}
+
+// BenchmarkFig8cFilterHits reports the latency/filter-hit correlation.
+func BenchmarkFig8cFilterHits(b *testing.B) {
+	h := getHarness(b)
+	_, corr, err := h.RunFig8bc()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(corr, "pearson-r")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Pipeline.ProcessText(kb.VoiceQueries[(i*3)%len(kb.VoiceQueries)].Text)
+	}
+}
+
+// BenchmarkFig9CycleBreakdown prints per-service hot-component shares.
+func BenchmarkFig9CycleBreakdown(b *testing.B) {
+	h := getHarness(b)
+	rows, err := h.RunFig9()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig9", report.FormatFig9(rows))
+	viqQ := kb.VoiceImageQueries[2]
+	samples, _ := asr.SynthesizeText(h.Pipeline.Lexicon(), viqQ.Text, 6)
+	photo := vision.Warp(vision.GenerateScene(viqQ.ImageID, vision.DefaultSceneConfig()), vision.DefaultWarp(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Pipeline.ProcessVoiceImage(samples, photo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10SpeedupBound prints the IPC/bottleneck table and times
+// the bound computation.
+func BenchmarkFig10SpeedupBound(b *testing.B) {
+	printOnce("fig10", report.FormatFig10())
+	var bound float64
+	for i := 0; i < b.N; i++ {
+		bound = profile.MeanSpeedupBound()
+	}
+	b.ReportMetric(bound, "mean-bound-x")
+}
+
+// BenchmarkTable5KernelSpeedups measures live CMP kernel speedups and
+// prints Table 5 / Fig 13 (calibrated + analytic columns).
+func BenchmarkTable5KernelSpeedups(b *testing.B) {
+	h := getHarness(b)
+	rows := h.RunTable5(runtime.GOMAXPROCS(0), 50*time.Millisecond)
+	printOnce("tab5", report.FormatTable5(rows))
+	bench := h.Suite[suite.KernelGMM]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Run(1)
+	}
+}
+
+// BenchmarkFig14ServiceLatency prints per-platform service latencies and
+// times the latency-composition model.
+func BenchmarkFig14ServiceLatency(b *testing.B) {
+	d := design(b)
+	printOnce("fig14", report.FormatFig14(d))
+	b.ReportMetric(d.ServiceLatency(accel.ServiceASRGMM, accel.FPGA).Seconds()*1000, "asrgmm-fpga-ms")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, svc := range accel.Services {
+			for _, p := range accel.Platforms {
+				_ = d.ServiceLatency(svc, p)
+			}
+		}
+	}
+}
+
+// BenchmarkFig15PerfPerWatt prints energy-efficiency ratios.
+func BenchmarkFig15PerfPerWatt(b *testing.B) {
+	d := design(b)
+	printOnce("fig15", report.FormatFig15(d))
+	var fpgaMean float64
+	for _, svc := range accel.Services {
+		fpgaMean += accel.PerfPerWatt(d.Times[svc], accel.FPGA, d.Mode)
+	}
+	b.ReportMetric(fpgaMean/float64(len(accel.Services)), "fpga-perfW-x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, svc := range accel.Services {
+			for _, p := range accel.Platforms {
+				_ = accel.PerfPerWatt(d.Times[svc], p, d.Mode)
+			}
+		}
+	}
+}
+
+// BenchmarkFig16Throughput prints saturation throughput improvements.
+func BenchmarkFig16Throughput(b *testing.B) {
+	d := design(b)
+	printOnce("fig16", report.FormatFig16(d))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, svc := range accel.Services {
+			base := d.ServiceLatency(svc, accel.CMP)
+			for _, p := range accel.Platforms {
+				_ = dcsim.SaturationThroughputImprovement(base, d.ServiceLatency(svc, p))
+			}
+		}
+	}
+}
+
+// BenchmarkFig17QueueingThroughput sweeps M/M/1 load levels.
+func BenchmarkFig17QueueingThroughput(b *testing.B) {
+	d := design(b)
+	out, err := report.FormatFig17(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig17", out)
+	base := d.ServiceLatency(accel.ServiceQA, accel.CMP)
+	acc := d.ServiceLatency(accel.ServiceQA, accel.FPGA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rho := range report.Fig17Loads {
+			if _, err := dcsim.ThroughputImprovement(base, acc, rho); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig18TCO prints relative datacenter TCO per platform.
+func BenchmarkFig18TCO(b *testing.B) {
+	d := design(b)
+	out, err := report.FormatFig18(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig18", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range accel.Platforms {
+			if _, err := d.TCO.RelativeDCTCO(p, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig19TradeOff prints the latency/TCO trade-off scatter.
+func BenchmarkFig19TradeOff(b *testing.B) {
+	d := design(b)
+	out, err := report.FormatFig19(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig19", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ChooseHomogeneous(dcsim.MinLatency, dcsim.WithFPGA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8HomogeneousDC prints and times the homogeneous chooser.
+func BenchmarkTable8HomogeneousDC(b *testing.B) {
+	d := design(b)
+	printOnce("tab8", report.FormatTable8(d))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, obj := range []dcsim.Objective{dcsim.MinLatency, dcsim.MinTCO, dcsim.MaxPerfPerWatt} {
+			if _, err := d.ChooseHomogeneous(obj, dcsim.WithFPGA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable9HeterogeneousDC prints and times the partitioned chooser.
+func BenchmarkTable9HeterogeneousDC(b *testing.B) {
+	d := design(b)
+	out, err := report.FormatTable9(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("tab9", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ChooseHeterogeneous(dcsim.MinLatency, dcsim.WithFPGA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig20QueryLevelDC prints query-class DC metrics and reports
+// the paper's headline averages.
+func BenchmarkFig20QueryLevelDC(b *testing.B) {
+	d := design(b)
+	out, err := report.FormatFig20(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig20", out)
+	gpuLat, gpuTCO, err := d.AverageClassMetrics(accel.GPU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fpgaLat, _, err := d.AverageClassMetrics(accel.FPGA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(gpuLat, "gpu-latency-x")
+	b.ReportMetric(fpgaLat, "fpga-latency-x")
+	b.ReportMetric(gpuTCO, "gpu-tco-x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range dcsim.QueryClasses {
+			if _, err := d.EvaluateClass(c, accel.GPU); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig21BridgingGap prints the residual gap after acceleration.
+func BenchmarkFig21BridgingGap(b *testing.B) {
+	h := getHarness(b)
+	d := design(b)
+	// Print both the paper's measured gap (165x) and this machine's.
+	out, err := report.FormatFig21(d, 165)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("fig21", out)
+	gap := 165.0
+	if r, err := h.RunFig7a(); err == nil {
+		gap = r.Gap
+		live, err := report.FormatFig21(d, gap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig21-live", "(live-measured gap on this machine)\n"+live)
+	}
+	gpuLat, _, err := d.AverageClassMetrics(accel.GPU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(dcsim.BridgedGap(gap, gpuLat), "residual-gap-x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dcsim.BridgedGap(gap, gpuLat)
+	}
+}
+
+// --- ablation benches (design choices called out in DESIGN.md) ----------
+
+// BenchmarkAblationEngineeringCrossover sweeps FPGA engineering cost to
+// find where the GPU datacenter overtakes the FPGA datacenter on TCO.
+func BenchmarkAblationEngineeringCrossover(b *testing.B) {
+	d := design(b)
+	eng, err := d.EngineeringCrossover(250, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("abl-eng", fmt.Sprintf(
+		"Ablation — FPGA engineering cost: GPU overtakes FPGA on mean TCO at ~$%.0f/server\n", eng))
+	b.ReportMetric(eng, "crossover-usd")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.EngineeringCrossover(1000, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAmdahl sweeps the unaccelerated remainder share of QA
+// and reports the collapsing service speedup (why QA gains are limited).
+func BenchmarkAblationAmdahl(b *testing.B) {
+	d := design(b)
+	fracs := []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8}
+	pts := d.AmdahlSweep(accel.ServiceQA, accel.FPGA, fracs)
+	var sb strings.Builder
+	sb.WriteString("Ablation — Amdahl remainder sweep (QA on FPGA):\n")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "  remainder %4.0f%% -> service speedup %6.1fx\n", 100*p.RemainderFrac, p.Speedup)
+	}
+	printOnce("abl-amdahl", sb.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.AmdahlSweep(accel.ServiceQA, accel.FPGA, fracs)
+	}
+}
+
+// BenchmarkAblationModeAgreement compares Table 8 choices under the
+// calibrated vs analytic speedup models.
+func BenchmarkAblationModeAgreement(b *testing.B) {
+	d := design(b)
+	agree, total, detail := d.ModeAgreement()
+	printOnce("abl-mode", fmt.Sprintf(
+		"Ablation — calibrated vs analytic speedup model: %d/%d Table 8 cells agree\n%s", agree, total, detail))
+	b.ReportMetric(float64(agree), "cells-agree")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ModeAgreement()
+	}
+}

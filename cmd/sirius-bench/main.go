@@ -1,0 +1,155 @@
+// Command sirius-bench regenerates the paper's tables and figures from
+// the live Go implementation plus the accelerator/datacenter models, and
+// prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	sirius-bench                          # run every experiment
+//	sirius-bench -experiment fig14,tab8   # a subset
+//	sirius-bench -measured                # use service times measured on this machine
+//	sirius-bench -list                    # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"sirius/internal/report"
+	"sirius/internal/suite"
+)
+
+var experimentOrder = []string{
+	"fig7a", "fig7b", "fig8a", "fig8bc", "fig9", "fig10",
+	"tab5", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+	"tab8", "tab9", "fig20", "fig21",
+}
+
+func main() {
+	experiments := flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+	measured := flag.Bool("measured", false, "use service decompositions measured on this machine instead of paper-scale defaults")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvOut := flag.Bool("csv", false, "dump the model-derived experiments as tidy CSV and exit")
+	minTime := flag.Duration("mintime", 100*time.Millisecond, "per-kernel measurement time (tab5)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experimentOrder, "\n"))
+		return
+	}
+	want := map[string]bool{}
+	if *experiments == "all" {
+		for _, e := range experimentOrder {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*experiments, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	log.Printf("building harness (pipeline + suite kernels)...")
+	h, err := report.NewHarness(suite.DefaultScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := h.DesignFor(*measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csvOut {
+		if err := report.DumpCSV(d, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	mode := "paper-scale default service times"
+	if *measured {
+		mode = "service times measured on this machine"
+	}
+	fmt.Printf("=== Sirius reproduction harness (%s) ===\n\n", mode)
+
+	run := func(id string, f func() (string, error)) {
+		if !want[id] {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println(out)
+	}
+
+	run("fig7a", func() (string, error) {
+		r, err := h.RunFig7a()
+		return r.String(), err
+	})
+	run("fig7b", func() (string, error) {
+		r, err := h.RunFig7b()
+		return r.String(), err
+	})
+	run("fig8a", func() (string, error) {
+		rows, err := h.RunFig8a()
+		if err != nil {
+			return "", err
+		}
+		return report.FormatFig8a(rows), nil
+	})
+	run("fig8bc", func() (string, error) {
+		rows, corr, err := h.RunFig8bc()
+		if err != nil {
+			return "", err
+		}
+		return report.FormatFig8bc(rows, corr), nil
+	})
+	run("fig9", func() (string, error) {
+		rows, err := h.RunFig9()
+		if err != nil {
+			return "", err
+		}
+		return report.FormatFig9(rows), nil
+	})
+	run("fig10", func() (string, error) { return report.FormatFig10(), nil })
+	run("tab5", func() (string, error) {
+		rows := h.RunTable5(runtime.GOMAXPROCS(0), *minTime)
+		return report.FormatTable5(rows), nil
+	})
+	run("fig14", func() (string, error) { return report.FormatFig14(d), nil })
+	run("fig15", func() (string, error) { return report.FormatFig15(d), nil })
+	run("fig16", func() (string, error) { return report.FormatFig16(d), nil })
+	run("fig17", func() (string, error) {
+		out, err := report.FormatFig17(d)
+		if err != nil {
+			return "", err
+		}
+		tail, err := report.FormatFig17Tail(d, 0.5)
+		if err != nil {
+			return "", err
+		}
+		return out + tail, nil
+	})
+	run("fig18", func() (string, error) { return report.FormatFig18(d) })
+	run("fig19", func() (string, error) { return report.FormatFig19(d) })
+	run("tab8", func() (string, error) { return report.FormatTable8(d), nil })
+	run("tab9", func() (string, error) { return report.FormatTable9(d) })
+	run("fig20", func() (string, error) { return report.FormatFig20(d) })
+	run("fig21", func() (string, error) {
+		paper, err := report.FormatFig21(d, 165) // the paper's measured gap
+		if err != nil {
+			return "", err
+		}
+		r, err := h.RunFig7a()
+		if err != nil {
+			return "", err
+		}
+		live, err := report.FormatFig21(d, r.Gap)
+		if err != nil {
+			return "", err
+		}
+		return paper + "(live-measured gap on this machine)\n" + live, nil
+	})
+}

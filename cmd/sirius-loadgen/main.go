@@ -1,0 +1,62 @@
+// Command sirius-loadgen drives a running sirius-server with an
+// open-loop Poisson stream of text queries and reports the latency
+// distribution — the empirical companion to the M/M/1 analysis behind
+// the paper's Fig 17.
+//
+// Usage:
+//
+//	sirius-loadgen -server http://localhost:8080 -rate 50 -n 500
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"sirius/internal/kb"
+	"sirius/internal/loadgen"
+	"sirius/internal/sirius"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "sirius-server base URL")
+	rate := flag.Float64("rate", 20, "arrival rate (queries/second)")
+	n := flag.Int("n", 200, "total queries to send")
+	seed := flag.Int64("seed", 1, "arrival-process seed")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+
+	queries := kb.VoiceQueries
+	client := &http.Client{Timeout: *timeout}
+	send := func(i int) error {
+		q := queries[i%len(queries)]
+		body, ctype, err := sirius.BuildMultipartQuery(nil, nil, q.Text)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(*server+"/query", ctype, body)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %s", resp.Status)
+		}
+		return nil
+	}
+
+	log.Printf("driving %s at %.1f q/s with %d VQ queries...", *server, *rate, *n)
+	res, err := loadgen.Run(context.Background(), loadgen.Spec{Rate: *rate, Requests: *n, Seed: *seed, Timeout: *timeout}, send)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Printf("\n(compare with the M/M/1 prediction: R = 1/(mu - lambda) with mu = 1/mean service time)\n")
+}

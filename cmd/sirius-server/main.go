@@ -1,0 +1,55 @@
+// Command sirius-server runs the end-to-end Sirius IPA web service: it
+// trains the acoustic models and CRF tagger on the synthetic substrates,
+// builds the knowledge corpus and image database, and serves queries on
+// POST /query (multipart form with "audio" WAV, "image" PNG, and/or
+// "text" fields).
+//
+// Usage:
+//
+//	sirius-server [-addr :8080] [-engine gmm|dnn]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"sirius/internal/asr"
+	"sirius/internal/sirius"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	engine := flag.String("engine", "gmm", "acoustic model: gmm or dnn")
+	modelCache := flag.String("models", "", "path to cache trained acoustic models (created on first run)")
+	flag.Parse()
+
+	cfg := sirius.DefaultConfig()
+	cfg.ModelCache = *modelCache
+	switch *engine {
+	case "gmm":
+		cfg.Engine = asr.EngineGMM
+	case "dnn":
+		cfg.Engine = asr.EngineDNN
+	default:
+		log.Fatalf("unknown engine %q (want gmm or dnn)", *engine)
+	}
+
+	log.Printf("training models and building indexes (engine=%s)...", cfg.Engine)
+	start := time.Now()
+	p, err := sirius.New(cfg)
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+	log.Printf("pipeline ready in %v; listening on %s", time.Since(start), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           sirius.NewServer(p),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Command sirius-suite runs the seven Sirius Suite kernels standalone
+// (Table 4) and prints, per kernel, the measured single-thread and
+// multicore times on this machine plus the modeled accelerator speedups
+// (Table 5 calibrated and the analytic model).
+//
+// Usage:
+//
+//	sirius-suite [-workers N] [-mintime 200ms] [-scale small|default]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"sirius/internal/accel"
+	"sirius/internal/suite"
+)
+
+func main() {
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "multicore worker count")
+	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum measurement time per kernel")
+	scale := flag.String("scale", "default", "input-set scale: small, default or paper")
+	flag.Parse()
+
+	var s suite.Scale
+	switch *scale {
+	case "small":
+		s = suite.SmallScale()
+	case "default":
+		s = suite.DefaultScale()
+	case "paper":
+		s = suite.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	fmt.Printf("Sirius Suite — %d kernels, scale=%s, workers=%d\n\n", len(suite.Kernels), *scale, *workers)
+	benches := suite.Build(s)
+	fmt.Printf("%-8s %-4s %-12s %14s %14s %8s | %6s %6s %6s\n",
+		"kernel", "svc", "baseline", "1-thread", fmt.Sprintf("%d-thread", *workers), "speedup", "GPU", "Phi", "FPGA")
+	for _, k := range suite.Kernels {
+		b := benches[k]
+		serial := suite.Measure(b, 1, *minTime)
+		par := suite.Measure(b, *workers, *minTime)
+		fmt.Printf("%-8s %-4s %-12s %14v %14v %7.2fx | %5.1fx %5.1fx %5.1fx\n",
+			k, b.Info.Service, b.Info.Baseline,
+			serial.PerRun, par.PerRun, float64(serial.PerRun)/float64(par.PerRun),
+			accel.MustSpeedup(k, accel.GPU), accel.MustSpeedup(k, accel.Phi), accel.MustSpeedup(k, accel.FPGA))
+	}
+	fmt.Printf("\n(GPU/Phi/FPGA columns are the calibrated Table 5 model; hardware is simulated per DESIGN.md.)\n")
+}

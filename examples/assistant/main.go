@@ -1,0 +1,83 @@
+// Assistant: an interactive command-line personal assistant on top of
+// the Sirius pipeline. Type questions or commands; optionally prefix a
+// line with "photo:<entity>;" to attach an image, e.g.
+//
+//	photo:luigis restaurant; when does this restaurant close
+//
+// Lines are processed through the text path (QC -> QA / action), and the
+// response is printed with its latency breakdown. This mirrors the
+// motivating wearable scenario of the paper's introduction.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sirius/internal/kb"
+	"sirius/internal/sirius"
+	"sirius/internal/vision"
+)
+
+func main() {
+	fmt.Println("building Sirius...")
+	p, err := sirius.New(sirius.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ready. known photo entities:")
+	for _, e := range kb.ImageEntities() {
+		fmt.Printf("  photo:%s;\n", e)
+	}
+	fmt.Println(`try: "what is the capital of cuba", "set my alarm for eight", or Ctrl-D to exit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var resp sirius.Response
+		if rest, entity, ok := splitPhoto(line); ok {
+			scene := vision.GenerateScene(entity, vision.DefaultSceneConfig())
+			photo := vision.Warp(scene, vision.DefaultWarp(7))
+			resp = p.ProcessTextImage(rest, photo)
+		} else {
+			resp = p.ProcessText(line)
+		}
+		switch resp.Kind {
+		case sirius.KindAction:
+			fmt.Printf("  [action] executing %q on your device\n", resp.Action)
+		default:
+			if resp.Answer == "" {
+				fmt.Println("  [answer] sorry, I could not find an answer")
+			} else {
+				fmt.Printf("  [answer] %s\n", resp.Answer)
+			}
+			if resp.MatchedImage != "" {
+				fmt.Printf("  [image]  matched %q\n", resp.MatchedImage)
+			}
+		}
+		fmt.Printf("  (total %v, qa %v, imm %v, filter hits %d)\n",
+			resp.Latency.Total, resp.Latency.QA, resp.Latency.IMM, resp.Latency.QAFilterHits)
+	}
+}
+
+// splitPhoto parses the "photo:<entity>; <query>" prefix.
+func splitPhoto(line string) (rest, entity string, ok bool) {
+	if !strings.HasPrefix(line, "photo:") {
+		return "", "", false
+	}
+	body := line[len("photo:"):]
+	idx := strings.Index(body, ";")
+	if idx < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(body[idx+1:]), strings.TrimSpace(body[:idx]), true
+}

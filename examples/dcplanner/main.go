@@ -1,0 +1,69 @@
+// Dcplanner: a datacenter capacity-planning tool built on the paper's
+// models (§5). Given a target query mix and volume, it sizes a datacenter
+// for each accelerator platform — servers needed, power, monthly TCO —
+// and recommends designs per objective, the way Tables 8 and 9 do.
+//
+// Usage:
+//
+//	dcplanner [-qps 1000] [-load 0.45] [-engineering 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"sirius/internal/accel"
+	"sirius/internal/dcsim"
+)
+
+func main() {
+	qps := flag.Float64("qps", 1000, "aggregate query volume (queries/second, VQ-class mix)")
+	load := flag.Float64("load", 0.45, "target per-server utilization (0,1)")
+	engineering := flag.Float64("engineering", 0, "FPGA engineering cost amortized per server (USD)")
+	flag.Parse()
+
+	d := dcsim.NewDesign()
+	d.TCO.FPGAEngineeringUSD = *engineering
+
+	fmt.Printf("Datacenter plan for %.0f VQ queries/s at %.0f%% per-server load\n\n", *qps, *load*100)
+	fmt.Printf("%-9s %14s %10s %12s %14s %12s\n", "platform", "svc latency", "servers", "power (kW)", "TCO ($/month)", "rel. TCO")
+	baseTCO := math.Inf(1)
+	for _, p := range append([]accel.Platform{accel.CMP}, accel.GPU, accel.Phi, accel.FPGA) {
+		// Per-server sustainable rate at the requested load for a VQ query
+		// (ASR + QA back to back).
+		lat := d.ClassLatency(dcsim.ClassVQ, p)
+		mu := 1 / lat.Seconds()
+		perServer := mu * *load
+		servers := math.Ceil(*qps / perServer)
+		cfg := d.TCO.ServerFor(p)
+		monthly := d.TCO.MonthlyServerTCO(cfg) * servers
+		if p == accel.CMP {
+			baseTCO = monthly
+		}
+		fmt.Printf("%-9s %14v %10.0f %12.1f %14.0f %11.2fx\n",
+			p, lat, servers, servers*cfg.PowerW/1000, monthly, monthly/baseTCO)
+	}
+
+	fmt.Println("\nRecommended designs (homogeneous):")
+	for _, obj := range []dcsim.Objective{dcsim.MinLatency, dcsim.MinTCO, dcsim.MaxPerfPerWatt} {
+		c, err := d.ChooseHomogeneous(obj, dcsim.WithFPGA)
+		if err != nil {
+			fmt.Printf("  %-34s: no feasible platform\n", obj)
+			continue
+		}
+		fmt.Printf("  %-34s: %s\n", obj, c.Platform)
+	}
+
+	fmt.Println("\nRecommended partitioned (heterogeneous) design for min latency:")
+	choices, err := d.ChooseHeterogeneous(dcsim.MinLatency, dcsim.WithFPGA)
+	if err != nil {
+		fmt.Println("  error:", err)
+		return
+	}
+	for _, svc := range accel.Services {
+		c := choices[svc]
+		fmt.Printf("  %-9s -> %-5s (%.2fx vs homogeneous)\n", svc, c.Platform, c.Score)
+	}
+	fmt.Println("\n(Set -engineering 3000 to include FPGA engineering amortization; the TCO winner flips to GPU, §5.2.3.)")
+}

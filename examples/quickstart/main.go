@@ -1,0 +1,60 @@
+// Quickstart: build the Sirius pipeline and run one query of each class
+// through the public API — a voice command, a voice query, and a
+// voice-image query — printing the answers and per-service latency
+// breakdowns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sirius/internal/asr"
+	"sirius/internal/sirius"
+	"sirius/internal/vision"
+)
+
+func main() {
+	fmt.Println("building Sirius (acoustic models, CRF, corpus, image DB)...")
+	p, err := sirius.New(sirius.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Voice command (VC): "call mom" — ASR then the action path.
+	samples, err := asr.SynthesizeText(p.Lexicon(), "call mom", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := p.ProcessVoice(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nVC : %q -> kind=%s action=%q (asr %v)\n",
+		resp.Transcript, resp.Kind, resp.Action, resp.Latency.ASR)
+
+	// 2. Voice query (VQ): a question routed through QA.
+	samples, err = asr.SynthesizeText(p.Lexicon(), "what is the capital of italy", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err = p.ProcessVoice(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VQ : %q -> answer=%q (asr %v, qa %v)\n",
+		resp.Transcript, resp.Answer, resp.Latency.ASR, resp.Latency.QA)
+
+	// 3. Voice-image query (VIQ): a photo of a known entity plus speech.
+	scene := vision.GenerateScene("luigis restaurant", vision.DefaultSceneConfig())
+	photo := vision.Warp(scene, vision.DefaultWarp(3))
+	samples, err = asr.SynthesizeText(p.Lexicon(), "when does this restaurant close", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err = p.ProcessVoiceImage(samples, photo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VIQ: %q + photo -> matched=%q answer=%q (imm %v)\n",
+		resp.Transcript, resp.MatchedImage, resp.Answer, resp.Latency.IMM)
+}

@@ -1,0 +1,451 @@
+// Package asr assembles Sirius' automatic speech recognition service
+// (paper §2.3.1): the MFCC front-end, an acoustic model (GMM bank or DNN —
+// the paper's HMM/GMM vs HMM/DNN configurations), and the HMM Viterbi
+// decoder. It also owns acoustic-model training on the synthetic speech
+// substrate, replacing the pretrained Sphinx/Kaldi models the paper used.
+package asr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"sirius/internal/audio"
+	"sirius/internal/dnn"
+	"sirius/internal/gmm"
+	"sirius/internal/hmm"
+	"sirius/internal/mat"
+)
+
+// Engine selects the acoustic-model flavor.
+type Engine int
+
+const (
+	// EngineGMM is the Sphinx-style HMM/GMM configuration.
+	EngineGMM Engine = iota
+	// EngineDNN is the Kaldi/RASR-style HMM/DNN configuration.
+	EngineDNN
+)
+
+func (e Engine) String() string {
+	if e == EngineDNN {
+		return "DNN"
+	}
+	return "GMM"
+}
+
+// Models bundles the trained acoustic models for a phone set. The senone
+// order is phone-major: senone(p, s) = p*StatesPerPhone + s with phones in
+// the order of Phones.
+type Models struct {
+	Phones    []string
+	FrontEnd  *audio.FrontEnd
+	Bank      *gmm.Bank
+	Net       *dnn.Network
+	LogPriors []float64
+}
+
+// NumSenones returns the senone count covered by the models.
+func (m *Models) NumSenones() int { return len(m.Phones) * hmm.StatesPerPhone }
+
+// TrainConfig controls acoustic training.
+type TrainConfig struct {
+	ExamplesPerPhone int // synthesized renditions per phone
+	GMMComponents    int
+	GMMIters         int
+	DNNHidden        int
+	DNNEpochs        int
+	Seed             int64
+}
+
+// DefaultTrainConfig keeps training fast enough for tests while leaving
+// the models separable.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		ExamplesPerPhone: 12,
+		GMMComponents:    4,
+		GMMIters:         6,
+		DNNHidden:        48,
+		DNNEpochs:        6,
+		Seed:             1,
+	}
+}
+
+// TrainModels trains the acoustic models with embedded training: each
+// training utterance is a random permutation of the full phone set (with
+// silence padding), synthesized with jitter, so every phone is observed in
+// varied left/right contexts including the boundary frames a recognizer
+// will actually see. The synthesizer's phone spans provide the frame
+// alignment; frames inside a phone are flat-start split across its three
+// HMM states (first/middle/last third).
+func TrainModels(phones []string, cfg TrainConfig) (*Models, error) {
+	if len(phones) == 0 {
+		return nil, fmt.Errorf("asr: empty phone set")
+	}
+	for _, ph := range phones {
+		if _, ok := audio.PhoneIndex[ph]; !ok {
+			return nil, fmt.Errorf("asr: phone %q not synthesizable", ph)
+		}
+	}
+	fe := audio.NewFrontEnd(audio.DefaultFrontEnd())
+	feCfg := fe.Config()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nSen := len(phones) * hmm.StatesPerPhone
+	phoneIdx := make(map[string]int, len(phones))
+	for i, p := range phones {
+		phoneIdx[p] = i
+	}
+
+	perSenone := make([][][]float64, nSen)
+	var allFrames [][]float64
+	var allLabels []int
+	order := append([]string(nil), phones...)
+	for ex := 0; ex < cfg.ExamplesPerPhone; ex++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		utt := append([]string{"sil"}, order...)
+		utt = append(utt, "sil")
+		syn := audio.NewSynthesizer(rng.Int63())
+		samples, spans := syn.SynthesizeAligned(utt)
+		// Multi-condition training: every utterance carries a random
+		// noise floor (25-60 dB SNR), so the acoustic models tolerate
+		// capture noise instead of being matched-condition brittle.
+		samples = audio.AddNoise(samples, 25+35*rng.Float64(), rng.Int63())
+		frames := fe.Extract(samples)
+		for f, vec := range frames {
+			center := f*feCfg.FrameShift + feCfg.FrameLen/2
+			span, ok := spanAt(spans, center)
+			if !ok {
+				continue
+			}
+			pi, ok := phoneIdx[span.Phone]
+			if !ok {
+				continue // context-only phone such as padding silence
+			}
+			state := statePosition(center, span)
+			sen := pi*hmm.StatesPerPhone + state
+			perSenone[sen] = append(perSenone[sen], vec)
+			allFrames = append(allFrames, vec)
+			allLabels = append(allLabels, sen)
+		}
+	}
+
+	// GMM bank: one mixture per senone.
+	models := make([]*gmm.Model, nSen)
+	for s := 0; s < nSen; s++ {
+		m := gmm.NewModel(cfg.GMMComponents, fe.Config().Dim())
+		if len(perSenone[s]) > 0 {
+			m.Train(perSenone[s], cfg.GMMIters, rng)
+		}
+		models[s] = m
+	}
+
+	// DNN: frames -> senone posteriors; priors for hybrid scaling.
+	net := dnn.New(rng, dnn.Sigmoid, fe.Config().Dim(), cfg.DNNHidden, cfg.DNNHidden, nSen)
+	net.Train(allFrames, allLabels, dnn.TrainConfig{LearningRate: 0.3, Epochs: cfg.DNNEpochs, BatchSize: 32}, rng)
+	priors := make([]float64, nSen)
+	for _, l := range allLabels {
+		priors[l]++
+	}
+	for i := range priors {
+		priors[i] = math.Log((priors[i] + 1) / float64(len(allLabels)+nSen))
+	}
+
+	return &Models{
+		Phones:    phones,
+		FrontEnd:  fe,
+		Bank:      gmm.NewBank(models),
+		Net:       net,
+		LogPriors: priors,
+	}, nil
+}
+
+// spanAt finds the phone span containing the given sample position.
+func spanAt(spans []audio.Span, pos int) (audio.Span, bool) {
+	for _, s := range spans {
+		if pos >= s.Start && pos < s.End {
+			return s, true
+		}
+	}
+	return audio.Span{}, false
+}
+
+// statePosition maps a sample position within a span to an HMM state
+// index (0..StatesPerPhone-1) by thirds.
+func statePosition(pos int, span audio.Span) int {
+	width := span.End - span.Start
+	if width <= 0 {
+		return 0
+	}
+	state := (pos - span.Start) * hmm.StatesPerPhone / width
+	if state >= hmm.StatesPerPhone {
+		state = hmm.StatesPerPhone - 1
+	}
+	return state
+}
+
+// gmmScorer adapts a GMM bank to hmm.Scorer.
+type gmmScorer struct{ bank *gmm.Bank }
+
+func (g gmmScorer) ScoreAll(dst, frame []float64) { g.bank.ScoreAll(dst, frame) }
+func (g gmmScorer) NumSenones() int               { return g.bank.States() }
+
+// dnnScorer adapts a DNN to hmm.Scorer using the hybrid convention:
+// scaled likelihood = log p(s|x) − log p(s).
+type dnnScorer struct {
+	net    *dnn.Network
+	priors []float64
+}
+
+func (d dnnScorer) ScoreAll(dst, frame []float64) {
+	post := d.net.Forward(frame)
+	for i := range dst {
+		dst[i] = post[i] - d.priors[i]
+	}
+}
+func (d dnnScorer) NumSenones() int { return d.net.OutputDim() }
+
+// ScoreAllBatch scores every frame in one GEMM pass (hmm.BatchScorer).
+func (d dnnScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
+	batch := mat.NewDense(len(frames), len(frames[0]))
+	for i, f := range frames {
+		copy(batch.Row(i), f)
+	}
+	post := d.net.ForwardBatch(batch)
+	out := make([][]float64, len(frames))
+	for i := range out {
+		row := make([]float64, post.Cols)
+		copy(row, post.Row(i))
+		for j := range row {
+			row[j] -= d.priors[j]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// timedScorer wraps a Scorer, accumulating time spent in acoustic scoring
+// so the recognizer can report the search/scoring split (Fig 9).
+type timedScorer struct {
+	inner   hmm.Scorer
+	elapsed time.Duration
+	calls   int
+}
+
+func (t *timedScorer) ScoreAll(dst, frame []float64) {
+	start := time.Now()
+	t.inner.ScoreAll(dst, frame)
+	t.elapsed += time.Since(start)
+	t.calls++
+}
+func (t *timedScorer) NumSenones() int { return t.inner.NumSenones() }
+
+// ScoreAllBatch forwards batched scoring when the wrapped scorer supports
+// it, so the decoder's type assertion sees through the instrumentation.
+func (t *timedScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
+	bs, ok := t.inner.(hmm.BatchScorer)
+	if !ok {
+		return nil
+	}
+	start := time.Now()
+	out := bs.ScoreAllBatch(frames)
+	t.elapsed += time.Since(start)
+	t.calls += len(frames)
+	return out
+}
+
+// Timings decomposes recognition latency into the paper's hot components.
+type Timings struct {
+	FeatureExtraction time.Duration
+	Scoring           time.Duration // GMM or DNN scoring (the Suite kernel)
+	Search            time.Duration // Viterbi/HMM search excluding scoring
+	Frames            int
+}
+
+// Total returns end-to-end recognition time.
+func (t Timings) Total() time.Duration {
+	return t.FeatureExtraction + t.Scoring + t.Search
+}
+
+// Result is a recognition outcome with its latency breakdown.
+type Result struct {
+	Text    string
+	Score   float64
+	Timings Timings
+}
+
+// Recognizer is a ready-to-use speech recognizer. It is safe for
+// sequential reuse; concurrent queries should use separate Recognizers
+// sharing the same Models (the models are read-only).
+type Recognizer struct {
+	models *Models
+	engine Engine
+	graph  *hmm.Graph
+	cfg    hmm.Config
+	lex    *hmm.Lexicon
+	vad    *audio.VADConfig
+	// Two-pass rescoring (nil = single pass).
+	rescoreTri    *hmm.Trigram
+	rescoreWeight float64
+	rescoreN      int
+}
+
+// Lexicon returns the vocabulary the recognizer decodes over.
+func (r *Recognizer) Lexicon() *hmm.Lexicon { return r.lex }
+
+// EnableVAD turns on energy-based endpointing: leading and trailing
+// silence is trimmed before feature extraction, shrinking the Viterbi
+// search. Pass nil to disable.
+func (r *Recognizer) EnableVAD(cfg *audio.VADConfig) { r.vad = cfg }
+
+// EnableRescoring turns on two-pass decoding: the Viterbi search emits
+// nbest hypotheses and a trigram language model rescores them, the
+// standard arrangement that lets a first-order decoding graph benefit
+// from higher-order language context. Pass nil to disable.
+func (r *Recognizer) EnableRescoring(tri *hmm.Trigram, lmWeight float64, nbest int) {
+	r.rescoreTri = tri
+	r.rescoreWeight = lmWeight
+	if nbest < 2 {
+		nbest = 4
+	}
+	r.rescoreN = nbest
+}
+
+// NewRecognizer compiles the decoding graph for lex over the models'
+// phone set. The lexicon's phones must all be covered by the models.
+func NewRecognizer(models *Models, engine Engine, lex *hmm.Lexicon, lm *hmm.Bigram, cfg hmm.Config) (*Recognizer, error) {
+	phoneIdx := map[string]bool{}
+	for _, p := range models.Phones {
+		phoneIdx[p] = true
+	}
+	for _, p := range lex.PhoneSet() {
+		if !phoneIdx[p] {
+			return nil, fmt.Errorf("asr: lexicon phone %q not in acoustic model", p)
+		}
+	}
+	graph, err := hmm.CompileGraph(lex, lm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Recognizer{models: models, engine: engine, graph: graph, cfg: cfg, lex: lex}, nil
+}
+
+// scorerFor builds the graph-ordered scorer: the decoding graph numbers
+// senones by its own sorted phone set, so remap from the models' order.
+func (r *Recognizer) scorerFor() hmm.Scorer {
+	graphPhones := r.graph.Phones()
+	modelIdx := map[string]int{}
+	for i, p := range r.models.Phones {
+		modelIdx[p] = i
+	}
+	remap := make([]int, len(graphPhones)*hmm.StatesPerPhone)
+	for gi, p := range graphPhones {
+		mi := modelIdx[p]
+		for s := 0; s < hmm.StatesPerPhone; s++ {
+			remap[gi*hmm.StatesPerPhone+s] = mi*hmm.StatesPerPhone + s
+		}
+	}
+	var base hmm.Scorer
+	if r.engine == EngineDNN {
+		base = dnnScorer{net: r.models.Net, priors: r.models.LogPriors}
+	} else {
+		base = gmmScorer{bank: r.models.Bank}
+	}
+	return &remapScorer{inner: base, remap: remap, buf: make([]float64, r.models.NumSenones())}
+}
+
+// remapScorer reorders senone scores from model order to graph order.
+type remapScorer struct {
+	inner hmm.Scorer
+	remap []int
+	buf   []float64
+}
+
+func (rs *remapScorer) ScoreAll(dst, frame []float64) {
+	rs.inner.ScoreAll(rs.buf, frame)
+	for i, m := range rs.remap {
+		dst[i] = rs.buf[m]
+	}
+}
+func (rs *remapScorer) NumSenones() int { return len(rs.remap) }
+
+// ScoreAllBatch forwards batched scoring through the senone remap.
+func (rs *remapScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
+	bs, ok := rs.inner.(hmm.BatchScorer)
+	if !ok {
+		return nil
+	}
+	raw := bs.ScoreAllBatch(frames)
+	out := make([][]float64, len(raw))
+	for f, row := range raw {
+		mapped := make([]float64, len(rs.remap))
+		for i, m := range rs.remap {
+			mapped[i] = row[m]
+		}
+		out[f] = mapped
+	}
+	return out
+}
+
+// Recognize decodes raw 16 kHz samples into text.
+func (r *Recognizer) Recognize(samples []float64) (Result, error) {
+	var tm Timings
+	start := time.Now()
+	if r.vad != nil {
+		samples = audio.TrimSilence(samples, *r.vad)
+	}
+	frames := r.models.FrontEnd.Extract(samples)
+	tm.FeatureExtraction = time.Since(start)
+	tm.Frames = len(frames)
+	if len(frames) == 0 {
+		return Result{Timings: tm}, fmt.Errorf("asr: audio too short (%d samples)", len(samples))
+	}
+	ts := &timedScorer{inner: r.scorerFor()}
+	dec, err := hmm.NewDecoder(r.graph, ts, r.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	searchStart := time.Now()
+	var res hmm.Result
+	if r.rescoreTri != nil {
+		hyps := dec.DecodeNBest(frames, r.rescoreN)
+		if len(hyps) == 0 {
+			return Result{Timings: tm}, fmt.Errorf("asr: no hypotheses")
+		}
+		res = hyps[r.rescoreTri.Rescore(hyps, r.rescoreWeight)]
+	} else {
+		res = dec.Decode(frames)
+	}
+	total := time.Since(searchStart)
+	tm.Scoring = ts.elapsed
+	tm.Search = total - ts.elapsed
+	words := res.Words[:0:0]
+	for _, w := range res.Words {
+		if w != hmm.SilenceWord {
+			words = append(words, w)
+		}
+	}
+	return Result{Text: strings.Join(words, " "), Score: res.Score, Timings: tm}, nil
+}
+
+// SynthesizeText renders a word sequence to speech using the lexicon's
+// pronunciations, with silence between words. It is the test/workload
+// generator's path for producing voice queries.
+func SynthesizeText(lex *hmm.Lexicon, text string, seed int64) ([]float64, error) {
+	syn := audio.NewSynthesizer(seed)
+	phones := []string{"sil"}
+	for _, w := range strings.Fields(strings.ToLower(text)) {
+		w = strings.Trim(w, ".,?!\"'")
+		if w == "" {
+			continue
+		}
+		p, err := lex.Pron(w)
+		if err != nil {
+			return nil, err
+		}
+		phones = append(phones, p...)
+		phones = append(phones, "sil")
+	}
+	return syn.SynthesizePhones(phones), nil
+}

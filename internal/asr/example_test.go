@@ -1,0 +1,17 @@
+package asr_test
+
+import (
+	"fmt"
+
+	"sirius/internal/asr"
+)
+
+// WER is the standard ASR accuracy metric: word-level edit distance
+// normalized by reference length.
+func ExampleWER() {
+	fmt.Printf("%.2f\n", asr.WER("what is the capital of italy", "what is the capital off italy"))
+	fmt.Printf("%.2f\n", asr.WER("call mom", "call mom"))
+	// Output:
+	// 0.17
+	// 0.00
+}

@@ -1,0 +1,114 @@
+package asr
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"sirius/internal/audio"
+	"sirius/internal/dnn"
+	"sirius/internal/gmm"
+	"sirius/internal/hmm"
+)
+
+// modelBundle is the on-disk form of Models: the trained parameters plus
+// the front-end configuration they were trained against.
+type modelBundle struct {
+	Version   int                  `json:"version"`
+	Phones    []string             `json:"phones"`
+	FrontEnd  audio.FrontEndConfig `json:"frontend"`
+	GMMs      []*gmm.Model         `json:"gmms"`
+	Net       *dnn.Network         `json:"net"`
+	LogPriors []float64            `json:"priors"`
+}
+
+const bundleVersion = 1
+
+// Save serializes the models as gzipped JSON. Training takes seconds but
+// servers restart often; the sirius-server -models flag uses this cache.
+func (m *Models) Save(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	b := modelBundle{
+		Version:   bundleVersion,
+		Phones:    m.Phones,
+		FrontEnd:  m.FrontEnd.Config(),
+		GMMs:      m.Bank.Models,
+		Net:       m.Net,
+		LogPriors: m.LogPriors,
+	}
+	if err := json.NewEncoder(gz).Encode(b); err != nil {
+		return fmt.Errorf("asr: encode models: %w", err)
+	}
+	return gz.Close()
+}
+
+// LoadModels reads a bundle written by Save and validates its shape.
+func LoadModels(r io.Reader) (*Models, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("asr: models not gzipped: %w", err)
+	}
+	defer gz.Close()
+	var b modelBundle
+	if err := json.NewDecoder(gz).Decode(&b); err != nil {
+		return nil, fmt.Errorf("asr: decode models: %w", err)
+	}
+	if b.Version != bundleVersion {
+		return nil, fmt.Errorf("asr: bundle version %d, want %d", b.Version, bundleVersion)
+	}
+	nSen := len(b.Phones) * hmm.StatesPerPhone
+	if len(b.GMMs) != nSen {
+		return nil, fmt.Errorf("asr: %d GMMs for %d senones", len(b.GMMs), nSen)
+	}
+	if b.Net == nil || b.Net.OutputDim() != nSen {
+		return nil, fmt.Errorf("asr: DNN output does not match senone count")
+	}
+	if len(b.LogPriors) != nSen {
+		return nil, fmt.Errorf("asr: %d priors for %d senones", len(b.LogPriors), nSen)
+	}
+	dim := audio.FrontEndConfig.Dim(b.FrontEnd)
+	for i, g := range b.GMMs {
+		if g.Dim != dim {
+			return nil, fmt.Errorf("asr: GMM %d has dim %d, front-end gives %d", i, g.Dim, dim)
+		}
+	}
+	return &Models{
+		Phones:    b.Phones,
+		FrontEnd:  audio.NewFrontEnd(b.FrontEnd),
+		Bank:      gmm.NewBank(b.GMMs),
+		Net:       b.Net,
+		LogPriors: b.LogPriors,
+	}, nil
+}
+
+// LoadOrTrain loads cached models from path when it exists, otherwise
+// trains fresh models (for the given phone set) and writes the cache.
+func LoadOrTrain(path string, phones []string, cfg TrainConfig) (*Models, error) {
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			m, err := LoadModels(f)
+			if err != nil {
+				return nil, fmt.Errorf("asr: cached models at %s: %w", path, err)
+			}
+			return m, nil
+		}
+	}
+	m, err := TrainModels(phones, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("asr: create model cache: %w", err)
+		}
+		defer f.Close()
+		if err := m.Save(f); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,86 @@
+package asr
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sirius/internal/hmm"
+)
+
+func TestModelsSaveLoadRoundTrip(t *testing.T) {
+	models, lex, lm := setup(t)
+	var buf bytes.Buffer
+	if err := models.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded models must recognize identically.
+	recA, err := NewRecognizer(models, EngineGMM, lex, lm, hmm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := NewRecognizer(loaded, EngineGMM, lex, lm, hmm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := SynthesizeText(lex, "weather", 99)
+	a, err := recA.Recognize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := recB.Recognize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text || a.Score != b.Score {
+		t.Fatalf("reloaded models decode differently: %q/%v vs %q/%v", a.Text, a.Score, b.Text, b.Score)
+	}
+}
+
+func TestLoadModelsRejectsGarbage(t *testing.T) {
+	if _, err := LoadModels(strings.NewReader("not gzip")); err == nil {
+		t.Fatal("expected gzip error")
+	}
+}
+
+func TestLoadOrTrainCaches(t *testing.T) {
+	_, lex, _ := setup(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "models.json.gz")
+	m1, err := LoadOrTrain(path, lex.PhoneSet(), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache not written: %v", err)
+	}
+	m2, err := LoadOrTrain(path, lex.PhoneSet(), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cached copy must carry the same parameters.
+	if len(m1.Phones) != len(m2.Phones) || m1.NumSenones() != m2.NumSenones() {
+		t.Fatal("cached models differ in shape")
+	}
+	x := make([]float64, m1.FrontEnd.Config().Dim())
+	if m1.Bank.Models[0].LogLikelihood(x) != m2.Bank.Models[0].LogLikelihood(x) {
+		t.Fatal("cached GMM parameters differ")
+	}
+	// A corrupt cache is reported, not silently retrained.
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrTrain(path, lex.PhoneSet(), DefaultTrainConfig()); err == nil {
+		t.Fatal("corrupt cache must error")
+	}
+	// Empty path trains without caching.
+	if _, err := LoadOrTrain("", []string{"aa"}, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package asr
+
+import (
+	"strings"
+)
+
+// WER computes the word error rate of a hypothesis against a reference:
+// (substitutions + deletions + insertions) / reference length, via
+// word-level Levenshtein alignment. A perfect hypothesis scores 0; WER
+// can exceed 1 when the hypothesis is longer than the reference.
+func WER(reference, hypothesis string) float64 {
+	ref := strings.Fields(strings.ToLower(reference))
+	hyp := strings.Fields(strings.ToLower(hypothesis))
+	if len(ref) == 0 {
+		if len(hyp) == 0 {
+			return 0
+		}
+		return float64(len(hyp))
+	}
+	return float64(editDistance(ref, hyp)) / float64(len(ref))
+}
+
+// editDistance is word-level Levenshtein with unit costs.
+func editDistance(ref, hyp []string) int {
+	prev := make([]int, len(hyp)+1)
+	cur := make([]int, len(hyp)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ref); i++ {
+		cur[0] = i
+		for j := 1; j <= len(hyp); j++ {
+			sub := prev[j-1]
+			if ref[i-1] != hyp[j-1] {
+				sub++
+			}
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			cur[j] = minOf(sub, del, ins)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(hyp)]
+}
+
+func minOf(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EvalResult summarizes recognizer accuracy over a test set.
+type EvalResult struct {
+	Utterances int
+	ExactMatch int
+	MeanWER    float64
+}
+
+// Evaluate runs the recognizer over texts synthesized from its own
+// lexicon (one held-out jitter seed per utterance) and reports aggregate
+// accuracy. It is the repository's stand-in for the accuracy tables ASR
+// papers report.
+func Evaluate(rec *Recognizer, texts []string, seedBase int64) (EvalResult, error) {
+	var res EvalResult
+	var totalWER float64
+	for i, text := range texts {
+		samples, err := SynthesizeText(rec.Lexicon(), text, seedBase+int64(i))
+		if err != nil {
+			return res, err
+		}
+		out, err := rec.Recognize(samples)
+		if err != nil {
+			return res, err
+		}
+		res.Utterances++
+		w := WER(text, out.Text)
+		totalWER += w
+		if w == 0 {
+			res.ExactMatch++
+		}
+	}
+	if res.Utterances > 0 {
+		res.MeanWER = totalWER / float64(res.Utterances)
+	}
+	return res, nil
+}

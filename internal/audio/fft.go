@@ -1,0 +1,77 @@
+package audio
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 Cooley-Tukey FFT of x. len(x) must be a
+// power of two. The forward transform uses the e^{-i2πkn/N} convention.
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("audio: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// IFFT computes the in-place inverse FFT of x (including the 1/N scale).
+func IFFT(x []complex128) {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+}
+
+// PowerSpectrum returns |FFT(frame)|^2 for the first n/2+1 bins of the
+// real-valued frame, zero-padding the frame up to fftSize.
+func PowerSpectrum(frame []float64, fftSize int) []float64 {
+	buf := make([]complex128, fftSize)
+	for i, v := range frame {
+		if i >= fftSize {
+			break
+		}
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	out := make([]float64, fftSize/2+1)
+	for i := range out {
+		re, im := real(buf[i]), imag(buf[i])
+		out[i] = re*re + im*im
+	}
+	return out
+}

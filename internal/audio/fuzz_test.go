@@ -1,0 +1,38 @@
+package audio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadWAV hardens the WAV chunk walker against malformed headers:
+// arbitrary bytes must either parse into a finite sample slice or return
+// an error — never panic or over-allocate.
+func FuzzReadWAV(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteWAV(&valid, []float64{0, 0.5, -0.5}, 16000); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("RIFF"))
+	f.Add([]byte("RIFF\x00\x00\x00\x00WAVEfmt "))
+	truncated := append([]byte(nil), valid.Bytes()...)
+	f.Add(truncated[:20])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		samples, sr, err := ReadWAV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if sr < 0 || len(samples) > len(data) {
+			t.Fatalf("parsed %d samples at rate %d from %d bytes", len(samples), sr, len(data))
+		}
+		for _, s := range samples {
+			if s < -1.01 || s > 1.01 {
+				t.Fatalf("sample out of range: %v", s)
+			}
+		}
+	})
+}

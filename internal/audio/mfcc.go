@@ -1,0 +1,207 @@
+// Package audio is the speech substrate for Sirius: waveform generation,
+// WAV encoding, and the MFCC feature-extraction front-end that feeds the
+// automatic speech recognition (ASR) service (paper §2.3.1, Figure 4).
+package audio
+
+import (
+	"math"
+)
+
+// FrontEndConfig parameterizes MFCC extraction. The defaults mirror the
+// classic Sphinx front-end: 16 kHz audio, 25 ms windows with a 10 ms hop,
+// 512-point FFT, 26 mel filters, 13 cepstra with deltas and delta-deltas.
+type FrontEndConfig struct {
+	SampleRate int     // samples per second
+	FrameLen   int     // samples per analysis window
+	FrameShift int     // samples between successive windows
+	FFTSize    int     // power of two >= FrameLen
+	NumFilters int     // mel filterbank size
+	NumCeps    int     // cepstral coefficients kept (incl. C0)
+	PreEmph    float64 // pre-emphasis coefficient
+	Deltas     bool    // append delta and delta-delta features
+}
+
+// DefaultFrontEnd returns the standard 39-dimensional MFCC configuration.
+func DefaultFrontEnd() FrontEndConfig {
+	return FrontEndConfig{
+		SampleRate: 16000,
+		FrameLen:   400, // 25 ms
+		FrameShift: 160, // 10 ms
+		FFTSize:    512,
+		NumFilters: 26,
+		NumCeps:    13,
+		PreEmph:    0.97,
+		Deltas:     true,
+	}
+}
+
+// Dim returns the dimensionality of the produced feature vectors.
+func (c FrontEndConfig) Dim() int {
+	if c.Deltas {
+		return c.NumCeps * 3
+	}
+	return c.NumCeps
+}
+
+// FrontEnd converts raw audio into MFCC feature vectors. It precomputes the
+// Hamming window, the mel filterbank and the DCT-II matrix once, so a
+// single FrontEnd can be shared by all queries (it is read-only after
+// construction and safe for concurrent use).
+type FrontEnd struct {
+	cfg     FrontEndConfig
+	window  []float64
+	filters [][]filterTap // one sparse triangular filter per mel band
+	dct     [][]float64   // NumCeps x NumFilters
+}
+
+type filterTap struct {
+	bin    int
+	weight float64
+}
+
+// NewFrontEnd builds a FrontEnd for cfg.
+func NewFrontEnd(cfg FrontEndConfig) *FrontEnd {
+	fe := &FrontEnd{cfg: cfg}
+	fe.window = make([]float64, cfg.FrameLen)
+	for i := range fe.window {
+		fe.window[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(cfg.FrameLen-1))
+	}
+	fe.filters = melFilterbank(cfg.NumFilters, cfg.FFTSize, cfg.SampleRate)
+	fe.dct = make([][]float64, cfg.NumCeps)
+	for k := range fe.dct {
+		fe.dct[k] = make([]float64, cfg.NumFilters)
+		for n := 0; n < cfg.NumFilters; n++ {
+			fe.dct[k][n] = math.Cos(math.Pi * float64(k) * (float64(n) + 0.5) / float64(cfg.NumFilters))
+		}
+	}
+	return fe
+}
+
+// Config returns the front-end configuration.
+func (fe *FrontEnd) Config() FrontEndConfig { return fe.cfg }
+
+func hzToMel(hz float64) float64  { return 2595 * math.Log10(1+hz/700) }
+func melToHz(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+func melFilterbank(numFilters, fftSize, sampleRate int) [][]filterTap {
+	lowMel := hzToMel(0)
+	highMel := hzToMel(float64(sampleRate) / 2)
+	points := make([]float64, numFilters+2)
+	for i := range points {
+		mel := lowMel + (highMel-lowMel)*float64(i)/float64(numFilters+1)
+		points[i] = melToHz(mel) / float64(sampleRate) * float64(fftSize)
+	}
+	filters := make([][]filterTap, numFilters)
+	for m := 1; m <= numFilters; m++ {
+		lo, mid, hi := points[m-1], points[m], points[m+1]
+		var taps []filterTap
+		for bin := int(math.Ceil(lo)); bin <= int(math.Floor(hi)) && bin <= fftSize/2; bin++ {
+			b := float64(bin)
+			var w float64
+			switch {
+			case b < mid && mid > lo:
+				w = (b - lo) / (mid - lo)
+			case b >= mid && hi > mid:
+				w = (hi - b) / (hi - mid)
+			}
+			if w > 0 {
+				taps = append(taps, filterTap{bin: bin, weight: w})
+			}
+		}
+		filters[m-1] = taps
+	}
+	return filters
+}
+
+// Frames returns the number of analysis frames extracted from n samples.
+func (fe *FrontEnd) Frames(n int) int {
+	if n < fe.cfg.FrameLen {
+		return 0
+	}
+	return 1 + (n-fe.cfg.FrameLen)/fe.cfg.FrameShift
+}
+
+// Extract computes the MFCC feature matrix for samples: one row per frame.
+func (fe *FrontEnd) Extract(samples []float64) [][]float64 {
+	cfg := fe.cfg
+	nFrames := fe.Frames(len(samples))
+	static := make([][]float64, nFrames)
+	frame := make([]float64, cfg.FrameLen)
+	logmel := make([]float64, cfg.NumFilters)
+	for f := 0; f < nFrames; f++ {
+		off := f * cfg.FrameShift
+		// Pre-emphasis + windowing.
+		prev := 0.0
+		if off > 0 {
+			prev = samples[off-1]
+		}
+		for i := 0; i < cfg.FrameLen; i++ {
+			s := samples[off+i]
+			frame[i] = (s - cfg.PreEmph*prev) * fe.window[i]
+			prev = s
+		}
+		spec := PowerSpectrum(frame, cfg.FFTSize)
+		for m, taps := range fe.filters {
+			var e float64
+			for _, t := range taps {
+				e += t.weight * spec[t.bin]
+			}
+			logmel[m] = math.Log(e + 1e-10)
+		}
+		ceps := make([]float64, cfg.NumCeps)
+		for k := 0; k < cfg.NumCeps; k++ {
+			var s float64
+			for n := 0; n < cfg.NumFilters; n++ {
+				s += fe.dct[k][n] * logmel[n]
+			}
+			ceps[k] = s
+		}
+		static[f] = ceps
+	}
+	if !cfg.Deltas {
+		return static
+	}
+	return appendDeltas(static, cfg.NumCeps)
+}
+
+// appendDeltas widens each static vector with first and second order
+// regression deltas over a +/-2 frame window.
+func appendDeltas(static [][]float64, numCeps int) [][]float64 {
+	n := len(static)
+	out := make([][]float64, n)
+	deltas := make([][]float64, n)
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	delta := func(src [][]float64, t, k int) float64 {
+		// Standard regression formula with window 2: sum(i*(x[t+i]-x[t-i])) / (2*sum(i^2)).
+		var num float64
+		for i := 1; i <= 2; i++ {
+			num += float64(i) * (src[clamp(t+i)][k] - src[clamp(t-i)][k])
+		}
+		return num / 10
+	}
+	for t := 0; t < n; t++ {
+		d := make([]float64, numCeps)
+		for k := 0; k < numCeps; k++ {
+			d[k] = delta(static, t, k)
+		}
+		deltas[t] = d
+	}
+	for t := 0; t < n; t++ {
+		v := make([]float64, numCeps*3)
+		copy(v, static[t])
+		copy(v[numCeps:], deltas[t])
+		for k := 0; k < numCeps; k++ {
+			v[2*numCeps+k] = delta(deltas, t, k)
+		}
+		out[t] = v
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package audio
+
+import "math"
+
+// Energy-based voice activity detection: the endpointing step a
+// production ASR front-end runs before decoding, trimming leading and
+// trailing silence so the Viterbi search only sees speech (plus a small
+// margin so onsets are not clipped).
+
+// VADConfig tunes the endpointer.
+type VADConfig struct {
+	FrameLen   int     // analysis window in samples
+	HopLen     int     // hop between windows
+	ThresholdK float64 // speech threshold = noise floor * ThresholdK
+	MarginSec  float64 // margin kept around detected speech, seconds
+	SampleRate int
+}
+
+// DefaultVAD matches the 16 kHz front-end.
+func DefaultVAD() VADConfig {
+	return VADConfig{FrameLen: 400, HopLen: 160, ThresholdK: 3, MarginSec: 0.06, SampleRate: 16000}
+}
+
+// frameEnergies returns per-hop RMS energies.
+func frameEnergies(samples []float64, cfg VADConfig) []float64 {
+	if len(samples) < cfg.FrameLen {
+		return nil
+	}
+	n := 1 + (len(samples)-cfg.FrameLen)/cfg.HopLen
+	out := make([]float64, n)
+	for f := 0; f < n; f++ {
+		off := f * cfg.HopLen
+		var e float64
+		for i := 0; i < cfg.FrameLen; i++ {
+			e += samples[off+i] * samples[off+i]
+		}
+		out[f] = math.Sqrt(e / float64(cfg.FrameLen))
+	}
+	return out
+}
+
+// TrimSilence returns the sub-slice of samples spanning detected speech
+// plus the configured margin. When no speech is detected (or the signal
+// is too short to analyze), the input is returned unchanged.
+func TrimSilence(samples []float64, cfg VADConfig) []float64 {
+	energies := frameEnergies(samples, cfg)
+	if len(energies) == 0 {
+		return samples
+	}
+	// Noise floor: the mean of the quietest third of frames.
+	sorted := append([]float64(nil), energies...)
+	insertionSort(sorted)
+	third := len(sorted)/3 + 1
+	var floor float64
+	for _, e := range sorted[:third] {
+		floor += e
+	}
+	floor /= float64(third)
+	threshold := floor * cfg.ThresholdK
+	if threshold == 0 {
+		threshold = 1e-6
+	}
+	first, last := -1, -1
+	for f, e := range energies {
+		if e > threshold {
+			if first < 0 {
+				first = f
+			}
+			last = f
+		}
+	}
+	if first < 0 {
+		return samples
+	}
+	margin := int(cfg.MarginSec * float64(cfg.SampleRate))
+	start := first*cfg.HopLen - margin
+	if start < 0 {
+		start = 0
+	}
+	end := last*cfg.HopLen + cfg.FrameLen + margin
+	if end > len(samples) {
+		end = len(samples)
+	}
+	return samples[start:end]
+}
+
+// insertionSort keeps the trim path allocation-light for short clips.
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,67 @@
+package audio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrimSilenceRemovesPadding(t *testing.T) {
+	syn := NewSynthesizer(5)
+	speech := syn.SynthesizePhones([]string{"aa", "s", "ow"})
+	pad := make([]float64, 16000) // 1 s of near-silence
+	for i := range pad {
+		pad[i] = 0.0005 * math.Sin(float64(i))
+	}
+	padded := append(append(append([]float64{}, pad...), speech...), pad...)
+	trimmed := TrimSilence(padded, DefaultVAD())
+	if len(trimmed) >= len(padded) {
+		t.Fatalf("nothing trimmed: %d >= %d", len(trimmed), len(padded))
+	}
+	// Must keep at least the speech plus margins, minus a little slack
+	// for quiet phone edges.
+	if len(trimmed) < len(speech)/2 {
+		t.Fatalf("over-trimmed: kept %d of %d speech samples", len(trimmed), len(speech))
+	}
+	// Most of each pad must be gone.
+	if len(trimmed) > len(speech)+8000 {
+		t.Fatalf("under-trimmed: %d samples left for %d speech", len(trimmed), len(speech))
+	}
+}
+
+func TestTrimSilenceAllQuiet(t *testing.T) {
+	quiet := make([]float64, 8000)
+	got := TrimSilence(quiet, DefaultVAD())
+	if len(got) != len(quiet) {
+		// All-silence input: VAD finds no speech and returns input.
+		t.Fatalf("all-quiet input must pass through, got %d", len(got))
+	}
+}
+
+func TestTrimSilenceShortInput(t *testing.T) {
+	short := make([]float64, 10)
+	if got := TrimSilence(short, DefaultVAD()); len(got) != 10 {
+		t.Fatal("too-short input must pass through")
+	}
+}
+
+func TestTrimSilencePreservesRecognizability(t *testing.T) {
+	// Energy inside the trimmed region must match the original speech
+	// region (TrimSilence returns a sub-slice, no copying or scaling).
+	syn := NewSynthesizer(9)
+	speech := syn.SynthesizePhones([]string{"sil", "m", "aa", "sil"})
+	trimmed := TrimSilence(speech, DefaultVAD())
+	if len(trimmed) == 0 || len(trimmed) > len(speech) {
+		t.Fatalf("trimmed %d of %d", len(trimmed), len(speech))
+	}
+	var e float64
+	for _, s := range trimmed {
+		e += s * s
+	}
+	var total float64
+	for _, s := range speech {
+		total += s * s
+	}
+	if e < 0.95*total {
+		t.Fatalf("trimming removed %.1f%% of signal energy", 100*(1-e/total))
+	}
+}

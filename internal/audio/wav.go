@@ -1,0 +1,117 @@
+package audio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAV I/O for 16-bit mono PCM. The end-to-end service receives queries as
+// compressed recordings; here the wire format is plain WAV, which keeps
+// the mobile-to-server path realistic without an audio codec dependency.
+
+// WriteWAV encodes samples (range [-1, 1], clipped) as 16-bit mono PCM.
+func WriteWAV(w io.Writer, samples []float64, sampleRate int) error {
+	dataLen := len(samples) * 2
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(36+dataLen))
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16)
+	binary.LittleEndian.PutUint16(hdr[20:22], 1) // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], 1) // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(sampleRate))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(sampleRate*2))
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(dataLen))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, dataLen)
+	for i, s := range samples {
+		v := math.Max(-1, math.Min(1, s))
+		binary.LittleEndian.PutUint16(buf[i*2:], uint16(int16(v*32767)))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadWAV decodes a 16-bit mono PCM WAV stream.
+func ReadWAV(r io.Reader) (samples []float64, sampleRate int, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < 44 || string(data[0:4]) != "RIFF" || string(data[8:12]) != "WAVE" {
+		return nil, 0, errors.New("audio: not a RIFF/WAVE stream")
+	}
+	// Walk chunks to find fmt and data (players emit extra chunks).
+	var fmtSeen bool
+	off := 12
+	for off+8 <= len(data) {
+		id := string(data[off : off+4])
+		size := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		body := off + 8
+		if body+size > len(data) {
+			return nil, 0, fmt.Errorf("audio: truncated %q chunk", id)
+		}
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return nil, 0, errors.New("audio: short fmt chunk")
+			}
+			format := binary.LittleEndian.Uint16(data[body : body+2])
+			channels := binary.LittleEndian.Uint16(data[body+2 : body+4])
+			sampleRate = int(binary.LittleEndian.Uint32(data[body+4 : body+8]))
+			bits := binary.LittleEndian.Uint16(data[body+14 : body+16])
+			if format != 1 || channels != 1 || bits != 16 {
+				return nil, 0, fmt.Errorf("audio: unsupported WAV (format=%d channels=%d bits=%d)", format, channels, bits)
+			}
+			fmtSeen = true
+		case "data":
+			if !fmtSeen {
+				return nil, 0, errors.New("audio: data chunk before fmt")
+			}
+			n := size / 2
+			samples = make([]float64, n)
+			for i := 0; i < n; i++ {
+				v := int16(binary.LittleEndian.Uint16(data[body+i*2:]))
+				samples[i] = float64(v) / 32767
+			}
+			return samples, sampleRate, nil
+		}
+		off = body + size + size%2 // chunks are word-aligned
+	}
+	return nil, 0, errors.New("audio: no data chunk")
+}
+
+// Resample converts samples from one rate to another with linear
+// interpolation — sufficient for speech where the front-end's mel
+// filters smooth over interpolation artifacts. Upsampling does not
+// reconstruct content above the original Nyquist, and downsampling
+// applies no anti-aliasing filter; both are acceptable for this
+// pipeline's synthetic voice band.
+func Resample(samples []float64, fromRate, toRate int) []float64 {
+	if fromRate == toRate || fromRate <= 0 || toRate <= 0 || len(samples) == 0 {
+		return samples
+	}
+	ratio := float64(fromRate) / float64(toRate)
+	n := int(float64(len(samples)) / ratio)
+	out := make([]float64, n)
+	for i := range out {
+		pos := float64(i) * ratio
+		j := int(pos)
+		frac := pos - float64(j)
+		if j+1 < len(samples) {
+			out[i] = samples[j]*(1-frac) + samples[j+1]*frac
+		} else {
+			out[i] = samples[len(samples)-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package dcsim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sirius/internal/accel"
+	"sirius/internal/suite"
+)
+
+// Ablations for the design choices the reproduction makes (DESIGN.md):
+// how sensitive are the paper's conclusions to the FPGA engineering-cost
+// assumption, to the unaccelerated remainder share (Amdahl), and to the
+// choice of calibrated vs analytic speedup model?
+
+// EngineeringCrossover sweeps the per-server FPGA engineering cost and
+// returns the smallest amount (in the swept grid) at which the GPU
+// datacenter's average query-level TCO reduction overtakes the FPGA
+// datacenter's — the quantitative version of the paper's §5.2.3 argument
+// that engineering cost is what makes GPUs the TCO choice.
+func (d Design) EngineeringCrossover(step, max float64) (float64, error) {
+	for eng := 0.0; eng <= max; eng += step {
+		trial := d
+		trial.TCO.FPGAEngineeringUSD = eng
+		_, gpuTCO, err := trial.AverageClassMetrics(accel.GPU)
+		if err != nil {
+			return 0, err
+		}
+		_, fpgaTCO, err := trial.AverageClassMetrics(accel.FPGA)
+		if err != nil {
+			return 0, err
+		}
+		if gpuTCO > fpgaTCO {
+			return eng, nil
+		}
+	}
+	return 0, fmt.Errorf("dcsim: no crossover up to $%.0f", max)
+}
+
+// AmdahlSweep scales one service's unaccelerated remainder and reports
+// the resulting platform speedup over the single-core baseline. It makes
+// the paper's QA observation quantitative: the larger the share of the
+// service outside the accelerated kernels, the flatter the gain.
+type AmdahlPoint struct {
+	RemainderFrac float64 // remainder share of baseline service time
+	Speedup       float64
+}
+
+// AmdahlSweep evaluates platform p on service svc across remainder
+// shares, holding the total baseline latency fixed.
+func (d Design) AmdahlSweep(svc accel.Service, p accel.Platform, fracs []float64) []AmdahlPoint {
+	st := d.Times[svc]
+	total := st.Total()
+	var kernelSum time.Duration
+	for _, dur := range st.Components {
+		kernelSum += dur
+	}
+	out := make([]AmdahlPoint, 0, len(fracs))
+	for _, f := range fracs {
+		trial := accel.ServiceTimes{
+			Components:        map[suite.Kernel]time.Duration{},
+			Remainder:         time.Duration(f * float64(total)),
+			RemainderSpeedups: st.RemainderSpeedups,
+		}
+		scale := (1 - f) * float64(total) / float64(kernelSum)
+		for k, dur := range st.Components {
+			trial.Components[k] = time.Duration(float64(dur) * scale)
+		}
+		sp := float64(total) / float64(accel.Accelerate(trial, p, d.Mode))
+		out = append(out, AmdahlPoint{RemainderFrac: f, Speedup: sp})
+	}
+	return out
+}
+
+// ModeAgreement compares the Table 8 design choices under the calibrated
+// and analytic speedup models and reports, per objective/candidate-set
+// cell, whether the chosen platform agrees. The reproduction's
+// conclusions should not hinge on which model supplies the speedups.
+func (d Design) ModeAgreement() (agree, total int, detail string) {
+	sets := [][]accel.Platform{WithFPGA, WithoutFPGA, WithoutFPGAGPU}
+	names := []string{"with-FPGA", "no-FPGA", "no-FPGA/GPU"}
+	var b strings.Builder
+	cal := d
+	cal.Mode = accel.Calibrated
+	ana := d
+	ana.Mode = accel.Analytic
+	for _, obj := range []Objective{MinLatency, MinTCO, MaxPerfPerWatt} {
+		for si, set := range sets {
+			c1, err1 := cal.ChooseHomogeneous(obj, set)
+			c2, err2 := ana.ChooseHomogeneous(obj, set)
+			total++
+			ok := err1 == nil && err2 == nil && c1.Platform == c2.Platform
+			if ok {
+				agree++
+			}
+			p1, p2 := "<none>", "<none>"
+			if err1 == nil {
+				p1 = string(c1.Platform)
+			}
+			if err2 == nil {
+				p2 = string(c2.Platform)
+			}
+			fmt.Fprintf(&b, "  %-34s %-12s calibrated=%-5s analytic=%-5s agree=%v\n", obj, names[si], p1, p2, ok)
+		}
+	}
+	return agree, total, b.String()
+}

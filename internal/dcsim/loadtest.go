@@ -1,0 +1,120 @@
+package dcsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Trace-driven queue simulation: generate a Poisson arrival process,
+// push it through a single-server FIFO queue whose service times come
+// either from a distribution or from timing real executions of a service
+// closure, and measure the response-time distribution. This validates
+// the M/M/1 model the paper's Fig 17 analysis rests on — and quantifies
+// how far a real service (whose times are not exponential) deviates.
+
+// PoissonArrivals returns n arrival offsets (from time zero) of a
+// Poisson process with the given rate (events/second).
+func PoissonArrivals(rate float64, n int, seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	var t float64
+	for i := range out {
+		t += rng.ExpFloat64() / rate
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}
+
+// TraceResult summarizes one simulated run.
+type TraceResult struct {
+	Requests     int
+	MeanService  time.Duration
+	MeanResponse time.Duration // queueing + service
+	P99Response  time.Duration
+	Utilization  float64 // busy time / makespan
+}
+
+// SimulateQueue runs a single-server FIFO queue over the arrival trace
+// with the given per-request service times (len must match).
+func SimulateQueue(arrivals, services []time.Duration) (TraceResult, error) {
+	if len(arrivals) != len(services) {
+		return TraceResult{}, fmt.Errorf("dcsim: %d arrivals vs %d service times", len(arrivals), len(services))
+	}
+	if len(arrivals) == 0 {
+		return TraceResult{}, fmt.Errorf("dcsim: empty trace")
+	}
+	responses := make([]time.Duration, len(arrivals))
+	var serverFree time.Duration
+	var busy, sumService, sumResponse time.Duration
+	for i, arr := range arrivals {
+		start := arr
+		if serverFree > start {
+			start = serverFree
+		}
+		done := start + services[i]
+		serverFree = done
+		responses[i] = done - arr
+		busy += services[i]
+		sumService += services[i]
+		sumResponse += responses[i]
+	}
+	sort.Slice(responses, func(i, j int) bool { return responses[i] < responses[j] })
+	makespan := serverFree
+	res := TraceResult{
+		Requests:     len(arrivals),
+		MeanService:  sumService / time.Duration(len(arrivals)),
+		MeanResponse: sumResponse / time.Duration(len(arrivals)),
+		P99Response:  responses[len(responses)*99/100],
+	}
+	if makespan > 0 {
+		res.Utilization = float64(busy) / float64(makespan)
+	}
+	return res, nil
+}
+
+// ExponentialServices draws n exponential service times with the given
+// mean — the M/M/1 assumption.
+func ExponentialServices(mean time.Duration, n int, seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+	return out
+}
+
+// MeasuredServices times n real executions of process and returns the
+// observed durations, so a live component (e.g. the QA engine) can be
+// pushed through SimulateQueue.
+func MeasuredServices(process func(i int), n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		start := time.Now()
+		process(i)
+		out[i] = time.Since(start)
+	}
+	return out
+}
+
+// ValidateMM1 runs a synthetic M/M/1 trace and returns the relative error
+// of the simulated mean response time against the closed form — the
+// self-check that the simulator and the analytic model agree.
+func ValidateMM1(mean time.Duration, rho float64, n int, seed int64) (simulated, predicted time.Duration, relErr float64, err error) {
+	mu := 1 / mean.Seconds()
+	lambda := rho * mu
+	arr := PoissonArrivals(lambda, n, seed)
+	svc := ExponentialServices(mean, n, seed+1)
+	res, err := SimulateQueue(arr, svc)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pred, err := NewMM1(mean).ResponseTime(lambda)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	relErr = math.Abs(res.MeanResponse.Seconds()-pred.Seconds()) / pred.Seconds()
+	return res.MeanResponse, pred, relErr, nil
+}

@@ -1,0 +1,121 @@
+package dcsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPoissonArrivalsStatistics(t *testing.T) {
+	rate := 100.0
+	n := 20000
+	arr := PoissonArrivals(rate, n, 1)
+	if len(arr) != n {
+		t.Fatalf("n=%d", len(arr))
+	}
+	for i := 1; i < n; i++ {
+		if arr[i] < arr[i-1] {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+	}
+	// Mean inter-arrival ~ 1/rate.
+	meanGap := arr[n-1].Seconds() / float64(n-1)
+	if math.Abs(meanGap-1/rate) > 0.1/rate {
+		t.Fatalf("mean gap %v, want ~%v", meanGap, 1/rate)
+	}
+}
+
+func TestSimulateQueueValidation(t *testing.T) {
+	if _, err := SimulateQueue(nil, nil); err == nil {
+		t.Fatal("empty trace must error")
+	}
+	if _, err := SimulateQueue(make([]time.Duration, 2), make([]time.Duration, 3)); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestSimulateQueueNoContention(t *testing.T) {
+	// Widely spaced arrivals: response == service, utilization low.
+	arrivals := []time.Duration{0, time.Second, 2 * time.Second}
+	services := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 10 * time.Millisecond}
+	res, err := SimulateQueue(arrivals, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanResponse != 10*time.Millisecond {
+		t.Fatalf("mean response %v", res.MeanResponse)
+	}
+	if res.Utilization > 0.05 {
+		t.Fatalf("utilization %v", res.Utilization)
+	}
+}
+
+func TestSimulateQueueBackToBack(t *testing.T) {
+	// Simultaneous arrivals queue up: responses are 1x, 2x, 3x service.
+	arrivals := []time.Duration{0, 0, 0}
+	services := []time.Duration{time.Millisecond, time.Millisecond, time.Millisecond}
+	res, err := SimulateQueue(arrivals, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanResponse != 2*time.Millisecond {
+		t.Fatalf("mean response %v, want 2ms", res.MeanResponse)
+	}
+}
+
+func TestValidateMM1ClosedForm(t *testing.T) {
+	// The trace simulator must agree with the closed form within 10% at
+	// moderate load over a long trace.
+	for _, rho := range []float64{0.3, 0.5, 0.7} {
+		_, _, relErr, err := ValidateMM1(10*time.Millisecond, rho, 60000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr > 0.10 {
+			t.Fatalf("rho=%v: relative error %.3f > 0.10", rho, relErr)
+		}
+	}
+}
+
+func TestDeterministicServiceBeatsMM1(t *testing.T) {
+	// M/D/1 waits are half of M/M/1: a constant-service trace must beat
+	// the M/M/1 prediction. This is the gap the paper's Fig 17 lower
+	// bound leaves on the table for well-behaved services.
+	mean := 10 * time.Millisecond
+	rho := 0.7
+	mu := 1 / mean.Seconds()
+	lambda := rho * mu
+	n := 40000
+	arr := PoissonArrivals(lambda, n, 7)
+	svc := make([]time.Duration, n)
+	for i := range svc {
+		svc[i] = mean
+	}
+	res, err := SimulateQueue(arr, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := NewMM1(mean).ResponseTime(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanResponse >= pred {
+		t.Fatalf("M/D/1 response %v must beat M/M/1 %v", res.MeanResponse, pred)
+	}
+	if res.MeanResponse <= mean {
+		t.Fatal("queueing must add delay over bare service time")
+	}
+}
+
+func TestMeasuredServices(t *testing.T) {
+	calls := 0
+	ds := MeasuredServices(func(i int) { calls++ }, 5)
+	if calls != 5 || len(ds) != 5 {
+		t.Fatalf("calls=%d len=%d", calls, len(ds))
+	}
+	for _, d := range ds {
+		if d < 0 {
+			t.Fatal("negative duration")
+		}
+	}
+}

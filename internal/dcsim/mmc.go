@@ -1,0 +1,76 @@
+package dcsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// MMc models a pool of c identical servers fed by one queue — the
+// natural extension of the paper's per-server M/M/1 analysis to a
+// cluster, used by the capacity planner to answer "how many accelerated
+// servers replace this CMP fleet at the same response-time SLO?".
+type MMc struct {
+	Servers     int
+	ServiceRate float64 // per server, queries/second
+}
+
+// NewMMc builds the model from a per-server mean service latency.
+func NewMMc(servers int, serviceLatency time.Duration) MMc {
+	return MMc{Servers: servers, ServiceRate: 1 / serviceLatency.Seconds()}
+}
+
+// erlangC returns the probability an arrival waits (all servers busy).
+func erlangC(c int, offered float64) float64 {
+	// offered = lambda/mu (in Erlangs); stable iff offered < c.
+	// Computed iteratively to avoid factorial overflow.
+	inv := 1.0 // term for k = 0: (a^0/0!) normalized later
+	term := 1.0
+	for k := 1; k < c; k++ {
+		term *= offered / float64(k)
+		inv += term
+	}
+	top := term * offered / float64(c) // a^c / c!
+	rho := offered / float64(c)
+	return (top / (1 - rho)) / (inv + top/(1-rho))
+}
+
+// ResponseTime returns the mean response time at aggregate arrival rate
+// lambda across the pool.
+func (q MMc) ResponseTime(lambda float64) (time.Duration, error) {
+	if q.Servers <= 0 {
+		return 0, fmt.Errorf("dcsim: no servers")
+	}
+	if lambda < 0 {
+		return 0, fmt.Errorf("dcsim: negative arrival rate")
+	}
+	offered := lambda / q.ServiceRate
+	if offered >= float64(q.Servers) {
+		return 0, fmt.Errorf("dcsim: unstable pool (offered %.2f >= %d servers)", offered, q.Servers)
+	}
+	pWait := erlangC(q.Servers, offered)
+	wq := pWait / (float64(q.Servers)*q.ServiceRate - lambda)
+	return time.Duration((wq + 1/q.ServiceRate) * float64(time.Second)), nil
+}
+
+// ServersForSLO returns the smallest pool size whose mean response time
+// at lambda does not exceed slo. It errors when even a huge pool cannot
+// meet the SLO (slo below the bare service time).
+func ServersForSLO(serviceLatency time.Duration, lambda float64, slo time.Duration) (int, error) {
+	if slo < serviceLatency {
+		return 0, fmt.Errorf("dcsim: SLO %v below service time %v", slo, serviceLatency)
+	}
+	mu := 1 / serviceLatency.Seconds()
+	minServers := int(math.Ceil(lambda/mu)) + 1
+	for c := minServers; c < minServers+1_000_000; c++ {
+		q := MMc{Servers: c, ServiceRate: mu}
+		r, err := q.ResponseTime(lambda)
+		if err != nil {
+			continue
+		}
+		if r <= slo {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("dcsim: no feasible pool size")
+}

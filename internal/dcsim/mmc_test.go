@@ -1,0 +1,122 @@
+package dcsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMMcReducesToMM1(t *testing.T) {
+	// With one server, M/M/c must match the M/M/1 closed form.
+	lat := 100 * time.Millisecond
+	mm1 := NewMM1(lat)
+	mmc := NewMMc(1, lat)
+	for _, lambda := range []float64{1, 5, 9} {
+		r1, err1 := mm1.ResponseTime(lambda)
+		rc, errc := mmc.ResponseTime(lambda)
+		if err1 != nil || errc != nil {
+			t.Fatalf("errors: %v %v", err1, errc)
+		}
+		if math.Abs(r1.Seconds()-rc.Seconds()) > 1e-9 {
+			t.Fatalf("lambda=%v: M/M/1 %v vs M/M/c %v", lambda, r1, rc)
+		}
+	}
+}
+
+func TestMMcPoolingBeatsPartitioning(t *testing.T) {
+	// Classic queueing result: one pooled M/M/2 at rate 2*lambda beats two
+	// separate M/M/1 queues each at lambda.
+	lat := 100 * time.Millisecond
+	single := NewMM1(lat)
+	pooled := NewMMc(2, lat)
+	lambda := 8.0 // per M/M/1 queue; pool sees 16
+	r1, err := single.ResponseTime(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := pooled.ResponseTime(2 * lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc >= r1 {
+		t.Fatalf("pooled %v must beat partitioned %v", rc, r1)
+	}
+}
+
+func TestMMcErrors(t *testing.T) {
+	q := NewMMc(2, 100*time.Millisecond)
+	if _, err := q.ResponseTime(-1); err == nil {
+		t.Fatal("negative lambda")
+	}
+	if _, err := q.ResponseTime(20); err == nil {
+		t.Fatal("unstable pool")
+	}
+	if _, err := (MMc{}).ResponseTime(1); err == nil {
+		t.Fatal("no servers")
+	}
+}
+
+func TestMMcMonotoneInServers(t *testing.T) {
+	lat := 200 * time.Millisecond
+	lambda := 12.0
+	var prev time.Duration = 1 << 62
+	for c := 4; c <= 12; c += 2 {
+		q := NewMMc(c, lat)
+		r, err := q.ResponseTime(lambda)
+		if err != nil {
+			if c == 4 {
+				continue // too few servers for the load
+			}
+			t.Fatal(err)
+		}
+		if r > prev {
+			t.Fatalf("response time must not grow with servers: c=%d %v > %v", c, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestServersForSLO(t *testing.T) {
+	lat := 100 * time.Millisecond
+	lambda := 100.0
+	slo := 150 * time.Millisecond
+	c, err := ServersForSLO(lat, lambda, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify: c meets the SLO and c-1 does not.
+	q := NewMMc(c, lat)
+	r, err := q.ResponseTime(lambda)
+	if err != nil || r > slo {
+		t.Fatalf("pool of %d: %v > SLO %v (%v)", c, r, slo, err)
+	}
+	if c > 1 {
+		qSmaller := NewMMc(c-1, lat)
+		if r, err := qSmaller.ResponseTime(lambda); err == nil && r <= slo {
+			t.Fatalf("pool of %d already meets the SLO (%v)", c-1, r)
+		}
+	}
+	// Infeasible SLO.
+	if _, err := ServersForSLO(lat, lambda, 50*time.Millisecond); err == nil {
+		t.Fatal("SLO below service time must error")
+	}
+}
+
+func TestAcceleratedPoolNeedsFewerServers(t *testing.T) {
+	// The cluster-level version of the paper's Fig 16 argument: a 10x
+	// faster server needs close to 10x fewer machines at the same SLO.
+	lambda := 200.0
+	slo := 2 * time.Second
+	base, err := ServersForSLO(1*time.Second, lambda, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ServersForSLO(100*time.Millisecond, lambda, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(base) / float64(acc)
+	if ratio < 7 || ratio > 12 {
+		t.Fatalf("server ratio %.1f (base %d, accelerated %d), want ~10", ratio, base, acc)
+	}
+}

@@ -1,0 +1,61 @@
+package gmm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Bank is a set of mixtures, one per HMM emitting state (senone). Scoring a
+// frame against the whole bank is the unit of work the Sirius Suite GMM
+// kernel parallelizes ("for each HMM state", Table 4).
+type Bank struct {
+	Models []*Model
+}
+
+// NewBank wraps models into a bank.
+func NewBank(models []*Model) *Bank { return &Bank{Models: models} }
+
+// States returns the number of senones in the bank.
+func (b *Bank) States() int { return len(b.Models) }
+
+// ScoreAll writes the log-likelihood of x under every senone into dst,
+// which must have length States(). This is the single-threaded baseline.
+func (b *Bank) ScoreAll(dst []float64, x []float64) {
+	for i, m := range b.Models {
+		dst[i] = m.LogLikelihood(x)
+	}
+}
+
+// ScoreAllParallel is the multicore (CMP) port: senones are divided into
+// contiguous ranges, one goroutine per worker, synchronizing only at the
+// end — mirroring the paper's Pthread methodology (§4.3.1).
+func (b *Bank) ScoreAllParallel(dst []float64, x []float64, workers int) {
+	if workers <= 1 || len(b.Models) < 2*workers {
+		b.ScoreAll(dst, x)
+		return
+	}
+	if workers > runtime.GOMAXPROCS(0)*4 {
+		workers = runtime.GOMAXPROCS(0) * 4
+	}
+	var wg sync.WaitGroup
+	n := len(b.Models)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				dst[i] = b.Models[i].LogLikelihood(x)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

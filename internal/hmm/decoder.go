@@ -1,0 +1,308 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scorer produces per-senone acoustic log-likelihoods for one feature
+// frame. The GMM bank and the DNN both implement it (via adapters in
+// internal/asr); the decoder is agnostic, mirroring Figure 4 of the paper
+// where "GMM scoring or DNN scoring" plugs into the same Viterbi search.
+type Scorer interface {
+	// ScoreAll writes senone log-likelihoods for frame into dst.
+	ScoreAll(dst, frame []float64)
+	// NumSenones returns the senone count (phones * StatesPerPhone).
+	NumSenones() int
+}
+
+// BatchScorer is an optional extension of Scorer: models whose scoring
+// is a matrix product (the DNN) can score every frame of an utterance in
+// one batched pass, which is exactly the granularity the paper's Suite
+// DNN kernel parallelizes ("for each matrix multiplication", Table 4).
+// The decoder detects it with a type assertion.
+type BatchScorer interface {
+	Scorer
+	// ScoreAllBatch returns one senone-score row per frame.
+	ScoreAllBatch(frames [][]float64) [][]float64
+}
+
+// Transition log-probabilities for the 3-state left-to-right phone HMM.
+var (
+	logSelf = math.Log(0.6)
+	logNext = math.Log(0.4)
+)
+
+// arc is one decoding-graph transition.
+type arc struct {
+	to        int32
+	wordLabel int32 // word completed when this arc fires; -1 otherwise
+	weight    float64
+}
+
+// Graph is the compiled decoding network: every word expanded into its
+// chain of phone states, fully connected word-to-word through the bigram
+// LM.
+type Graph struct {
+	lex        *Lexicon
+	phones     []string
+	phoneIdx   map[string]int
+	senones    []int32 // per state
+	wordEnd    []int32 // word index if state is word-final, else -1
+	arcs       [][]arc
+	wordStart  []int32
+	startProbs []float64 // log P(word | <s>), indexed by word
+}
+
+// Config tunes graph compilation and decoding.
+type Config struct {
+	Beam        float64 // log-domain beam width; <=0 means no pruning
+	WordPenalty float64 // word insertion penalty (log, typically negative)
+	LMWeight    float64 // language model scale factor
+}
+
+// DefaultConfig returns decoding parameters tuned for the synthetic task.
+func DefaultConfig() Config {
+	return Config{Beam: 200, WordPenalty: -2, LMWeight: 2}
+}
+
+// CompileGraph builds the decoding network from a lexicon and LM.
+func CompileGraph(lex *Lexicon, lm *Bigram, cfg Config) (*Graph, error) {
+	g := &Graph{lex: lex, phoneIdx: map[string]int{}}
+	g.phones = lex.PhoneSet()
+	for i, p := range g.phones {
+		g.phoneIdx[p] = i
+	}
+	g.wordStart = make([]int32, lex.Size())
+	g.startProbs = make([]float64, lex.Size())
+	wordFinal := make([]int32, lex.Size())
+	// Lay out states word by word.
+	for wi, word := range lex.Words() {
+		phones, err := lex.Pron(word)
+		if err != nil {
+			return nil, err
+		}
+		if len(phones) == 0 {
+			return nil, fmt.Errorf("hmm: empty pronunciation for %q", word)
+		}
+		g.wordStart[wi] = int32(len(g.senones))
+		for _, ph := range phones {
+			pi, ok := g.phoneIdx[ph]
+			if !ok {
+				return nil, fmt.Errorf("hmm: phone %q missing from phone set", ph)
+			}
+			for s := 0; s < StatesPerPhone; s++ {
+				g.senones = append(g.senones, int32(pi*StatesPerPhone+s))
+				g.wordEnd = append(g.wordEnd, -1)
+			}
+		}
+		last := int32(len(g.senones) - 1)
+		wordFinal[wi] = last
+		g.wordEnd[last] = int32(wi)
+		g.startProbs[wi] = cfg.LMWeight * lm.LogProb(-1, wi)
+	}
+	// Intra-word arcs.
+	g.arcs = make([][]arc, len(g.senones))
+	for wi := range lex.Words() {
+		for s := g.wordStart[wi]; s <= wordFinal[wi]; s++ {
+			g.arcs[s] = append(g.arcs[s], arc{to: s, wordLabel: -1, weight: logSelf})
+			if s < wordFinal[wi] {
+				g.arcs[s] = append(g.arcs[s], arc{to: s + 1, wordLabel: -1, weight: logNext})
+			}
+		}
+	}
+	// Cross-word arcs through the LM.
+	for wi := range lex.Words() {
+		from := wordFinal[wi]
+		for wj := range lex.Words() {
+			w := logNext + cfg.LMWeight*lm.LogProb(wi, wj) + cfg.WordPenalty
+			g.arcs[from] = append(g.arcs[from], arc{to: g.wordStart[wj], wordLabel: int32(wi), weight: w})
+		}
+	}
+	return g, nil
+}
+
+// NumStates returns the size of the compiled graph.
+func (g *Graph) NumStates() int { return len(g.senones) }
+
+// Phones returns the ordered phone set the senones index into.
+func (g *Graph) Phones() []string { return g.phones }
+
+// histNode is a shared immutable word-history backpointer.
+type histNode struct {
+	word int32
+	prev *histNode
+}
+
+// Result is a decoding outcome.
+type Result struct {
+	Words     []string
+	Score     float64 // total log score of the best path
+	Frames    int
+	AvgActive float64 // mean number of active states per frame (beam effect)
+	// Confidence is a per-frame-normalized margin between the best
+	// word-final hypothesis and the runner-up ending in a different word
+	// (0 = tie, larger = more certain). RunnerUp names that competitor.
+	Confidence float64
+	RunnerUp   string
+}
+
+// Decoder runs Viterbi beam search over a compiled graph.
+type Decoder struct {
+	graph  *Graph
+	scorer Scorer
+	cfg    Config
+}
+
+// NewDecoder pairs a graph with an acoustic scorer.
+func NewDecoder(g *Graph, scorer Scorer, cfg Config) (*Decoder, error) {
+	need := len(g.phones) * StatesPerPhone
+	if scorer.NumSenones() < need {
+		return nil, fmt.Errorf("hmm: scorer has %d senones, graph needs %d", scorer.NumSenones(), need)
+	}
+	return &Decoder{graph: g, scorer: scorer, cfg: cfg}, nil
+}
+
+// Decode runs the full Viterbi search over a feature-frame sequence and
+// returns the best word sequence.
+func (d *Decoder) Decode(frames [][]float64) Result {
+	g := d.graph
+	n := g.NumStates()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	curHist := make([]*histNode, n)
+	nextHist := make([]*histNode, n)
+	emit := make([]float64, d.scorer.NumSenones())
+	for i := range cur {
+		cur[i] = math.Inf(-1)
+	}
+	if len(frames) == 0 {
+		return Result{}
+	}
+	// Batch-capable scorers compute every frame's senone scores up front.
+	var batch [][]float64
+	if bs, ok := d.scorer.(BatchScorer); ok {
+		batch = bs.ScoreAllBatch(frames)
+	}
+	score := func(f int) {
+		if batch != nil {
+			copy(emit, batch[f])
+			return
+		}
+		d.scorer.ScoreAll(emit, frames[f])
+	}
+	// Frame 0: enter each word start.
+	score(0)
+	for wi, s := range g.wordStart {
+		cur[s] = g.startProbs[wi] + emit[g.senones[s]]
+	}
+	var totalActive int
+	totalActive += countActive(cur)
+	for f := 1; f < len(frames); f++ {
+		score(f)
+		for i := range next {
+			next[i] = math.Inf(-1)
+			nextHist[i] = nil
+		}
+		best := math.Inf(-1)
+		for _, v := range cur {
+			if v > best {
+				best = v
+			}
+		}
+		threshold := math.Inf(-1)
+		if d.cfg.Beam > 0 {
+			threshold = best - d.cfg.Beam
+		}
+		for s := 0; s < n; s++ {
+			tokenScore := cur[s]
+			if tokenScore < threshold || math.IsInf(tokenScore, -1) {
+				continue
+			}
+			h := curHist[s]
+			for _, a := range g.arcs[s] {
+				cand := tokenScore + a.weight
+				if cand > next[a.to] {
+					next[a.to] = cand
+					if a.wordLabel >= 0 {
+						nextHist[a.to] = &histNode{word: a.wordLabel, prev: h}
+					} else {
+						nextHist[a.to] = h
+					}
+				}
+			}
+		}
+		for s := 0; s < n; s++ {
+			if !math.IsInf(next[s], -1) {
+				next[s] += emit[g.senones[s]]
+			}
+		}
+		cur, next = next, cur
+		curHist, nextHist = nextHist, curHist
+		totalActive += countActive(cur)
+	}
+	// Pick the best word-final token; fall back to the global best. The
+	// runner-up ending in a different word supplies the confidence margin.
+	bestScore := math.Inf(-1)
+	bestState := -1
+	secondScore := math.Inf(-1)
+	secondState := -1
+	for s := 0; s < n; s++ {
+		if g.wordEnd[s] < 0 {
+			continue
+		}
+		if cur[s] > bestScore {
+			if bestState >= 0 && g.wordEnd[bestState] != g.wordEnd[s] {
+				secondScore, secondState = bestScore, bestState
+			}
+			bestScore = cur[s]
+			bestState = s
+		} else if cur[s] > secondScore && (bestState < 0 || g.wordEnd[bestState] != g.wordEnd[s]) {
+			secondScore = cur[s]
+			secondState = s
+		}
+	}
+	var hist *histNode
+	if bestState >= 0 {
+		hist = &histNode{word: g.wordEnd[bestState], prev: curHist[bestState]}
+	} else {
+		for s := 0; s < n; s++ {
+			if cur[s] > bestScore {
+				bestScore = cur[s]
+				bestState = s
+			}
+		}
+		if bestState >= 0 {
+			hist = curHist[bestState]
+		}
+	}
+	var words []string
+	for h := hist; h != nil; h = h.prev {
+		words = append(words, g.lex.Words()[h.word])
+	}
+	// History is collected newest-first; reverse into utterance order.
+	for i, j := 0, len(words)-1; i < j; i, j = i+1, j-1 {
+		words[i], words[j] = words[j], words[i]
+	}
+	res := Result{
+		Words:     words,
+		Score:     bestScore,
+		Frames:    len(frames),
+		AvgActive: float64(totalActive) / float64(len(frames)),
+	}
+	if secondState >= 0 && !math.IsInf(secondScore, -1) {
+		res.Confidence = (bestScore - secondScore) / float64(len(frames))
+		res.RunnerUp = g.lex.Words()[g.wordEnd[secondState]]
+	}
+	return res
+}
+
+func countActive(scores []float64) int {
+	n := 0
+	for _, v := range scores {
+		if !math.IsInf(v, -1) {
+			n++
+		}
+	}
+	return n
+}

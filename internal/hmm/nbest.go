@@ -1,0 +1,165 @@
+package hmm
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// token is one hypothesis in a state's N-best list.
+type token struct {
+	score float64
+	hist  *histNode
+}
+
+// insertToken keeps list sorted descending with at most k entries.
+func insertToken(list []token, t token, k int) []token {
+	pos := sort.Search(len(list), func(i int) bool { return list[i].score < t.score })
+	if pos >= k {
+		return list
+	}
+	list = append(list, token{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = t
+	if len(list) > k {
+		list = list[:k]
+	}
+	return list
+}
+
+// DecodeNBest runs the Viterbi search keeping up to k tokens per state
+// and returns the n best distinct word sequences (best first). With n=1
+// it agrees with Decode. The extra hypotheses feed trigram rescoring
+// (Trigram.Rescore), the classic two-pass decoder arrangement.
+func (d *Decoder) DecodeNBest(frames [][]float64, n int) []Result {
+	if n < 1 {
+		n = 1
+	}
+	k := n + 2
+	if k < 4 {
+		k = 4
+	}
+	g := d.graph
+	nStates := g.NumStates()
+	cur := make([][]token, nStates)
+	next := make([][]token, nStates)
+	emit := make([]float64, d.scorer.NumSenones())
+	if len(frames) == 0 {
+		return nil
+	}
+	var batch [][]float64
+	if bs, ok := d.scorer.(BatchScorer); ok {
+		batch = bs.ScoreAllBatch(frames)
+	}
+	score := func(f int) {
+		if batch != nil {
+			copy(emit, batch[f])
+			return
+		}
+		d.scorer.ScoreAll(emit, frames[f])
+	}
+	score(0)
+	for wi, s := range g.wordStart {
+		cur[s] = insertToken(cur[s], token{score: g.startProbs[wi] + emit[g.senones[s]]}, k)
+	}
+	for f := 1; f < len(frames); f++ {
+		score(f)
+		for i := range next {
+			next[i] = next[i][:0]
+		}
+		best := math.Inf(-1)
+		for _, list := range cur {
+			if len(list) > 0 && list[0].score > best {
+				best = list[0].score
+			}
+		}
+		threshold := math.Inf(-1)
+		if d.cfg.Beam > 0 {
+			threshold = best - d.cfg.Beam
+		}
+		for s := 0; s < nStates; s++ {
+			for _, tok := range cur[s] {
+				if tok.score < threshold {
+					break // sorted descending
+				}
+				for _, a := range g.arcs[s] {
+					h := tok.hist
+					if a.wordLabel >= 0 {
+						h = &histNode{word: a.wordLabel, prev: tok.hist}
+					}
+					next[a.to] = insertToken(next[a.to], token{score: tok.score + a.weight, hist: h}, k)
+				}
+			}
+		}
+		for s := 0; s < nStates; s++ {
+			e := emit[g.senones[s]]
+			for i := range next[s] {
+				next[s][i].score += e
+			}
+		}
+		cur, next = next, cur
+	}
+	// Materialize word-final hypotheses, dedupe by word sequence.
+	type hyp struct {
+		words string
+		res   Result
+	}
+	seen := map[string]int{}
+	var hyps []hyp
+	add := func(words []string, score float64) {
+		key := strings.Join(words, " ")
+		if idx, ok := seen[key]; ok {
+			if score > hyps[idx].res.Score {
+				hyps[idx].res.Score = score
+			}
+			return
+		}
+		seen[key] = len(hyps)
+		hyps = append(hyps, hyp{words: key, res: Result{Words: words, Score: score, Frames: len(frames)}})
+	}
+	for s := 0; s < nStates; s++ {
+		if g.wordEnd[s] < 0 {
+			continue
+		}
+		for _, tok := range cur[s] {
+			add(historyWords(g, &histNode{word: g.wordEnd[s], prev: tok.hist}), tok.score)
+		}
+	}
+	if len(hyps) == 0 {
+		// No token ended on a word-final state (aggressive beam or an
+		// utterance cut mid-word): fall back to every surviving token's
+		// completed-word history, mirroring Decode's fallback.
+		for s := 0; s < nStates; s++ {
+			for _, tok := range cur[s] {
+				add(historyWords(g, tok.hist), tok.score)
+			}
+		}
+	}
+	sort.Slice(hyps, func(i, j int) bool { return hyps[i].res.Score > hyps[j].res.Score })
+	if len(hyps) > n {
+		hyps = hyps[:n]
+	}
+	out := make([]Result, len(hyps))
+	for i, h := range hyps {
+		out[i] = h.res
+		if i == 0 && len(hyps) > 1 {
+			out[i].Confidence = (hyps[0].res.Score - hyps[1].res.Score) / float64(len(frames))
+			if len(hyps[1].res.Words) > 0 {
+				out[i].RunnerUp = hyps[1].res.Words[len(hyps[1].res.Words)-1]
+			}
+		}
+	}
+	return out
+}
+
+// historyWords materializes a backpointer chain in utterance order.
+func historyWords(g *Graph, h *histNode) []string {
+	var words []string
+	for ; h != nil; h = h.prev {
+		words = append(words, g.lex.Words()[h.word])
+	}
+	for i, j := 0, len(words)-1; i < j; i, j = i+1, j-1 {
+		words[i], words[j] = words[j], words[i]
+	}
+	return words
+}

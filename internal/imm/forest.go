@@ -1,0 +1,127 @@
+package imm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"sirius/internal/vision"
+)
+
+// Forest is a set of randomized k-d trees searched jointly — the FLANN
+// construction that raises approximate-NN recall at a fixed check budget
+// by giving each tree a different partition of the space. Each tree
+// splits on a dimension drawn from the few highest-spread dimensions
+// instead of always the single best.
+type Forest struct {
+	trees []*KDTree
+}
+
+// BuildForest indexes the descriptors into `trees` randomized trees.
+func BuildForest(vecs [][vision.DescriptorSize]float64, owners []int32, trees int, seed int64) *Forest {
+	if trees < 1 {
+		trees = 1
+	}
+	f := &Forest{}
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trees; t++ {
+		f.trees = append(f.trees, buildRandomizedTree(vecs, owners, rng))
+	}
+	return f
+}
+
+// buildRandomizedTree is BuildKDTree with randomized split dimensions.
+func buildRandomizedTree(vecs [][vision.DescriptorSize]float64, owners []int32, rng *rand.Rand) *KDTree {
+	pts := make([]point, len(vecs))
+	for i := range vecs {
+		pts[i] = point{vec: vecs[i], owner: owners[i], orig: int32(i)}
+	}
+	t := &KDTree{points: pts, leafSize: 16}
+	t.root = t.buildRandom(0, len(pts), rng)
+	return t
+}
+
+// topSpreadCandidates is how many high-spread dimensions the randomized
+// split chooses among (FLANN uses 5).
+const topSpreadCandidates = 5
+
+func (t *KDTree) buildRandom(lo, hi int, rng *rand.Rand) *kdNode {
+	if hi-lo <= t.leafSize {
+		return &kdNode{lo: lo, hi: hi, splitDim: -1}
+	}
+	type dimSpread struct {
+		dim    int
+		spread float64
+	}
+	spreads := make([]dimSpread, vision.DescriptorSize)
+	for d := 0; d < vision.DescriptorSize; d++ {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			v := t.points[i].vec[d]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		spreads[d] = dimSpread{dim: d, spread: mx - mn}
+	}
+	sort.Slice(spreads, func(i, j int) bool { return spreads[i].spread > spreads[j].spread })
+	if spreads[0].spread <= 0 {
+		return &kdNode{lo: lo, hi: hi, splitDim: -1}
+	}
+	// Choose among the top candidates that still have positive spread.
+	k := topSpreadCandidates
+	for k > 1 && spreads[k-1].spread <= 0 {
+		k--
+	}
+	dim := spreads[rng.Intn(k)].dim
+	mid := (lo + hi) / 2
+	nthElement(t.points[lo:hi], mid-lo, dim)
+	n := &kdNode{splitDim: dim, splitVal: t.points[mid].vec[dim]}
+	n.left = t.buildRandom(lo, mid, rng)
+	n.right = t.buildRandom(mid, hi, rng)
+	return n
+}
+
+// Search2NN searches every tree, splitting the check budget evenly, and
+// merges the per-tree results into a global best/second pair (results
+// referring to the same indexed point are deduplicated by origin).
+func (f *Forest) Search2NN(q *[vision.DescriptorSize]float64, maxChecks int) (best, second Neighbor) {
+	best = Neighbor{Dist2: math.Inf(1), Owner: -1, Index: -1}
+	second = best
+	perTree := maxChecks
+	if maxChecks > 0 && len(f.trees) > 1 {
+		perTree = maxChecks / len(f.trees)
+		if perTree < 1 {
+			perTree = 1
+		}
+	}
+	for _, t := range f.trees {
+		b, s := t.Search2NN(q, perTree)
+		for _, cand := range []Neighbor{b, s} {
+			if cand.Index < 0 || cand.Index == best.Index {
+				continue
+			}
+			if cand.Dist2 < best.Dist2 {
+				second = best
+				best = cand
+			} else if cand.Dist2 < second.Dist2 && cand.Index != best.Index && cand.Index != second.Index {
+				second = cand
+			}
+		}
+	}
+	return best, second
+}
+
+// Len returns the number of indexed descriptors.
+func (f *Forest) Len() int {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	return f.trees[0].Len()
+}
+
+// Trees returns the forest size.
+func (f *Forest) Trees() int { return len(f.trees) }

@@ -1,0 +1,100 @@
+package imm
+
+import (
+	"math/rand"
+	"testing"
+
+	"sirius/internal/vision"
+)
+
+// clusteredVecs builds descriptor-like clustered data.
+func clusteredVecs(rng *rand.Rand, clusters, n int, noise float64) ([][vision.DescriptorSize]float64, []int32, [][vision.DescriptorSize]float64) {
+	centers := make([][vision.DescriptorSize]float64, clusters)
+	for c := range centers {
+		for d := range centers[c] {
+			centers[c][d] = rng.NormFloat64()
+		}
+	}
+	vecs := make([][vision.DescriptorSize]float64, n)
+	owners := make([]int32, n)
+	for i := range vecs {
+		c := centers[rng.Intn(clusters)]
+		for d := range c {
+			vecs[i][d] = c[d] + rng.NormFloat64()*noise
+		}
+		owners[i] = int32(i % 7)
+	}
+	return vecs, owners, centers
+}
+
+// clusterQuery draws a realistic query near a cluster center (matching
+// how SURF query descriptors relate to database descriptors).
+func clusterQuery(rng *rand.Rand, centers [][vision.DescriptorSize]float64, noise float64) [vision.DescriptorSize]float64 {
+	q := centers[rng.Intn(len(centers))]
+	for d := range q {
+		q[d] += rng.NormFloat64() * noise
+	}
+	return q
+}
+
+func TestForestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	vecs, owners, _ := clusteredVecs(rng, 40, 400, 0.1)
+	forest := BuildForest(vecs, owners, 4, 1)
+	if forest.Trees() != 4 || forest.Len() != 400 {
+		t.Fatalf("forest shape: trees=%d len=%d", forest.Trees(), forest.Len())
+	}
+	for trial := 0; trial < 30; trial++ {
+		var q [vision.DescriptorSize]float64
+		for d := range q {
+			q[d] = rng.NormFloat64()
+		}
+		best, second := forest.Search2NN(&q, 0) // exhaustive in every tree
+		wb, _ := bruteForce2NN(vecs, &q)
+		if best.Index != wb {
+			t.Fatalf("trial %d: forest %d vs brute %d", trial, best.Index, wb)
+		}
+		if second.Index == best.Index {
+			t.Fatal("second must differ from best")
+		}
+	}
+}
+
+func TestForestRecallAtBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	vecs, owners, centers := clusteredVecs(rng, 100, 3000, 0.05)
+	forest := BuildForest(vecs, owners, 4, 2)
+	single := BuildKDTree(vecs, owners)
+	const trials = 100
+	const budget = 240
+	forestHits, singleHits := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		q := clusterQuery(rng, centers, 0.05)
+		wb, _ := bruteForce2NN(vecs, &q)
+		if b, _ := forest.Search2NN(&q, budget); b.Index == wb {
+			forestHits++
+		}
+		if b, _ := single.Search2NN(&q, budget); b.Index == wb {
+			singleHits++
+		}
+	}
+	if forestHits < trials*6/10 {
+		t.Fatalf("forest recall %d/%d below 60%%", forestHits, trials)
+	}
+	t.Logf("recall at %d checks: forest %d/%d, single tree %d/%d", budget, forestHits, trials, singleHits, trials)
+}
+
+func TestForestHandlesDegenerate(t *testing.T) {
+	vecs := make([][vision.DescriptorSize]float64, 50) // identical points
+	owners := make([]int32, 50)
+	forest := BuildForest(vecs, owners, 3, 1)
+	var q [vision.DescriptorSize]float64
+	best, _ := forest.Search2NN(&q, 0)
+	if best.Dist2 != 0 {
+		t.Fatalf("degenerate forest: %+v", best)
+	}
+	// trees < 1 clamps to 1.
+	if BuildForest(vecs, owners, 0, 1).Trees() != 1 {
+		t.Fatal("tree count clamp")
+	}
+}

@@ -1,0 +1,224 @@
+package imm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sirius/internal/vision"
+)
+
+// Database is the pre-processed image collection: every database image's
+// SURF descriptors, indexed in one k-d tree keyed by owning image.
+type Database struct {
+	Labels    []string
+	tree      *KDTree
+	detector  vision.DetectorConfig
+	perImage  []int        // descriptor count per image
+	positions [][2]float64 // keypoint position per indexed descriptor
+}
+
+// BuildDatabase extracts descriptors from each labeled image and indexes
+// them. It corresponds to the offline pre-processing of the paper's image
+// database (Stanford MVS in the original, procedural scenes here).
+func BuildDatabase(labels []string, images []*vision.Image, det vision.DetectorConfig) (*Database, error) {
+	if len(labels) != len(images) {
+		return nil, fmt.Errorf("imm: %d labels vs %d images", len(labels), len(images))
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("imm: empty database")
+	}
+	var vecs [][vision.DescriptorSize]float64
+	var owners []int32
+	var positions [][2]float64
+	perImage := make([]int, len(images))
+	for i, im := range images {
+		descs := vision.ExtractDescriptors(im, det)
+		perImage[i] = len(descs)
+		for _, d := range descs {
+			vecs = append(vecs, d.Vector)
+			owners = append(owners, int32(i))
+			positions = append(positions, [2]float64{d.Keypoint.X, d.Keypoint.Y})
+		}
+	}
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("imm: no descriptors extracted from database images")
+	}
+	return &Database{
+		Labels:    labels,
+		tree:      BuildKDTree(vecs, owners),
+		detector:  det,
+		perImage:  perImage,
+		positions: positions,
+	}, nil
+}
+
+// DescriptorCount returns the total number of indexed descriptors.
+func (db *Database) DescriptorCount() int { return db.tree.Len() }
+
+// MatchResult reports the outcome of matching one query image.
+type MatchResult struct {
+	Label string
+	Votes int
+	// Verified reports whether Votes are RANSAC inlier counts.
+	Verified bool
+	// Ranked is every image's vote count, best first.
+	Ranked []ImageVotes
+	// Timings decompose the IMM latency into the paper's two hot
+	// components (Fig 9: FE and FD dominate IMM).
+	FeatureExtraction  time.Duration // detection (FE kernel)
+	FeatureDescription time.Duration // description (FD kernel)
+	Search             time.Duration // ANN vote accumulation
+	Keypoints          int
+}
+
+// ImageVotes is a (label, votes) pair.
+type ImageVotes struct {
+	Label string
+	Votes int
+}
+
+// MatchConfig tunes query matching.
+type MatchConfig struct {
+	// MaxChecks bounds ANN leaf visits per query descriptor (0 = exact).
+	MaxChecks int
+	// RatioTest rejects matches whose best/second distance ratio is above
+	// this value (Lowe's test); <=0 disables.
+	RatioTest float64
+	// Workers parallelizes FE/FD (the CMP port); <=1 is the serial baseline.
+	Workers int
+	// GeometricVerify re-ranks the top candidates by RANSAC-verified
+	// inlier count (votes must agree on one similarity transform).
+	GeometricVerify bool
+	// VerifyTopN candidates get verified (default 3).
+	VerifyTopN int
+	// RANSACIters and InlierTolPx tune verification (defaults 128, 6px).
+	RANSACIters int
+	InlierTolPx float64
+}
+
+// DefaultMatchConfig mirrors common SURF matching settings.
+func DefaultMatchConfig() MatchConfig {
+	return MatchConfig{MaxChecks: 200, RatioTest: 0.85, Workers: 1,
+		VerifyTopN: 3, RANSACIters: 128, InlierTolPx: 6}
+}
+
+// Match runs the full query pipeline: detect, describe, ANN-vote.
+func (db *Database) Match(query *vision.Image, cfg MatchConfig) MatchResult {
+	var res MatchResult
+	start := time.Now()
+	ii := vision.NewIntegral(query)
+	var kps []vision.Keypoint
+	if cfg.Workers > 1 {
+		kps = vision.DetectKeypointsTiled(query, db.detector, cfg.Workers, 50)
+	} else {
+		kps = vision.DetectKeypoints(query, db.detector)
+	}
+	res.FeatureExtraction = time.Since(start)
+	res.Keypoints = len(kps)
+
+	start = time.Now()
+	var descs []vision.Descriptor
+	if cfg.Workers > 1 {
+		descs = vision.DescribeAllParallel(ii, kps, cfg.Workers)
+	} else {
+		descs = vision.DescribeAll(ii, kps)
+	}
+	res.FeatureDescription = time.Since(start)
+
+	start = time.Now()
+	votes := make([]int, len(db.Labels))
+	matches := make([][]correspondence, len(descs))
+	voteOne := func(i int, local []int) {
+		owner, idx, ok := db.vote(&descs[i].Vector, cfg, local)
+		if ok && cfg.GeometricVerify {
+			matches[i] = append(matches[i][:0], correspondence{
+				qx: descs[i].Keypoint.X, qy: descs[i].Keypoint.Y,
+				dx: db.positions[idx][0], dy: db.positions[idx][1],
+				owner: owner,
+			})
+		}
+	}
+	if cfg.Workers > 1 {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		chunk := (len(descs) + cfg.Workers - 1) / cfg.Workers
+		for w := 0; w < cfg.Workers; w++ {
+			lo := w * chunk
+			if lo >= len(descs) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(descs) {
+				hi = len(descs)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				local := make([]int, len(db.Labels))
+				for i := lo; i < hi; i++ {
+					voteOne(i, local)
+				}
+				mu.Lock()
+				for i, v := range local {
+					votes[i] += v
+				}
+				mu.Unlock()
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := range descs {
+			voteOne(i, votes)
+		}
+	}
+	res.Search = time.Since(start)
+
+	res.Ranked = make([]ImageVotes, len(db.Labels))
+	for i, v := range votes {
+		res.Ranked[i] = ImageVotes{Label: db.Labels[i], Votes: v}
+	}
+	sort.SliceStable(res.Ranked, func(i, j int) bool { return res.Ranked[i].Votes > res.Ranked[j].Votes })
+	if cfg.GeometricVerify {
+		var all []correspondence
+		for _, m := range matches {
+			all = append(all, m...)
+		}
+		topN := cfg.VerifyTopN
+		if topN <= 0 {
+			topN = 3
+		}
+		iters := cfg.RANSACIters
+		if iters <= 0 {
+			iters = 128
+		}
+		tol := cfg.InlierTolPx
+		if tol <= 0 {
+			tol = 6
+		}
+		res.Ranked = verifyCandidates(res.Ranked, all, db.Labels, topN, iters, tol)
+		res.Verified = true
+	}
+	if len(res.Ranked) > 0 {
+		res.Label = res.Ranked[0].Label
+		res.Votes = res.Ranked[0].Votes
+	}
+	return res
+}
+
+// vote accumulates one query descriptor's match into votes and reports
+// the accepted neighbor (for geometric verification).
+func (db *Database) vote(vec *[vision.DescriptorSize]float64, cfg MatchConfig, votes []int) (owner int32, index int, ok bool) {
+	best, second := db.tree.Search2NN(vec, cfg.MaxChecks)
+	if best.Owner < 0 {
+		return 0, 0, false
+	}
+	if cfg.RatioTest > 0 && second.Index >= 0 && second.Owner != best.Owner {
+		if best.Dist2 > cfg.RatioTest*cfg.RatioTest*second.Dist2 {
+			return 0, 0, false
+		}
+	}
+	votes[best.Owner]++
+	return best.Owner, best.Index, true
+}

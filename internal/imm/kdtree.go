@@ -1,0 +1,201 @@
+// Package imm implements Sirius' image-matching service (paper §2.3.2):
+// a descriptor database over the image collection and an approximate
+// nearest-neighbor (ANN) search — a k-d tree with best-bin-first
+// traversal — that votes query descriptors onto database images. The
+// database image with the most matches wins, exactly the pipeline in
+// Figure 5.
+package imm
+
+import (
+	"container/heap"
+	"math"
+
+	"sirius/internal/vision"
+)
+
+// point is one indexed descriptor and the database image that owns it.
+type point struct {
+	vec   [vision.DescriptorSize]float64
+	owner int32
+	orig  int32 // caller's index; build() reorders points in place
+}
+
+// kdNode is a node of the k-d tree. Leaves hold point index ranges.
+type kdNode struct {
+	splitDim   int
+	splitVal   float64
+	left, right *kdNode
+	lo, hi     int // leaf: points[lo:hi]
+}
+
+// KDTree is a k-d tree over SURF descriptors supporting exact and
+// best-bin-first approximate 2-nearest-neighbor queries.
+type KDTree struct {
+	points   []point
+	root     *kdNode
+	leafSize int
+}
+
+// BuildKDTree indexes the points (vec, owner) pairs.
+func BuildKDTree(vecs [][vision.DescriptorSize]float64, owners []int32) *KDTree {
+	pts := make([]point, len(vecs))
+	for i := range vecs {
+		pts[i] = point{vec: vecs[i], owner: owners[i], orig: int32(i)}
+	}
+	t := &KDTree{points: pts, leafSize: 16}
+	t.root = t.build(0, len(pts))
+	return t
+}
+
+func (t *KDTree) build(lo, hi int) *kdNode {
+	if hi-lo <= t.leafSize {
+		return &kdNode{lo: lo, hi: hi, splitDim: -1}
+	}
+	// Split on the dimension with the largest spread in this range.
+	bestDim, bestSpread := 0, -1.0
+	for d := 0; d < vision.DescriptorSize; d++ {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			v := t.points[i].vec[d]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if s := mx - mn; s > bestSpread {
+			bestSpread = s
+			bestDim = d
+		}
+	}
+	if bestSpread <= 0 {
+		// Degenerate range (identical points): make it a leaf.
+		return &kdNode{lo: lo, hi: hi, splitDim: -1}
+	}
+	mid := (lo + hi) / 2
+	nthElement(t.points[lo:hi], mid-lo, bestDim)
+	n := &kdNode{splitDim: bestDim, splitVal: t.points[mid].vec[bestDim]}
+	n.left = t.build(lo, mid)
+	n.right = t.build(mid, hi)
+	return n
+}
+
+// nthElement partially sorts pts so pts[n] is the element that would be
+// at index n in dimension-dim order (quickselect).
+func nthElement(pts []point, n, dim int) {
+	lo, hi := 0, len(pts)-1
+	for lo < hi {
+		pivot := pts[(lo+hi)/2].vec[dim]
+		i, j := lo, hi
+		for i <= j {
+			for pts[i].vec[dim] < pivot {
+				i++
+			}
+			for pts[j].vec[dim] > pivot {
+				j--
+			}
+			if i <= j {
+				pts[i], pts[j] = pts[j], pts[i]
+				i++
+				j--
+			}
+		}
+		if n <= j {
+			hi = j
+		} else if n >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// Neighbor is a search result.
+type Neighbor struct {
+	Dist2 float64 // squared Euclidean distance
+	Owner int32
+	Index int // index into the slice passed to BuildKDTree
+}
+
+// branch is a deferred subtree in best-bin-first order.
+type branch struct {
+	node  *kdNode
+	dist2 float64 // lower bound on distance to the region
+}
+
+type branchHeap []branch
+
+func (h branchHeap) Len() int            { return len(h) }
+func (h branchHeap) Less(i, j int) bool  { return h[i].dist2 < h[j].dist2 }
+func (h branchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *branchHeap) Push(x interface{}) { *h = append(*h, x.(branch)) }
+func (h *branchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Search2NN returns the two nearest neighbors of q. maxChecks bounds the
+// number of leaf points examined (best-bin-first approximation); pass 0
+// for an exact search.
+func (t *KDTree) Search2NN(q *[vision.DescriptorSize]float64, maxChecks int) (best, second Neighbor) {
+	best = Neighbor{Dist2: math.Inf(1), Owner: -1, Index: -1}
+	second = best
+	if t.root == nil || len(t.points) == 0 {
+		return best, second
+	}
+	checks := 0
+	h := &branchHeap{{node: t.root, dist2: 0}}
+	for h.Len() > 0 {
+		br := heap.Pop(h).(branch)
+		if br.dist2 >= second.Dist2 {
+			continue
+		}
+		node := br.node
+		// Descend to the leaf along the near side, deferring far sides.
+		for node.splitDim >= 0 {
+			diff := q[node.splitDim] - node.splitVal
+			near, far := node.left, node.right
+			if diff > 0 {
+				near, far = node.right, node.left
+			}
+			// diff^2 alone is a valid lower bound on the distance to any
+			// point in the far subtree. (Accumulating margins across
+			// splits would require per-dimension bookkeeping: two splits
+			// on the same dimension must not both contribute.)
+			farBound := diff * diff
+			if farBound < second.Dist2 {
+				heap.Push(h, branch{node: far, dist2: farBound})
+			}
+			node = near
+		}
+		for i := node.lo; i < node.hi; i++ {
+			p := &t.points[i]
+			var d2 float64
+			for d := 0; d < vision.DescriptorSize; d++ {
+				diff := q[d] - p.vec[d]
+				d2 += diff * diff
+				if d2 >= second.Dist2 {
+					break
+				}
+			}
+			if d2 < best.Dist2 {
+				second = best
+				best = Neighbor{Dist2: d2, Owner: p.owner, Index: int(p.orig)}
+			} else if d2 < second.Dist2 {
+				second = Neighbor{Dist2: d2, Owner: p.owner, Index: int(p.orig)}
+			}
+			checks++
+		}
+		if maxChecks > 0 && checks >= maxChecks {
+			break
+		}
+	}
+	return best, second
+}
+
+// Len returns the number of indexed descriptors.
+func (t *KDTree) Len() int { return len(t.points) }

@@ -1,0 +1,111 @@
+// Package loadgen drives a running Sirius service with an open-loop
+// Poisson request stream and measures the response-time distribution —
+// the empirical counterpart to the M/M/1 modeling of the paper's Fig 17.
+// The generator is transport-agnostic: it fires any send function, so
+// tests can drive an in-process pipeline and the CLI drives HTTP.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Spec configures one run.
+type Spec struct {
+	Rate     float64       // requests per second (Poisson)
+	Requests int           // total requests to send
+	Seed     int64         // arrival-process seed
+	Timeout  time.Duration // per-request timeout (0 = none)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Sent      int
+	Errors    int
+	Elapsed   time.Duration
+	Mean      time.Duration
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+	Max       time.Duration
+	Throughput float64 // completed requests per second
+}
+
+// Run fires spec.Requests requests at Poisson arrival times, calling
+// send(i) for each. Requests are issued asynchronously (open loop): a
+// slow server queues work rather than slowing the generator, which is
+// what exposes queueing delay.
+func Run(ctx context.Context, spec Spec, send func(i int) error) (Result, error) {
+	if spec.Rate <= 0 || spec.Requests <= 0 {
+		return Result{}, fmt.Errorf("loadgen: rate and requests must be positive")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	arrivals := make([]time.Duration, spec.Requests)
+	var t float64
+	for i := range arrivals {
+		t += rng.ExpFloat64() / spec.Rate
+		arrivals[i] = time.Duration(t * float64(time.Second))
+	}
+
+	latencies := make([]time.Duration, spec.Requests)
+	errs := make([]bool, spec.Requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < spec.Requests; i++ {
+		if d := arrivals[i] - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reqStart := time.Now()
+			err := send(i)
+			latencies[i] = time.Since(reqStart)
+			errs[i] = err != nil
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{Sent: spec.Requests, Elapsed: elapsed}
+	var ok []time.Duration
+	var sum time.Duration
+	for i := range latencies {
+		if errs[i] {
+			res.Errors++
+			continue
+		}
+		ok = append(ok, latencies[i])
+		sum += latencies[i]
+	}
+	if len(ok) == 0 {
+		return res, fmt.Errorf("loadgen: every request failed")
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	res.Mean = sum / time.Duration(len(ok))
+	res.P50 = ok[len(ok)/2]
+	res.P95 = ok[len(ok)*95/100]
+	res.P99 = ok[len(ok)*99/100]
+	res.Max = ok[len(ok)-1]
+	res.Throughput = float64(len(ok)) / elapsed.Seconds()
+	return res, nil
+}
+
+// String renders the result as a report block.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent %d (%d errors) in %v — %.1f req/s completed\n", r.Sent, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput)
+	fmt.Fprintf(&b, "latency mean %v  p50 %v  p95 %v  p99 %v  max %v",
+		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	return b.String()
+}

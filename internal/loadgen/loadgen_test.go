@@ -1,0 +1,78 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Spec{Rate: 0, Requests: 10}, func(int) error { return nil }); err == nil {
+		t.Fatal("rate 0 must error")
+	}
+	if _, err := Run(ctx, Spec{Rate: 10, Requests: 0}, func(int) error { return nil }); err == nil {
+		t.Fatal("requests 0 must error")
+	}
+}
+
+func TestRunCountsAndPercentiles(t *testing.T) {
+	var calls int64
+	res, err := Run(context.Background(), Spec{Rate: 2000, Requests: 200, Seed: 1},
+		func(i int) error {
+			atomic.AddInt64(&calls, 1)
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 200 || res.Sent != 200 || res.Errors != 0 {
+		t.Fatalf("calls=%d res=%+v", calls, res)
+	}
+	if res.Mean < time.Millisecond {
+		t.Fatalf("mean %v below service time", res.Mean)
+	}
+	if !(res.P50 <= res.P95 && res.P95 <= res.P99 && res.P99 <= res.Max) {
+		t.Fatalf("percentile ordering: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput")
+	}
+	if !strings.Contains(res.String(), "p99") {
+		t.Fatal("report formatting")
+	}
+}
+
+func TestRunRecordsErrors(t *testing.T) {
+	res, err := Run(context.Background(), Spec{Rate: 5000, Requests: 50, Seed: 2},
+		func(i int) error {
+			if i%2 == 0 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 25 {
+		t.Fatalf("errors=%d", res.Errors)
+	}
+	// All failing: Run itself errors.
+	if _, err := Run(context.Background(), Spec{Rate: 5000, Requests: 10, Seed: 3},
+		func(int) error { return errors.New("x") }); err == nil {
+		t.Fatal("all-error run must fail")
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Spec{Rate: 1, Requests: 100, Seed: 4}, func(int) error { return nil })
+	if err == nil {
+		t.Fatal("cancelled context must abort")
+	}
+}

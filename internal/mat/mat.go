@@ -1,0 +1,280 @@
+// Package mat provides small dense matrix and vector kernels used by the
+// acoustic models (GMM, DNN) and the CRF. It is deliberately minimal: row
+// major float64 storage, no views, no pivoting — just the operations the
+// Sirius pipeline needs, written to be cache friendly enough for the
+// benchmark harness to produce meaningful numbers.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense allocates a zeroed Rows x Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share a length.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: ragged row %d: %d != %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Randomize fills m with uniform values in [-scale, scale] from rng.
+func (m *Dense) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul computes dst = a * b. dst must not alias a or b; it is resized via
+// panic if dimensions mismatch. The k-loop is hoisted so the inner loop
+// streams both b and dst rows (ikj order), which matters for DNN layers.
+func Mul(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Mul dims %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulVec computes dst = m * x for a vector x. len(dst) must equal m.Rows.
+func MulVec(dst []float64, m *Dense, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVec dims %dx%d * %d -> %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// AddScaled computes dst += alpha * src elementwise.
+func AddScaled(dst, src []float64, alpha float64) {
+	if len(dst) != len(src) {
+		panic("mat: AddScaled length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(x []float64, alpha float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// MaxIdx returns the index of the maximum element of x (first on ties).
+// It returns -1 for an empty slice.
+func MaxIdx(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// LogSumExp returns log(sum(exp(x_i))) computed stably.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// LogAdd returns log(exp(a) + exp(b)) computed stably. It is the inner
+// operation of GMM mixture accumulation and HMM forward recursions.
+func LogAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// Softmax writes the softmax of src into dst (they may alias).
+func Softmax(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: Softmax length mismatch")
+	}
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - m)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// mulBlockSize is the cache-tiling block edge for MulBlocked; 64x64
+// float64 tiles (32 KiB working set) fit comfortably in L1/L2.
+const mulBlockSize = 64
+
+// MulBlocked computes dst = a * b with cache tiling. It produces the
+// same result as Mul but touches b in block-sized working sets. Whether
+// it beats Mul depends on the cache hierarchy: Mul's ikj order already
+// streams b row-wise, so blocking only pays once a's rows plus a b panel
+// stop fitting in L2 (see BenchmarkMulVariants before switching).
+func MulBlocked(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulBlocked dims %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for kk := 0; kk < a.Cols; kk += mulBlockSize {
+		kMax := kk + mulBlockSize
+		if kMax > a.Cols {
+			kMax = a.Cols
+		}
+		for jj := 0; jj < b.Cols; jj += mulBlockSize {
+			jMax := jj + mulBlockSize
+			if jMax > b.Cols {
+				jMax = b.Cols
+			}
+			for i := 0; i < a.Rows; i++ {
+				arow := a.Row(i)
+				drow := dst.Row(i)
+				for k := kk; k < kMax; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j := jj; j < jMax; j++ {
+						drow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	r := m.Row(1)
+	r[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must be a mutable view")
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+	if c.At(1, 1) != 4 {
+		t.Fatal("Clone must copy values")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	dst := NewDense(2, 2)
+	Mul(dst, a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if dst.At(i, j) != want[i][j] {
+				t.Fatalf("dst[%d][%d] = %v, want %v", i, j, dst.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	Mul(NewDense(2, 2), NewDense(2, 3), NewDense(2, 2))
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewDense(7, 5)
+	m.Randomize(rng, 2)
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, 7)
+	MulVec(got, m, x)
+	xm := NewDense(5, 1)
+	copy(xm.Data, x)
+	want := NewDense(7, 1)
+	Mul(want, m, xm)
+	for i := range got {
+		if !almostEq(got[i], want.Data[i], 1e-12) {
+			t.Fatalf("row %d: %v != %v", i, got[i], want.Data[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("bad transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewDense(r, c)
+		m.Randomize(rng, 1)
+		tt := m.T().T()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v, want 32", Dot(a, b))
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Fatal("Norm2(3,4) != 5")
+	}
+}
+
+func TestAddScaledAndScale(t *testing.T) {
+	dst := []float64{1, 1}
+	AddScaled(dst, []float64{2, 4}, 0.5)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("AddScaled got %v", dst)
+	}
+	Scale(dst, 2)
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("Scale got %v", dst)
+	}
+}
+
+func TestMaxIdx(t *testing.T) {
+	if MaxIdx(nil) != -1 {
+		t.Fatal("MaxIdx(nil) != -1")
+	}
+	if MaxIdx([]float64{1, 5, 5, 2}) != 1 {
+		t.Fatal("MaxIdx must return first max")
+	}
+}
+
+func TestLogSumExpStable(t *testing.T) {
+	// Large values must not overflow.
+	v := LogSumExp([]float64{1000, 1000})
+	if !almostEq(v, 1000+math.Log(2), 1e-9) {
+		t.Fatalf("LogSumExp = %v", v)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Fatal("LogSumExp(empty) must be -Inf")
+	}
+	if !math.IsInf(LogSumExp([]float64{math.Inf(-1), math.Inf(-1)}), -1) {
+		t.Fatal("LogSumExp(-Inf) must be -Inf")
+	}
+}
+
+func TestLogAddProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 50)
+		b = math.Mod(b, 50)
+		got := LogAdd(a, b)
+		want := math.Log(math.Exp(a) + math.Exp(b))
+		return almostEq(got, want, 1e-9) && almostEq(got, LogAdd(b, a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if LogAdd(math.Inf(-1), 3) != 3 {
+		t.Fatal("LogAdd(-Inf, x) must be x")
+	}
+	if LogAdd(3, math.Inf(-1)) != 3 {
+		t.Fatal("LogAdd(x, -Inf) must be x")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	src := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	Softmax(dst, src)
+	var sum float64
+	for _, v := range dst {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax out of range: %v", dst)
+		}
+		sum += v
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+	if !(dst[2] > dst[1] && dst[1] > dst[0]) {
+		t.Fatal("softmax must be monotone in input")
+	}
+	// Stability with huge inputs.
+	Softmax(dst, []float64{1e9, 1e9, 1e9})
+	for _, v := range dst {
+		if !almostEq(v, 1.0/3, 1e-9) {
+			t.Fatalf("softmax instability: %v", dst)
+		}
+	}
+}
+
+func TestLogSumExpMatchesSoftmaxNormalizer(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		lse := LogSumExp(x)
+		var direct float64
+		for _, v := range x {
+			direct += math.Exp(v - lse)
+		}
+		return almostEq(direct, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewDense(64, 64)
+	c := NewDense(64, 64)
+	a.Randomize(rng, 1)
+	c.Randomize(rng, 1)
+	dst := NewDense(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(dst, a, c)
+	}
+}
+
+func TestMulBlockedMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {64, 64, 64}, {65, 130, 67}, {200, 150, 90}} {
+		a := NewDense(dims[0], dims[1])
+		b := NewDense(dims[1], dims[2])
+		a.Randomize(rng, 1)
+		b.Randomize(rng, 1)
+		want := NewDense(dims[0], dims[2])
+		got := NewDense(dims[0], dims[2])
+		Mul(want, a, b)
+		MulBlocked(got, a, b)
+		for i := range want.Data {
+			if math.Abs(want.Data[i]-got.Data[i]) > 1e-9 {
+				t.Fatalf("dims %v: element %d differs: %v vs %v", dims, i, want.Data[i], got.Data[i])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dim panic")
+		}
+	}()
+	MulBlocked(NewDense(2, 2), NewDense(2, 3), NewDense(2, 2))
+}
+
+func BenchmarkMulVariants(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 256
+	x := NewDense(n, n)
+	y := NewDense(n, n)
+	x.Randomize(rng, 1)
+	y.Randomize(rng, 1)
+	dst := NewDense(n, n)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Mul(dst, x, y)
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MulBlocked(dst, x, y)
+		}
+	})
+}

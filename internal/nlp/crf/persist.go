@@ -1,0 +1,65 @@
+package crf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sirius/internal/mat"
+)
+
+// taggerBundle is the serialized form of a trained Tagger.
+type taggerBundle struct {
+	Version int            `json:"version"`
+	Labels  []string       `json:"labels"`
+	FeatIdx map[string]int `json:"features"`
+	Weights []float64      `json:"weights"`
+	Trans   []float64      `json:"trans"` // (L+1) x L row-major
+}
+
+const taggerVersion = 1
+
+// Save serializes the trained tagger as JSON, so services can cache it
+// alongside the acoustic models instead of retraining at startup.
+func (t *Tagger) Save(w io.Writer) error {
+	b := taggerBundle{
+		Version: taggerVersion,
+		Labels:  t.Labels,
+		FeatIdx: t.featIdx,
+		Weights: t.weights,
+		Trans:   t.trans.Data,
+	}
+	return json.NewEncoder(w).Encode(b)
+}
+
+// LoadTagger reads a bundle written by Save and validates its shape.
+func LoadTagger(r io.Reader) (*Tagger, error) {
+	var b taggerBundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("crf: decode: %w", err)
+	}
+	if b.Version != taggerVersion {
+		return nil, fmt.Errorf("crf: bundle version %d, want %d", b.Version, taggerVersion)
+	}
+	L := len(b.Labels)
+	if L == 0 {
+		return nil, fmt.Errorf("crf: empty label set")
+	}
+	if len(b.Weights) != len(b.FeatIdx)*L {
+		return nil, fmt.Errorf("crf: %d weights for %d features x %d labels", len(b.Weights), len(b.FeatIdx), L)
+	}
+	if len(b.Trans) != (L+1)*L {
+		return nil, fmt.Errorf("crf: transition matrix has %d entries, want %d", len(b.Trans), (L+1)*L)
+	}
+	t := &Tagger{
+		Labels:   b.Labels,
+		labelIdx: map[string]int{},
+		featIdx:  b.FeatIdx,
+		weights:  b.Weights,
+		trans:    &mat.Dense{Rows: L + 1, Cols: L, Data: b.Trans},
+	}
+	for i, l := range b.Labels {
+		t.labelIdx[l] = i
+	}
+	return t, nil
+}

@@ -1,0 +1,256 @@
+// Package stemmer implements the Porter stemming algorithm (Porter 1980),
+// the word-normalization hot component of Sirius' question-answering
+// service and the Stemmer kernel of Sirius Suite (paper §2.3.3, §4.4.2).
+//
+// This is the full classic algorithm — steps 1a through 5b with the
+// measure function m() over vowel-consonant runs — implemented directly
+// from the paper's rules rather than ported from an existing library.
+package stemmer
+
+// Stem returns the Porter stem of word. Input is expected to be lower
+// case; words shorter than 3 letters are returned unchanged, as in the
+// reference implementation.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	b := []byte(word)
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+// isConsonant reports whether b[i] acts as a consonant at position i.
+// 'y' is a consonant when preceded by a vowel position (per Porter).
+func isConsonant(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(b, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m(), the number of VC sequences in b[:len(b)].
+func measure(b []byte) int {
+	n := 0
+	i := 0
+	// Skip initial consonants.
+	for i < len(b) && isConsonant(b, i) {
+		i++
+	}
+	for {
+		// Skip vowels.
+		if i >= len(b) {
+			return n
+		}
+		for i < len(b) && !isConsonant(b, i) {
+			i++
+		}
+		if i >= len(b) {
+			return n
+		}
+		// Skip consonants: one full VC seen.
+		for i < len(b) && isConsonant(b, i) {
+			i++
+		}
+		n++
+	}
+}
+
+// hasVowel reports whether the stem contains a vowel.
+func hasVowel(b []byte) bool {
+	for i := range b {
+		if !isConsonant(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b ends with a doubled consonant.
+func endsDoubleConsonant(b []byte) bool {
+	n := len(b)
+	return n >= 2 && b[n-1] == b[n-2] && isConsonant(b, n-1)
+}
+
+// endsCVC reports whether b ends consonant-vowel-consonant where the
+// final consonant is not w, x or y (the *o condition in Porter's paper).
+func endsCVC(b []byte) bool {
+	n := len(b)
+	if n < 3 {
+		return false
+	}
+	if !isConsonant(b, n-3) || isConsonant(b, n-2) || !isConsonant(b, n-1) {
+		return false
+	}
+	switch b[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	return string(b[len(b)-len(s):]) == s
+}
+
+// replaceIfM replaces suffix with repl when the stem before the suffix
+// has measure > m. Returns the (possibly new) slice and whether the
+// suffix matched (regardless of the measure test firing).
+func replaceIfM(b []byte, suffix, repl string, m int) ([]byte, bool) {
+	if !hasSuffix(b, suffix) {
+		return b, false
+	}
+	stem := b[:len(b)-len(suffix)]
+	if measure(stem) > m {
+		return append(stem, repl...), true
+	}
+	return b, true
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ies"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b[:len(b)-3]) > 0 {
+			return b[:len(b)-1]
+		}
+		return b
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(b, "ed") && hasVowel(b[:len(b)-2]):
+		stem = b[:len(b)-2]
+	case hasSuffix(b, "ing") && hasVowel(b[:len(b)-3]):
+		stem = b[:len(b)-3]
+	default:
+		return b
+	}
+	// Cleanup after removing -ed / -ing.
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleConsonant(stem) && !hasSuffix(stem, "l") && !hasSuffix(stem, "s") && !hasSuffix(stem, "z"):
+		return stem[:len(stem)-1]
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && hasVowel(b[:len(b)-1]) {
+		b[len(b)-1] = 'i'
+	}
+	return b
+}
+
+var step2Rules = []struct{ suffix, repl string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(b []byte) []byte {
+	for _, r := range step2Rules {
+		if b2, matched := replaceIfM(b, r.suffix, r.repl, 0); matched {
+			return b2
+		}
+	}
+	return b
+}
+
+var step3Rules = []struct{ suffix, repl string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(b []byte) []byte {
+	for _, r := range step3Rules {
+		if b2, matched := replaceIfM(b, r.suffix, r.repl, 0); matched {
+			return b2
+		}
+	}
+	return b
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(b []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(b, s) {
+			continue
+		}
+		stem := b[:len(b)-len(s)]
+		if measure(stem) <= 1 {
+			return b
+		}
+		// -ion only drops after s or t.
+		if s == "ion" && len(stem) > 0 && stem[len(stem)-1] != 's' && stem[len(stem)-1] != 't' {
+			return b
+		}
+		return stem
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if !hasSuffix(b, "e") {
+		return b
+	}
+	stem := b[:len(b)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if measure(b) > 1 && endsDoubleConsonant(b) && hasSuffix(b, "ll") {
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+// StemAll stems every word in words into a new slice; this is the Suite
+// kernel's unit of work over its 4M-word input list (Table 4).
+func StemAll(words []string) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = Stem(w)
+	}
+	return out
+}

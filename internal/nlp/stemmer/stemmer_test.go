@@ -1,0 +1,215 @@
+package stemmer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// goldens are classic input/output pairs from Porter's paper and the
+// reference implementation's vocabulary.
+var goldens = map[string]string{
+	// Step 1a
+	"caresses": "caress",
+	"ponies":   "poni",
+	"caress":   "caress",
+	"cats":     "cat",
+	// Step 1b
+	"feed":      "feed",
+	"agreed":    "agre",
+	"plastered": "plaster",
+	"bled":      "bled",
+	"motoring":  "motor",
+	"sing":      "sing",
+	"conflated": "conflat",
+	"troubled":  "troubl",
+	"sized":     "size",
+	"hopping":   "hop",
+	"tanned":    "tan",
+	"falling":   "fall",
+	"hissing":   "hiss",
+	"fizzed":    "fizz",
+	"failing":   "fail",
+	"filing":    "file",
+	// Step 1c
+	"happy": "happi",
+	"sky":   "sky",
+	// Step 2
+	"relational":     "relat",
+	"conditional":    "condit",
+	"rational":       "ration",
+	"valenci":        "valenc",
+	"hesitanci":      "hesit",
+	"digitizer":      "digit",
+	"conformabli":    "conform",
+	"radicalli":      "radic",
+	"differentli":    "differ",
+	"vileli":         "vile",
+	"analogousli":    "analog",
+	"vietnamization": "vietnam",
+	"predication":    "predic",
+	"operator":       "oper",
+	"feudalism":      "feudal",
+	"decisiveness":   "decis",
+	"hopefulness":    "hope",
+	"callousness":    "callous",
+	"formaliti":      "formal",
+	"sensitiviti":    "sensit",
+	"sensibiliti":    "sensibl",
+	// Step 3
+	"triplicate": "triplic",
+	"formative":  "form",
+	"formalize":  "formal",
+	"electriciti": "electr",
+	"electrical": "electr",
+	"hopeful":    "hope",
+	"goodness":   "good",
+	// Step 4
+	"revival":     "reviv",
+	"allowance":   "allow",
+	"inference":   "infer",
+	"airliner":    "airlin",
+	"gyroscopic":  "gyroscop",
+	"adjustable":  "adjust",
+	"defensible":  "defens",
+	"irritant":    "irrit",
+	"replacement": "replac",
+	"adjustment":  "adjust",
+	"dependent":   "depend",
+	"adoption":    "adopt",
+	"homologou":   "homolog",
+	"communism":   "commun",
+	"activate":    "activ",
+	"angulariti":  "angular",
+	"homologous":  "homolog",
+	"effective":   "effect",
+	"bowdlerize":  "bowdler",
+	// Step 5
+	"probate":    "probat",
+	"rate":       "rate",
+	"cease":      "ceas",
+	"controll":   "control",
+	"roll":       "roll",
+	// Short words unchanged
+	"a":  "a",
+	"is": "is",
+	// End-to-end classics
+	"running":     "run",
+	"connection":  "connect",
+	"connections": "connect",
+	"connected":   "connect",
+	"president":   "presid",
+	"elected":     "elect",
+	"capital":     "capit",
+	"university":  "univers",
+}
+
+func TestGoldenVocabulary(t *testing.T) {
+	for in, want := range goldens {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem of a dictionary-like word should be stable for the
+	// overwhelming majority of realistic inputs. (Porter is not exactly
+	// idempotent in general, so assert on a curated list.)
+	words := []string{"running", "connections", "happily", "organizations",
+		"presidents", "elections", "capitals", "questions", "answering",
+		"restaurants", "closes", "authors", "nationalities"}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not stable on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemNeverGrowsOrPanics(t *testing.T) {
+	f := func(s string) bool {
+		// Restrict to lowercase letters as the kernel contract requires.
+		var b strings.Builder
+		for _, r := range s {
+			if r >= 'a' && r <= 'z' {
+				b.WriteRune(r)
+			}
+		}
+		w := b.String()
+		got := Stem(w)
+		return len(got) <= len(w)+1 // step1b can append an 'e'
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cases := map[string]int{
+		"tr": 0, "ee": 0, "tree": 0, "y": 0, "by": 0,
+		"trouble": 1, "oats": 1, "trees": 1, "ivy": 1,
+		"troubles": 2, "private": 2, "oaten": 2, "orrery": 2,
+	}
+	for w, want := range cases {
+		if got := measure([]byte(w)); got != want {
+			t.Errorf("measure(%q) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestConsonantY(t *testing.T) {
+	// In "syzygy": s=c, y=v (after cons), z=c, y=v, g=c, y=v.
+	b := []byte("syzygy")
+	wantCons := []bool{true, false, true, false, true, false}
+	for i, want := range wantCons {
+		if got := isConsonant(b, i); got != want {
+			t.Errorf("isConsonant(syzygy, %d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestEndsCVC(t *testing.T) {
+	if !endsCVC([]byte("hop")) {
+		t.Error("hop must be CVC")
+	}
+	for _, w := range []string{"snow", "box", "tray", "hh", ""} {
+		if endsCVC([]byte(w)) {
+			t.Errorf("%q must not satisfy *o", w)
+		}
+	}
+}
+
+func TestStemAllVariants(t *testing.T) {
+	words := []string{"running", "connections", "happily", "skies", "caresses", "agreed"}
+	want := StemAll(words)
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := StemAllParallel(words, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: %q != %q", workers, got[i], want[i])
+			}
+		}
+	}
+	// Larger list to actually engage multiple workers.
+	big := make([]string, 1000)
+	for i := range big {
+		big[i] = words[i%len(words)]
+	}
+	wantBig := StemAll(big)
+	gotBig := StemAllParallel(big, 4)
+	for i := range wantBig {
+		if gotBig[i] != wantBig[i] {
+			t.Fatalf("big list mismatch at %d", i)
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"running", "connections", "nationalization", "happily", "agreed", "troubled"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

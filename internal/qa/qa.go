@@ -1,0 +1,408 @@
+// Package qa implements Sirius' question-answering service, a stand-in
+// for OpenEphyra (paper §2.3.3, Figure 6). The pipeline is the same
+// shape: the question is analyzed with regular-expression question
+// patterns and stemming, a web-search query retrieves candidate
+// documents, and a bank of document filters — keyword-overlap scoring
+// (stemmer), answer-pattern extraction (regex) and part-of-speech
+// validation (CRF) — scores candidate answers, whose aggregate ranks the
+// final answer. Per the paper's Fig 8c, QA latency is driven by how many
+// filter hits a query produces; this implementation reports that count.
+package qa
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"sirius/internal/nlp/crf"
+	"sirius/internal/nlp/regex"
+	"sirius/internal/nlp/stemmer"
+	"sirius/internal/search"
+)
+
+// Timings decomposes QA latency into the paper's hot components (Fig 9:
+// stemmer + regex + CRF are ~85% of QA cycles; search is studied
+// elsewhere and reported separately).
+type Timings struct {
+	Stemming  time.Duration
+	Regex     time.Duration
+	CRF       time.Duration
+	Retrieval time.Duration
+}
+
+// Total returns the summed component time.
+func (t Timings) Total() time.Duration {
+	return t.Stemming + t.Regex + t.CRF + t.Retrieval
+}
+
+// Answer is the QA service's response to one question.
+type Answer struct {
+	Text       string  // best answer ("" if none found)
+	Score      float64 // aggregated evidence score
+	RunnerUp   string  // second-best candidate
+	Confidence float64 // margin of best over runner-up, in (0, 1]
+	// Evidence is the highest-scoring sentence that produced the answer —
+	// the justification a user-facing assistant shows with its response.
+	Evidence string
+	FilterHits int     // document-filter pattern hits (Fig 8c x-axis)
+	// FilterTime is the time spent inside the per-hit document filters
+	// (answer-pattern scans, POS validation, fallback extraction) — the
+	// cost that FilterHits drives (Fig 8c y-axis).
+	FilterTime time.Duration
+	DocsSeen   int // retrieved documents examined
+	Timings    Timings
+}
+
+// questionPattern maps a question regex to a relation whose answer
+// patterns extract candidates. This mirrors OpenEphyra's question-pattern
+// library.
+type questionPattern struct {
+	re       *regex.Regexp
+	relation string
+	// subjGroup is the capture group holding the subject.
+	subjGroup int
+}
+
+// answerTemplate renders a relation + subject into extraction regexes;
+// SUBJ is replaced by the escaped subject.
+var answerTemplates = map[string][]string{
+	"capital":  {`(\w+) is the capital of SUBJ`, `the capital of SUBJ is (\w+)`, `SUBJ has its capital at (\w+)`},
+	"author":   {`(\w+) is the author of SUBJ`, `SUBJ was written by (\w+)`, `the author of SUBJ is (\w+)`},
+	"location": {`SUBJ is located in (\w+)`, `SUBJ can be found in (\w+)`, `SUBJ is in (\w+)`},
+	"president": {`(\w+) is the president of SUBJ`, `the current president of SUBJ is (\w+)`,
+		`(\w+) was elected president of SUBJ`},
+	"founder":  {`(\w+) founded SUBJ`, `SUBJ was founded by (\w+)`},
+	"name":     {`SUBJ is the (\w+)`, `the (\w+) is SUBJ`},
+	"closing":  {`SUBJ closes at (\w+)`, `the closing time of SUBJ is (\w+)`},
+	"language": {`(\w+) is spoken in SUBJ`, `the language of SUBJ is (\w+)`},
+	"currency": {`the currency of SUBJ is the (\w+)`, `SUBJ uses the (\w+)`},
+	"opening":  {`SUBJ opens at (\w+)`, `the opening time of SUBJ is (\w+)`},
+	"rating":   {`SUBJ has a rating of (\w+) stars`, `the rating of SUBJ is (\w+)`},
+}
+
+// Engine is a ready-to-serve QA service.
+type Engine struct {
+	index      *search.Index
+	tagger     *crf.Tagger
+	questions  []questionPattern
+	docFilters []*regex.Regexp
+	topK       int
+	stopwords  map[string]bool
+	numWords   map[string]bool
+	// stemCache memoizes per-document sentence stems when enabled
+	// (production systems stem at indexing time; the paper-faithful
+	// default restems per query, which is the Fig 9 stemmer share).
+	stemCache *sync.Map
+}
+
+// Config tunes the engine.
+type Config struct {
+	// TopK retrieved documents run through the filters.
+	TopK int
+	// CacheStems memoizes document sentence stems across queries — the
+	// index-time-stemming optimization real systems apply. Off by
+	// default to stay faithful to the measured workload.
+	CacheStems bool
+}
+
+// DefaultConfig matches the benchmark setup.
+func DefaultConfig() Config { return Config{TopK: 10} }
+
+// NewEngine builds a QA engine over a corpus. The CRF tagger validates
+// candidate answer types; train one with crf.Train (see crf.Generate) or
+// pass nil to skip POS validation.
+func NewEngine(ix *search.Index, tagger *crf.Tagger, cfg Config) *Engine {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	e := &Engine{index: ix, tagger: tagger, topK: cfg.TopK}
+	e.questions = []questionPattern{
+		{regex.MustCompile(`^what is the capital of+ (.+)$`), "capital", 1},
+		{regex.MustCompile(`^who is the author of+ (.+)$`), "author", 1},
+		{regex.MustCompile(`^who wrote (.+)$`), "author", 1},
+		{regex.MustCompile(`^where is (.+)$`), "location", 1},
+		{regex.MustCompile(`^who is the current president of+ (.+)$`), "president", 1},
+		{regex.MustCompile(`^who is the president of+ (.+)$`), "president", 1},
+		{regex.MustCompile(`^who founded (.+)$`), "founder", 1},
+		{regex.MustCompile(`^what language is spoken in (.+)$`), "language", 1},
+		{regex.MustCompile(`^what currency does (.+) use$`), "currency", 1},
+		{regex.MustCompile(`^when does (.+) close$`), "closing", 1},
+		{regex.MustCompile(`^when does (.+) open$`), "opening", 1},
+		{regex.MustCompile(`^what is the rating of+ (.+)$`), "rating", 1},
+		// Generic "what is the X" last: it would shadow the more specific
+		// what-patterns above.
+		{regex.MustCompile(`^what is (the .+)$`), "name", 1},
+	}
+	e.stopwords = map[string]bool{}
+	for _, w := range []string{"the", "a", "an", "of", "is", "was", "are", "to", "in", "and",
+		"who", "what", "where", "when", "why", "how", "does", "do", "this", "current"} {
+		e.stopwords[w] = true
+	}
+	e.numWords = map[string]bool{}
+	for _, w := range crf.NumberWords() {
+		e.numWords[w] = true
+	}
+	// The fixed document-filter battery, run on every passage that passes
+	// the keyword filter — OpenEphyra style, where the same filter suite
+	// processes every candidate passage regardless of the question. Each
+	// filter contributes a small evidence boost when it fires.
+	e.docFilters = []*regex.Regexp{
+		regex.MustCompile(`\d+`),
+		regex.MustCompile(`(one|two|three|four|five|six|seven|eight|nine|ten)`),
+		regex.MustCompile(`\w+ (is|was|are) \w+`),
+		regex.MustCompile(`(capital|president|author|founder|river|mountain|rating|close|open)`),
+		regex.MustCompile(`\w+ed`),
+		regex.MustCompile(`\w+s`),
+		regex.MustCompile(`(in|of|at|near) \w+`),
+		regex.MustCompile(`^the \w+`),
+	}
+	if cfg.CacheStems {
+		e.stemCache = &sync.Map{}
+	}
+	return e
+}
+
+// docSentences splits a document into sentences with their stem sets,
+// via the cache when enabled.
+type sentenceStems struct {
+	text  string
+	stems map[string]bool
+}
+
+func (e *Engine) docSentences(docID int, body string, tm *Timings) []sentenceStems {
+	if e.stemCache != nil {
+		if v, ok := e.stemCache.Load(docID); ok {
+			return v.([]sentenceStems)
+		}
+	}
+	start := time.Now()
+	var out []sentenceStems
+	for _, sentence := range strings.Split(body, ".") {
+		sentence = strings.TrimSpace(sentence)
+		if sentence == "" {
+			continue
+		}
+		stems := map[string]bool{}
+		for _, t := range search.Tokenize(sentence) {
+			stems[stemmer.Stem(t)] = true
+		}
+		out = append(out, sentenceStems{text: sentence, stems: stems})
+	}
+	tm.Stemming += time.Since(start)
+	if e.stemCache != nil {
+		e.stemCache.Store(docID, out)
+	}
+	return out
+}
+
+// analysis is the outcome of question analysis.
+type analysis struct {
+	relation   string
+	subject    string
+	extractors []*regex.Regexp // compiled answer patterns
+	keywords   []string        // stemmed content words
+	wantNum    bool            // expected answer type is numeric
+}
+
+// escapeSubject escapes regex metacharacters in a subject string.
+func escapeSubject(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '.', '*', '+', '?', '[', ']', '(', ')', '^', '$', '\\', '|':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// analyze runs the question-pattern library and keyword extraction.
+func (e *Engine) analyze(question string, tm *Timings) analysis {
+	q := strings.ToLower(strings.TrimSpace(strings.Trim(question, "?!. ")))
+	var a analysis
+	start := time.Now()
+	for _, qp := range e.questions {
+		if m := qp.re.FindStringSubmatch(q); m != nil {
+			a.relation = qp.relation
+			a.subject = strings.TrimSpace(m[qp.subjGroup])
+			break
+		}
+	}
+	if a.relation != "" {
+		subj := escapeSubject(a.subject)
+		for _, tpl := range answerTemplates[a.relation] {
+			if re, err := regex.Compile(strings.ReplaceAll(tpl, "SUBJ", subj)); err == nil {
+				a.extractors = append(a.extractors, re)
+			}
+		}
+	}
+	a.wantNum = a.relation == "closing" || a.relation == "opening" || a.relation == "rating" ||
+		strings.HasPrefix(q, "when") || strings.HasPrefix(q, "how many")
+	tm.Regex += time.Since(start)
+
+	start = time.Now()
+	for _, w := range search.Tokenize(q) {
+		if !e.stopwords[w] {
+			a.keywords = append(a.keywords, stemmer.Stem(w))
+		}
+	}
+	tm.Stemming += time.Since(start)
+	return a
+}
+
+// Ask answers a natural-language question against the corpus.
+func (e *Engine) Ask(question string) Answer {
+	var ans Answer
+	a := e.analyze(question, &ans.Timings)
+
+	start := time.Now()
+	results := e.index.Search(question, e.topK)
+	ans.Timings.Retrieval = time.Since(start)
+	ans.DocsSeen = len(results)
+
+	scores := map[string]float64{}
+	evidence := map[string]string{}
+	evidenceScore := map[string]float64{}
+	for rank, r := range results {
+		docWeight := 1.0 / float64(rank+1)
+		for _, sent := range e.docSentences(r.Doc.ID, r.Doc.Body, &ans.Timings) {
+			sentence := sent.text
+			var overlap float64
+			for _, k := range a.keywords {
+				if sent.stems[k] {
+					overlap++
+				}
+			}
+			if overlap == 0 {
+				continue
+			}
+			// A sentence passing the keyword filter is a document-filter
+			// hit: it flows into the pattern and POS filters below, so
+			// hits are what drive QA latency (the paper's Fig 8c).
+			ans.FilterHits++
+			base := overlap * docWeight
+			filterStart := time.Now()
+			// Fixed filter battery: passages carrying the structures the
+			// battery detects (copulas, numbers, domain nouns) are better
+			// answer sources; each firing filter adds a small boost.
+			for _, df := range e.docFilters {
+				if df.MatchString(sentence) {
+					base *= 1.05
+				}
+			}
+
+			// Regex answer-pattern filter.
+			start = time.Now()
+			var candidates []string
+			for _, re := range a.extractors {
+				if m := re.FindStringSubmatch(sentence); m != nil {
+					candidates = append(candidates, m[1])
+					ans.FilterHits++
+				}
+			}
+			ans.Timings.Regex += time.Since(start)
+
+			for _, c := range candidates {
+				gain := (base + 1) * e.typeBonus(sentence, c, a.wantNum, &ans.Timings)
+				scores[c] += gain
+				if gain > evidenceScore[c] {
+					evidenceScore[c] = gain
+					evidence[c] = sentence
+				}
+			}
+			// Generic fallback extraction: content words of matching
+			// sentences that are not query terms; weak evidence, used
+			// when no template matched (e.g. noisy ASR transcripts).
+			if len(a.extractors) == 0 {
+				for _, tok := range search.Tokenize(sentence) {
+					if e.stopwords[tok] || containsWord(a.keywords, stemWord(tok, &ans.Timings)) {
+						continue
+					}
+					if a.wantNum && !e.numWords[tok] && !isNumeric(tok) {
+						continue
+					}
+					scores[tok] += base * 0.2 * e.typeBonus(sentence, tok, a.wantNum, &ans.Timings)
+					ans.FilterHits++
+				}
+			}
+			ans.FilterTime += time.Since(filterStart)
+		}
+	}
+	var second float64
+	for text, s := range scores {
+		switch {
+		case s > ans.Score || (s == ans.Score && (ans.Text == "" || text < ans.Text)):
+			if ans.Text != "" {
+				second, ans.RunnerUp = ans.Score, ans.Text
+			}
+			ans.Text = text
+			ans.Score = s
+		case s > second:
+			second, ans.RunnerUp = s, text
+		}
+	}
+	if ans.Score > 0 {
+		ans.Confidence = (ans.Score - second) / ans.Score
+	}
+	ans.Evidence = evidence[ans.Text]
+	return ans
+}
+
+func stemWord(w string, tm *Timings) string {
+	start := time.Now()
+	defer func() { tm.Stemming += time.Since(start) }()
+	return stemmer.Stem(w)
+}
+
+func containsWord(ws []string, w string) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+func isNumeric(w string) bool {
+	if w == "" {
+		return false
+	}
+	for i := 0; i < len(w); i++ {
+		if w[i] < '0' || w[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// typeBonus uses the CRF tagger to check the candidate's part of speech
+// in context; candidates of the expected type get boosted. This is the
+// CRF share of the QA cycle budget (Fig 9).
+func (e *Engine) typeBonus(sentence, candidate string, wantNum bool, tm *Timings) float64 {
+	if e.tagger == nil {
+		return 1
+	}
+	start := time.Now()
+	defer func() { tm.CRF += time.Since(start) }()
+	toks := search.Tokenize(sentence)
+	tags := e.tagger.Tag(toks)
+	for i, tok := range toks {
+		if tok != candidate {
+			continue
+		}
+		tag := tags[i]
+		if wantNum {
+			if tag == "NUM" || e.numWords[tok] || isNumeric(tok) {
+				return 1.5
+			}
+			return 0.75
+		}
+		if tag == "NOUN" || tag == "PROPN" {
+			return 1.5
+		}
+		return 1
+	}
+	return 1
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sirius/internal/asr"
+	"sirius/internal/kb"
+	"sirius/internal/sirius"
+	"sirius/internal/vision"
+)
+
+// EndToEndEval is the functional-accuracy scorecard of the whole
+// pipeline over the 42-query input set: the reproduction's counterpart
+// to "does the system actually work", which the paper demonstrates but
+// does not tabulate.
+type EndToEndEval struct {
+	// Voice commands: ASR + QC + action parsing.
+	VCCorrect, VCTotal int
+	// Text QA (isolates QA from ASR errors).
+	TextQACorrect, TextQATotal int
+	// Full voice QA (ASR errors propagate).
+	VoiceQACorrect, VoiceQATotal int
+	// Image matching + QA (text queries with photos).
+	VIQCorrect, VIQTotal int
+	// ASR word error rate over all voice queries.
+	MeanWER float64
+}
+
+// RunEndToEndEval executes every query class and scores the results.
+// seedBase offsets the synthesis jitter so evaluation uses held-out
+// renditions.
+func (h *Harness) RunEndToEndEval(seedBase int64) (EndToEndEval, error) {
+	var ev EndToEndEval
+	var werSum float64
+	var werN int
+	lex := h.Pipeline.Lexicon()
+
+	for i, q := range kb.VoiceCommands {
+		samples, err := asr.SynthesizeText(lex, q.Text, seedBase+int64(i))
+		if err != nil {
+			return ev, err
+		}
+		resp, err := h.Pipeline.ProcessVoice(samples)
+		if err != nil {
+			return ev, err
+		}
+		ev.VCTotal++
+		if resp.Kind == sirius.KindAction && resp.Action == q.Want {
+			ev.VCCorrect++
+		}
+		werSum += asr.WER(q.Text, resp.Transcript)
+		werN++
+	}
+	for i, q := range kb.VoiceQueries {
+		resp := h.Pipeline.ProcessText(q.Text)
+		ev.TextQATotal++
+		if resp.Answer == q.Want {
+			ev.TextQACorrect++
+		}
+		samples, err := asr.SynthesizeText(lex, q.Text, seedBase+100+int64(i))
+		if err != nil {
+			return ev, err
+		}
+		vresp, err := h.Pipeline.ProcessVoice(samples)
+		if err != nil {
+			return ev, err
+		}
+		ev.VoiceQATotal++
+		if vresp.Answer == q.Want {
+			ev.VoiceQACorrect++
+		}
+		werSum += asr.WER(q.Text, vresp.Transcript)
+		werN++
+	}
+	for i, q := range kb.VoiceImageQueries {
+		scene := vision.GenerateScene(q.ImageID, vision.DefaultSceneConfig())
+		photo := vision.Warp(scene, vision.DefaultWarp(seedBase+200+int64(i)))
+		resp := h.Pipeline.ProcessTextImage(q.Text, photo)
+		ev.VIQTotal++
+		if resp.MatchedImage == q.ImageID && resp.Answer == q.Want {
+			ev.VIQCorrect++
+		}
+	}
+	if werN > 0 {
+		ev.MeanWER = werSum / float64(werN)
+	}
+	return ev, nil
+}
+
+// String renders the scorecard.
+func (ev EndToEndEval) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "End-to-end functional evaluation (42-query input set, held-out synthesis seeds)\n")
+	fmt.Fprintf(&b, "  voice commands (ASR+QC+action) : %2d/%2d\n", ev.VCCorrect, ev.VCTotal)
+	fmt.Fprintf(&b, "  text QA                        : %2d/%2d\n", ev.TextQACorrect, ev.TextQATotal)
+	fmt.Fprintf(&b, "  voice QA (ASR errors included) : %2d/%2d\n", ev.VoiceQACorrect, ev.VoiceQATotal)
+	fmt.Fprintf(&b, "  VIQ (image match + QA)         : %2d/%2d\n", ev.VIQCorrect, ev.VIQTotal)
+	fmt.Fprintf(&b, "  mean ASR word error rate       : %.2f\n", ev.MeanWER)
+	return b.String()
+}

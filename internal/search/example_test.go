@@ -1,0 +1,20 @@
+package search_test
+
+import (
+	"fmt"
+
+	"sirius/internal/search"
+)
+
+// The index is the Nutch stand-in: BM25-ranked retrieval over an
+// in-memory inverted index, with title matches boosted.
+func ExampleIndex_Search() {
+	ix := search.NewIndex()
+	ix.Add("Rome", "rome is the capital of italy")
+	ix.Add("Paris", "paris is the capital of france")
+	for _, r := range ix.Search("capital of italy", 1) {
+		fmt.Println(r.Doc.Title)
+	}
+	// Output:
+	// Rome
+}

@@ -1,0 +1,165 @@
+// Package search is the web-search substrate of Sirius: an in-memory
+// inverted index with BM25 ranking. It plays two roles from the paper:
+// the traditional Web Search workload that the Scalability Gap compares
+// against (§3, Apache Nutch), and the document-retrieval stage inside the
+// OpenEphyra-style question-answering pipeline (§2.3.3).
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Document is one indexed item.
+type Document struct {
+	ID    int
+	Title string
+	Body  string
+}
+
+// Result is one ranked hit.
+type Result struct {
+	Doc   *Document
+	Score float64
+}
+
+// Tokenize lowercases and splits text on non-alphanumeric runes.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+type posting struct {
+	docID int
+	tf    int
+}
+
+// Index is an inverted index over documents with BM25 scoring. It is safe
+// for concurrent reads after Freeze (or interleaved Add/Search guarded by
+// its internal lock).
+type Index struct {
+	mu        sync.RWMutex
+	docs      []*Document
+	postings  map[string][]posting
+	docLen    []int
+	totalLen  int
+	k1, b     float64
+	// titleBoost weights title occurrences (BM25F-style field boost):
+	// a term in the title counts as titleBoost body occurrences.
+	titleBoost int
+	stopwords  map[string]bool
+}
+
+// NewIndex returns an empty index with standard BM25 parameters
+// (k1=1.2, b=0.75) and a small English stopword list.
+func NewIndex() *Index {
+	stop := map[string]bool{}
+	for _, w := range []string{"the", "a", "an", "of", "is", "was", "are", "to", "in", "and", "it", "its"} {
+		stop[w] = true
+	}
+	return &Index{
+		postings:   map[string][]posting{},
+		k1:         1.2,
+		b:          0.75,
+		titleBoost: 2,
+		stopwords:  stop,
+	}
+}
+
+// Add indexes a document and returns its ID.
+func (ix *Index) Add(title, body string) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id := len(ix.docs)
+	doc := &Document{ID: id, Title: title, Body: body}
+	ix.docs = append(ix.docs, doc)
+	counts := map[string]int{}
+	for _, t := range Tokenize(title) {
+		if ix.stopwords[t] {
+			continue
+		}
+		counts[t] += ix.titleBoost
+	}
+	for _, t := range Tokenize(body) {
+		if ix.stopwords[t] {
+			continue
+		}
+		counts[t]++
+	}
+	n := 0
+	for t, c := range counts {
+		ix.postings[t] = append(ix.postings[t], posting{docID: id, tf: c})
+		n += c
+	}
+	ix.docLen = append(ix.docLen, n)
+	ix.totalLen += n
+	return id
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Doc returns the document with the given ID, or nil.
+func (ix *Index) Doc(id int) *Document {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if id < 0 || id >= len(ix.docs) {
+		return nil
+	}
+	return ix.docs[id]
+}
+
+// Search returns the top-k documents for query under BM25.
+func (ix *Index) Search(query string, k int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docs) == 0 || k <= 0 {
+		return nil
+	}
+	avgLen := float64(ix.totalLen) / float64(len(ix.docs))
+	scores := map[int]float64{}
+	for _, term := range Tokenize(query) {
+		if ix.stopwords[term] {
+			continue
+		}
+		plist, ok := ix.postings[term]
+		if !ok {
+			continue
+		}
+		idf := math.Log(1 + (float64(len(ix.docs))-float64(len(plist))+0.5)/(float64(len(plist))+0.5))
+		for _, p := range plist {
+			tf := float64(p.tf)
+			norm := tf * (ix.k1 + 1) / (tf + ix.k1*(1-ix.b+ix.b*float64(ix.docLen[p.docID])/avgLen))
+			scores[p.docID] += idf * norm
+		}
+	}
+	results := make([]Result, 0, len(scores))
+	for id, s := range scores {
+		results = append(results, Result{Doc: ix.docs[id], Score: s})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Doc.ID < results[j].Doc.ID
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// TermCount returns the number of distinct indexed terms.
+func (ix *Index) TermCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}

@@ -1,0 +1,189 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Who was elected 44th President, in 2008?")
+	want := []string{"who", "was", "elected", "44th", "president", "in", "2008"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("got %v", got)
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty text must tokenize to nothing")
+	}
+}
+
+func buildIndex() *Index {
+	ix := NewIndex()
+	ix.Add("Paris", "Paris is the capital of France and its largest city.")
+	ix.Add("Rome", "Rome is the capital of Italy. Rome has ancient ruins.")
+	ix.Add("Berlin", "Berlin is the capital of Germany.")
+	ix.Add("Cats", "Cats are small domestic animals. Cats purr.")
+	return ix
+}
+
+func TestSearchRanksRelevantFirst(t *testing.T) {
+	ix := buildIndex()
+	res := ix.Search("capital Italy", 10)
+	if len(res) == 0 || res[0].Doc.Title != "Rome" {
+		t.Fatalf("results: %+v", res)
+	}
+	// Scores descending.
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("scores not sorted")
+		}
+	}
+}
+
+func TestSearchTermFrequencyMatters(t *testing.T) {
+	ix := buildIndex()
+	res := ix.Search("cats", 5)
+	if len(res) != 1 || res[0].Doc.Title != "Cats" {
+		t.Fatalf("results: %+v", res)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := buildIndex()
+	res := ix.Search("capital", 2)
+	if len(res) != 2 {
+		t.Fatalf("topK: %d", len(res))
+	}
+	if got := ix.Search("capital", 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if got := ix.Search("zzzznothing", 5); len(got) != 0 {
+		t.Fatal("no hits expected")
+	}
+}
+
+func TestStopwordsIgnored(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.Search("the of is", 5); len(got) != 0 {
+		t.Fatalf("stopword-only query must return nothing, got %v", got)
+	}
+}
+
+func TestDocAccessors(t *testing.T) {
+	ix := buildIndex()
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.Doc(0) == nil || ix.Doc(0).Title != "Paris" {
+		t.Fatal("Doc(0)")
+	}
+	if ix.Doc(-1) != nil || ix.Doc(99) != nil {
+		t.Fatal("out-of-range Doc must be nil")
+	}
+	if ix.TermCount() == 0 {
+		t.Fatal("terms must be indexed")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := NewIndex()
+	if got := ix.Search("anything", 5); got != nil {
+		t.Fatal("empty index must return nil")
+	}
+}
+
+func TestIDFPrefersRareTerms(t *testing.T) {
+	ix := NewIndex()
+	// "common" appears everywhere; "rare" in one doc.
+	for i := 0; i < 20; i++ {
+		ix.Add(fmt.Sprintf("doc%d", i), "common words everywhere")
+	}
+	rareID := ix.Add("target", "common rare")
+	res := ix.Search("common rare", 3)
+	if len(res) == 0 || res[0].Doc.ID != rareID {
+		t.Fatalf("rare-term doc must rank first: %+v", res)
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("a", "same words here")
+	ix.Add("b", "same words here")
+	r1 := ix.Search("same words", 2)
+	r2 := ix.Search("same words", 2)
+	if r1[0].Doc.ID != r2[0].Doc.ID || r1[0].Doc.ID != 0 {
+		t.Fatal("ties must break by doc ID")
+	}
+}
+
+func TestConcurrentAddSearch(t *testing.T) {
+	ix := NewIndex()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ix.Add(fmt.Sprintf("t%d-%d", w, i), "concurrent indexing stress test document")
+				ix.Search("stress document", 3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != 200 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestSearchFindsEveryIndexedDocProperty(t *testing.T) {
+	// Property: a document is always retrievable by its own unique term.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := NewIndex()
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			ix.Add(fmt.Sprintf("d%d", i), fmt.Sprintf("unique%dterm filler body text", i))
+		}
+		probe := rng.Intn(n)
+		res := ix.Search(fmt.Sprintf("unique%dterm", probe), 1)
+		return len(res) == 1 && res[0].Doc.ID == probe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	ix := NewIndex()
+	rng := rand.New(rand.NewSource(1))
+	words := []string{"capital", "city", "river", "president", "mountain", "country", "famous", "ancient", "large", "border"}
+	for i := 0; i < 2000; i++ {
+		var sb strings.Builder
+		for j := 0; j < 50; j++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		ix.Add(fmt.Sprintf("doc%d", i), sb.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("capital city president", 10)
+	}
+}
+
+func TestTitleBoost(t *testing.T) {
+	ix := NewIndex()
+	inTitle := ix.Add("rome capital", "filler words here nothing else relevant")
+	inBody := ix.Add("misc", "rome capital filler words here nothing else")
+	res := ix.Search("rome capital", 2)
+	if len(res) != 2 {
+		t.Fatalf("results: %d", len(res))
+	}
+	if res[0].Doc.ID != inTitle {
+		t.Fatalf("title match must outrank body match: got doc %d", res[0].Doc.ID)
+	}
+	_ = inBody
+}

@@ -1,0 +1,48 @@
+package sirius
+
+import (
+	"testing"
+
+	"sirius/internal/kb"
+)
+
+func TestParseActionSlots(t *testing.T) {
+	cases := []struct {
+		text string
+		want Action
+	}{
+		{"set my alarm for eight", Action{Verb: "set", Object: "alarm", Argument: "eight"}},
+		{"set a reminder", Action{Verb: "set", Object: "reminder"}},
+		{"turn on the lights", Action{Verb: "turn", Object: "lights", Argument: "on"}},
+		{"turn off the lights", Action{Verb: "turn", Object: "lights", Argument: "off"}},
+		{"send a text to john", Action{Verb: "send", Object: "text", Argument: "john"}},
+		{"play some music", Action{Verb: "play", Object: "music"}},
+		{"play the next song", Action{Verb: "play", Object: "song", Argument: "next"}},
+		{"call mom", Action{Verb: "call", Object: "mom"}},
+		{"mute the phone", Action{Verb: "mute", Object: "phone"}},
+		{"stop", Action{Verb: "stop"}},
+		{"", Action{}},
+		{"Set My Alarm For Eight!", Action{Verb: "set", Object: "alarm", Argument: "eight"}},
+	}
+	for _, c := range cases {
+		got := ParseAction(c.text)
+		if got != c.want {
+			t.Errorf("ParseAction(%q) = %+v, want %+v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestParseActionOnFullCommandSet(t *testing.T) {
+	// Every input-set command must parse to its expected verb with a
+	// non-empty object (commands are verb+object by construction).
+	p := pipeline(t)
+	for _, q := range kb.VoiceCommands {
+		resp := p.ProcessText(q.Text)
+		if resp.ActionDetail == nil {
+			t.Fatalf("%q: no parsed action", q.Text)
+		}
+		if resp.ActionDetail.Verb != q.Want {
+			t.Errorf("%q: verb %q want %q", q.Text, resp.ActionDetail.Verb, q.Want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package sirius
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"mime/multipart"
+	"net/http"
+
+	"sirius/internal/audio"
+	"sirius/internal/vision"
+)
+
+// Server exposes the pipeline as the web service of Figure 2: mobile
+// devices POST compressed recordings and images, the server replies with
+// the answer or action in JSON.
+type Server struct {
+	pipeline *Pipeline
+	mux      *http.ServeMux
+	stats    *stats
+}
+
+// NewServer wraps a pipeline in an HTTP handler exposing /query, /stats
+// and /healthz.
+func NewServer(p *Pipeline) *Server {
+	s := &Server{pipeline: p, mux: http.NewServeMux(), stats: newStats()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.stats.handler)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleQuery accepts multipart form data with any of:
+//   - "audio": a 16 kHz mono 16-bit WAV recording
+//   - "image": a PNG photo accompanying the query
+//   - "text":  a pre-transcribed query (skips ASR)
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseMultipartForm(32 << 20); err != nil {
+		http.Error(w, "bad multipart form: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var samples []float64
+	if f, _, err := r.FormFile("audio"); err == nil {
+		defer f.Close()
+		var sr int
+		samples, sr, err = audio.ReadWAV(f)
+		if err != nil {
+			http.Error(w, "bad audio: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if sr != 16000 {
+			// Phones record at many rates; resample to the front-end's.
+			samples = audio.Resample(samples, sr, 16000)
+		}
+	}
+	var img *vision.Image
+	if f, _, err := r.FormFile("image"); err == nil {
+		defer f.Close()
+		img, err = DecodePNG(f)
+		if err != nil {
+			http.Error(w, "bad image: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	text := r.FormValue("text")
+
+	var resp Response
+	var err error
+	switch {
+	case samples != nil && img != nil:
+		resp, err = s.pipeline.ProcessVoiceImage(samples, img)
+	case samples != nil:
+		resp, err = s.pipeline.ProcessVoice(samples)
+	case text != "" && img != nil:
+		resp = s.pipeline.ProcessTextImage(text, img)
+	case text != "":
+		resp = s.pipeline.ProcessText(text)
+	default:
+		http.Error(w, "provide audio, text, or text+image", http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		s.stats.recordError()
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.stats.record(resp)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// EncodePNG writes a vision.Image as an 8-bit grayscale PNG.
+func EncodePNG(w io.Writer, im *vision.Image) error {
+	g := image.NewGray(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.Pix[y*im.W+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			g.Pix[y*g.Stride+x] = uint8(v*255 + 0.5)
+		}
+	}
+	return png.Encode(w, g)
+}
+
+// DecodePNG reads any PNG into a grayscale vision.Image.
+func DecodePNG(r io.Reader) (*vision.Image, error) {
+	src, err := png.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	b := src.Bounds()
+	im := vision.NewImage(b.Dx(), b.Dy())
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			r16, g16, b16, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			// ITU-R BT.601 luma.
+			im.Pix[y*im.W+x] = (0.299*float64(r16) + 0.587*float64(g16) + 0.114*float64(b16)) / 65535
+		}
+	}
+	return im, nil
+}
+
+// BuildMultipartQuery assembles the multipart body a client POSTs to
+// /query. Any of samples, img, text may be zero-valued.
+func BuildMultipartQuery(samples []float64, img *vision.Image, text string) (body *bytes.Buffer, contentType string, err error) {
+	body = &bytes.Buffer{}
+	mw := multipart.NewWriter(body)
+	if samples != nil {
+		fw, err := mw.CreateFormFile("audio", "query.wav")
+		if err != nil {
+			return nil, "", err
+		}
+		if err := audio.WriteWAV(fw, samples, 16000); err != nil {
+			return nil, "", err
+		}
+	}
+	if img != nil {
+		fw, err := mw.CreateFormFile("image", "query.png")
+		if err != nil {
+			return nil, "", err
+		}
+		if err := EncodePNG(fw, img); err != nil {
+			return nil, "", err
+		}
+	}
+	if text != "" {
+		if err := mw.WriteField("text", text); err != nil {
+			return nil, "", err
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return nil, "", err
+	}
+	return body, mw.FormDataContentType(), nil
+}

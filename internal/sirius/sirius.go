@@ -1,0 +1,291 @@
+// Package sirius assembles the end-to-end intelligent personal assistant
+// (paper §2, Figure 2): voice and/or image input flows through automatic
+// speech recognition, a query classifier, question answering and image
+// matching, and a natural-language answer (or a device action) comes
+// back. Every response carries the per-service, per-component latency
+// breakdown the paper's characterization (Figs 7-9) is built from.
+package sirius
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sirius/internal/asr"
+	"sirius/internal/hmm"
+	"sirius/internal/imm"
+	"sirius/internal/kb"
+	"sirius/internal/nlp/crf"
+	"sirius/internal/nlp/regex"
+	"sirius/internal/qa"
+	"sirius/internal/search"
+	"sirius/internal/vision"
+)
+
+// Kind describes what the pipeline decided the query was.
+type Kind string
+
+const (
+	// KindAction is a device command (the VC path).
+	KindAction Kind = "action"
+	// KindAnswer is a question answered by QA (the VQ/VIQ paths).
+	KindAnswer Kind = "answer"
+)
+
+// Response is the pipeline's reply to one query.
+type Response struct {
+	Kind         Kind    `json:"kind"`
+	Transcript   string  `json:"transcript"`              // ASR output (or the text input)
+	Action       string  `json:"action,omitempty"`        // device action verb for commands
+	ActionDetail *Action `json:"action_detail,omitempty"` // parsed verb/object/argument slots
+	Answer       string  `json:"answer,omitempty"`
+	Evidence     string  `json:"evidence,omitempty"`      // sentence supporting the answer
+	MatchedImage string  `json:"matched_image,omitempty"` // IMM result for VIQ
+	Latency      Latency `json:"latency"`
+}
+
+// Latency is the per-service and per-component breakdown of one query.
+type Latency struct {
+	Total time.Duration `json:"total"`
+	// ASR components.
+	ASR        time.Duration `json:"asr"`
+	ASRFeature time.Duration `json:"asr_feature"`
+	ASRScoring time.Duration `json:"asr_scoring"` // GMM or DNN (Suite kernel)
+	ASRSearch  time.Duration `json:"asr_search"`  // Viterbi/HMM
+	// QA components.
+	QA           time.Duration `json:"qa"`
+	QAStemming   time.Duration `json:"qa_stemming"`
+	QARegex      time.Duration `json:"qa_regex"`
+	QACRF        time.Duration `json:"qa_crf"`
+	QARetrieval  time.Duration `json:"qa_retrieval"`
+	QAFilterHits int           `json:"qa_filter_hits"`
+	QAFilterTime time.Duration `json:"qa_filter_time"`
+	// IMM components.
+	IMM       time.Duration `json:"imm"`
+	IMMFE     time.Duration `json:"imm_fe"`
+	IMMFD     time.Duration `json:"imm_fd"`
+	IMMSearch time.Duration `json:"imm_search"`
+}
+
+// Config assembles a pipeline.
+type Config struct {
+	Engine     asr.Engine      // GMM or DNN acoustic models
+	ASRConfig  hmm.Config      // decoder settings
+	QAConfig   qa.Config       // retrieval depth
+	Corpus     kb.CorpusConfig // knowledge corpus scale
+	CRFSamples int             // CRF training sentences
+	TrainASR   asr.TrainConfig
+	IMMWorkers int    // image pipeline workers (1 = serial baseline)
+	ModelCache string // path for cached acoustic models ("" = train fresh)
+	// Rescoring enables the two-pass decoder (N-best + trigram), which
+	// absorbs the decoder's near-homophone confusions.
+	Rescoring bool
+	// MinMatchVotes gates the VIQ rewrite: an image match with fewer
+	// votes than this is treated as "no match" (the photo is probably of
+	// something outside the database) and the query is answered from
+	// speech alone.
+	MinMatchVotes int
+}
+
+// DefaultConfig mirrors the benchmark setup.
+func DefaultConfig() Config {
+	return Config{
+		Engine:        asr.EngineGMM,
+		ASRConfig:     hmm.DefaultConfig(),
+		QAConfig:      qa.DefaultConfig(),
+		Corpus:        kb.DefaultCorpusConfig(),
+		CRFSamples:    300,
+		TrainASR:      asr.DefaultTrainConfig(),
+		IMMWorkers:    1,
+		Rescoring:     true,
+		MinMatchVotes: 5,
+	}
+}
+
+// Pipeline is a fully assembled Sirius instance. It is safe for
+// concurrent queries: all members are read-only after construction.
+type Pipeline struct {
+	minMatchVotes int
+	lex           *hmm.Lexicon
+	lm            *hmm.Bigram
+	models        *asr.Models
+	recognizer    *asr.Recognizer
+	qaEngine      *qa.Engine
+	corpus        *search.Index
+	imageDB       *imm.Database
+	immCfg        imm.MatchConfig
+	commandRe     *regex.Regexp
+	thisRe        *regex.Regexp
+}
+
+// commandVerbs start device actions; the query classifier routes
+// utterances beginning with one of these to the action path.
+var commandVerbs = []string{
+	"set", "call", "open", "play", "send", "start", "stop", "turn",
+	"take", "show", "mute", "pause", "dial", "text",
+}
+
+// New builds the full pipeline: trains acoustic models on the synthetic
+// speech substrate, trains the CRF tagger, builds the corpus, and indexes
+// the image database.
+func New(cfg Config) (*Pipeline, error) {
+	p := &Pipeline{}
+	p.lex, p.lm = kb.BuildLexicon()
+
+	models, err := asr.LoadOrTrain(cfg.ModelCache, p.lex.PhoneSet(), cfg.TrainASR)
+	if err != nil {
+		return nil, fmt.Errorf("sirius: acoustic training: %w", err)
+	}
+	p.models = models
+	p.recognizer, err = asr.NewRecognizer(models, cfg.Engine, p.lex, p.lm, cfg.ASRConfig)
+	if err != nil {
+		return nil, fmt.Errorf("sirius: recognizer: %w", err)
+	}
+	if cfg.Rescoring {
+		p.recognizer.EnableRescoring(kb.BuildTrigram(p.lex), 3.0, 4)
+	}
+
+	p.corpus = kb.BuildCorpus(cfg.Corpus)
+	samples := crf.Generate(cfg.CRFSamples, 21)
+	sents, tags := crf.TokensAndTags(samples, false)
+	tagger := crf.Train(sents, tags, crf.DefaultTrainConfig())
+	p.qaEngine = qa.NewEngine(p.corpus, tagger, cfg.QAConfig)
+
+	labels := kb.ImageEntities()
+	images := make([]*vision.Image, len(labels))
+	for i, l := range labels {
+		images[i] = vision.GenerateScene(l, vision.DefaultSceneConfig())
+	}
+	p.imageDB, err = imm.BuildDatabase(labels, images, vision.DefaultDetector())
+	if err != nil {
+		return nil, fmt.Errorf("sirius: image database: %w", err)
+	}
+	p.immCfg = imm.DefaultMatchConfig()
+	p.immCfg.Workers = cfg.IMMWorkers
+	// Geometric verification turns raw descriptor votes into RANSAC
+	// inlier counts, which cleanly separate true matches from texture
+	// coincidences and make the MinMatchVotes gate meaningful.
+	p.immCfg.GeometricVerify = true
+	p.minMatchVotes = cfg.MinMatchVotes
+
+	p.commandRe = regex.MustCompile("^(" + strings.Join(commandVerbs, "|") + ")( |$)")
+	p.thisRe = regex.MustCompile(`this (\w+)`)
+	return p, nil
+}
+
+// Lexicon exposes the ASR vocabulary (for synthesizing test queries).
+func (p *Pipeline) Lexicon() *hmm.Lexicon { return p.lex }
+
+// ImageDB exposes the image-matching database (for workload generators).
+func (p *Pipeline) ImageDB() *imm.Database { return p.imageDB }
+
+// ClassifyText is the query classifier (QC in Figure 2): commands start
+// with an imperative device verb, everything else is a question.
+func (p *Pipeline) ClassifyText(text string) Kind {
+	t := strings.ToLower(strings.TrimSpace(text))
+	if p.commandRe.MatchString(t) {
+		return KindAction
+	}
+	return KindAnswer
+}
+
+// ProcessText runs the pipeline on an already-transcribed query: QC then
+// QA. Used directly by tests, and by ProcessVoice after ASR.
+func (p *Pipeline) ProcessText(text string) Response {
+	start := time.Now()
+	resp := Response{Transcript: text}
+	if p.ClassifyText(text) == KindAction {
+		resp.Kind = KindAction
+		act := ParseAction(text)
+		resp.Action = act.Verb
+		resp.ActionDetail = &act
+		resp.Latency.Total = time.Since(start)
+		return resp
+	}
+	resp.Kind = KindAnswer
+	ans := p.qaEngine.Ask(text)
+	resp.Answer = ans.Text
+	resp.Evidence = ans.Evidence
+	resp.Latency.QAStemming = ans.Timings.Stemming
+	resp.Latency.QARegex = ans.Timings.Regex
+	resp.Latency.QACRF = ans.Timings.CRF
+	resp.Latency.QARetrieval = ans.Timings.Retrieval
+	resp.Latency.QAFilterHits = ans.FilterHits
+	resp.Latency.QAFilterTime = ans.FilterTime
+	resp.Latency.QA = ans.Timings.Total()
+	resp.Latency.Total = time.Since(start)
+	return resp
+}
+
+// ProcessVoice runs the full voice path: ASR, QC, then either the action
+// path or QA (the VC and VQ pathways of Figure 2).
+func (p *Pipeline) ProcessVoice(samples []float64) (Response, error) {
+	start := time.Now()
+	rec, err := p.recognizer.Recognize(samples)
+	if err != nil {
+		return Response{}, fmt.Errorf("sirius: asr: %w", err)
+	}
+	resp := p.ProcessText(rec.Text)
+	resp.Transcript = rec.Text
+	resp.Latency.ASRFeature = rec.Timings.FeatureExtraction
+	resp.Latency.ASRScoring = rec.Timings.Scoring
+	resp.Latency.ASRSearch = rec.Timings.Search
+	resp.Latency.ASR = rec.Timings.Total()
+	resp.Latency.Total = time.Since(start)
+	return resp, nil
+}
+
+// ProcessVoiceImage runs the VIQ pathway: ASR and IMM, then the question
+// is rewritten with the matched entity ("this restaurant" -> "luigis
+// restaurant") and answered by QA.
+func (p *Pipeline) ProcessVoiceImage(samples []float64, img *vision.Image) (Response, error) {
+	start := time.Now()
+	rec, err := p.recognizer.Recognize(samples)
+	if err != nil {
+		return Response{}, fmt.Errorf("sirius: asr: %w", err)
+	}
+	resp := p.processTextImage(rec.Text, img)
+	resp.Transcript = rec.Text
+	resp.Latency.ASRFeature = rec.Timings.FeatureExtraction
+	resp.Latency.ASRScoring = rec.Timings.Scoring
+	resp.Latency.ASRSearch = rec.Timings.Search
+	resp.Latency.ASR = rec.Timings.Total()
+	resp.Latency.Total = time.Since(start)
+	return resp, nil
+}
+
+// ProcessTextImage is the text-input variant of the VIQ pathway.
+func (p *Pipeline) ProcessTextImage(text string, img *vision.Image) Response {
+	return p.processTextImage(text, img)
+}
+
+func (p *Pipeline) processTextImage(text string, img *vision.Image) Response {
+	start := time.Now()
+	match := p.imageDB.Match(img, p.immCfg)
+	matched := match.Votes >= p.minMatchVotes
+	rewritten := text
+	if matched {
+		rewritten = p.rewriteWithEntity(text, match.Label)
+	}
+	resp := p.ProcessText(rewritten)
+	resp.Transcript = text
+	if matched {
+		resp.MatchedImage = match.Label
+	}
+	resp.Latency.IMMFE = match.FeatureExtraction
+	resp.Latency.IMMFD = match.FeatureDescription
+	resp.Latency.IMMSearch = match.Search
+	resp.Latency.IMM = match.FeatureExtraction + match.FeatureDescription + match.Search
+	resp.Latency.Total = time.Since(start)
+	return resp
+}
+
+// rewriteWithEntity substitutes the IMM-matched entity for the deictic
+// "this <noun>" phrase in the query.
+func (p *Pipeline) rewriteWithEntity(text, entity string) string {
+	t := strings.ToLower(text)
+	if idx := p.thisRe.FindStringIndex(t); idx != nil {
+		return t[:idx[0]] + entity + t[idx[1]:]
+	}
+	return t
+}

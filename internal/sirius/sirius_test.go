@@ -1,0 +1,463 @@
+package sirius
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sirius/internal/asr"
+	"sirius/internal/audio"
+	"sirius/internal/kb"
+	"sirius/internal/vision"
+)
+
+var sharedPipeline *Pipeline
+
+func pipeline(t testing.TB) *Pipeline {
+	if sharedPipeline == nil {
+		p, err := New(DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		sharedPipeline = p
+	}
+	return sharedPipeline
+}
+
+func TestClassifier(t *testing.T) {
+	p := pipeline(t)
+	for _, q := range kb.VoiceCommands {
+		if p.ClassifyText(q.Text) != KindAction {
+			t.Errorf("%q misclassified as question", q.Text)
+		}
+	}
+	for _, q := range kb.VoiceQueries {
+		if p.ClassifyText(q.Text) != KindAnswer {
+			t.Errorf("%q misclassified as action", q.Text)
+		}
+	}
+	// "stop" as verb vs inside a word.
+	if p.ClassifyText("stopwatch history") != KindAnswer {
+		t.Error("prefix must not match inside a word")
+	}
+}
+
+func TestProcessTextCommands(t *testing.T) {
+	p := pipeline(t)
+	resp := p.ProcessText("set my alarm for eight")
+	if resp.Kind != KindAction || resp.Action != "set" {
+		t.Fatalf("command response: %+v", resp)
+	}
+	if resp.Latency.Total <= 0 {
+		t.Fatal("latency must be positive")
+	}
+}
+
+func TestProcessTextQuestions(t *testing.T) {
+	p := pipeline(t)
+	correct := 0
+	for _, q := range kb.VoiceQueries {
+		resp := p.ProcessText(q.Text)
+		if resp.Kind != KindAnswer {
+			t.Fatalf("%q not routed to QA", q.Text)
+		}
+		if resp.Answer == q.Want {
+			correct++
+		}
+	}
+	if correct < 14 {
+		t.Fatalf("text QA answered %d/16", correct)
+	}
+}
+
+func TestProcessTextImageVIQ(t *testing.T) {
+	p := pipeline(t)
+	correct := 0
+	for i, q := range kb.VoiceImageQueries {
+		scene := vision.GenerateScene(q.ImageID, vision.DefaultSceneConfig())
+		photo := vision.Warp(scene, vision.DefaultWarp(int64(500+i)))
+		resp := p.ProcessTextImage(q.Text, photo)
+		if resp.MatchedImage == q.ImageID && resp.Answer == q.Want {
+			correct++
+		} else {
+			t.Logf("%s: matched %q answered %q (want %q)", q.ID, resp.MatchedImage, resp.Answer, q.Want)
+		}
+		if resp.Latency.IMM <= 0 {
+			t.Fatalf("%s: IMM latency missing", q.ID)
+		}
+	}
+	if correct < 7 {
+		t.Fatalf("VIQ answered %d/10", correct)
+	}
+}
+
+func TestProcessVoiceCommand(t *testing.T) {
+	p := pipeline(t)
+	correct := 0
+	for i, q := range kb.VoiceCommands {
+		samples, err := asr.SynthesizeText(p.Lexicon(), q.Text, int64(9000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := p.ProcessVoice(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Latency.ASR <= 0 || resp.Latency.ASRScoring <= 0 {
+			t.Fatalf("ASR latency missing: %+v", resp.Latency)
+		}
+		if resp.Kind == KindAction && resp.Action == q.Want {
+			correct++
+		} else {
+			t.Logf("%s: %q -> kind=%s action=%q transcript=%q", q.ID, q.Text, resp.Kind, resp.Action, resp.Transcript)
+		}
+	}
+	if correct < 10 {
+		t.Fatalf("voice commands executed correctly: %d/16", correct)
+	}
+}
+
+func TestProcessVoiceQueryEndToEnd(t *testing.T) {
+	p := pipeline(t)
+	// Full voice QA is the hardest path (ASR errors propagate); require a
+	// majority of transcripts to be useful enough for the right answer.
+	correct := 0
+	for i, q := range kb.VoiceQueries {
+		samples, err := asr.SynthesizeText(p.Lexicon(), q.Text, int64(7000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := p.ProcessVoice(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Answer == q.Want {
+			correct++
+		} else {
+			t.Logf("%s: transcript %q answer %q want %q", q.ID, resp.Transcript, resp.Answer, q.Want)
+		}
+	}
+	if correct < 11 {
+		t.Fatalf("voice QA answered %d/16", correct)
+	}
+}
+
+func TestRewriteWithEntity(t *testing.T) {
+	p := pipeline(t)
+	got := p.rewriteWithEntity("when does this restaurant close", "luigis restaurant")
+	if got != "when does luigis restaurant close" {
+		t.Fatalf("rewrite: %q", got)
+	}
+	// No "this X": unchanged (lowercased).
+	if got := p.rewriteWithEntity("Where is Paris", "x"); got != "where is paris" {
+		t.Fatalf("rewrite without deictic: %q", got)
+	}
+}
+
+func TestServerTextQuery(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	body, ctype, err := BuildMultipartQuery(nil, nil, "what is the capital of france")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/query", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Answer != "paris" {
+		t.Fatalf("server answered %q", r.Answer)
+	}
+}
+
+func TestServerVoiceImageQuery(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	q := kb.VoiceImageQueries[0]
+	samples, err := asr.SynthesizeText(p.Lexicon(), q.Text, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := vision.GenerateScene(q.ImageID, vision.DefaultSceneConfig())
+	photo := vision.Warp(scene, vision.DefaultWarp(77))
+	body, ctype, err := BuildMultipartQuery(samples, photo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/query", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.MatchedImage != q.ImageID {
+		t.Fatalf("matched %q, want %q", r.MatchedImage, q.ImageID)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	// GET rejected.
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+	// Empty form rejected.
+	body, ctype, _ := BuildMultipartQuery(nil, nil, "")
+	resp, err = http.Post(srv.URL+"/query", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty form status %d", resp.StatusCode)
+	}
+	// Garbage body rejected.
+	resp, err = http.Post(srv.URL+"/query", "multipart/form-data; boundary=x", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage status %d", resp.StatusCode)
+	}
+	// Health endpoint.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatal("healthz")
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	im := vision.GenerateScene("png roundtrip", vision.DefaultSceneConfig())
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("size %dx%d", got.W, got.H)
+	}
+	var maxDiff float64
+	for i := range im.Pix {
+		d := im.Pix[i] - got.Pix[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1.0/128 {
+		t.Fatalf("PNG round trip error %v", maxDiff)
+	}
+	if _, err := DecodePNG(strings.NewReader("not png")); err == nil {
+		t.Fatal("garbage PNG must error")
+	}
+}
+
+func TestServerStatsAndResampling(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	// A couple of queries to populate stats, one of them 8 kHz audio that
+	// the server must resample.
+	body, ctype, _ := BuildMultipartQuery(nil, nil, "what is the capital of spain")
+	resp, err := http.Post(srv.URL+"/query", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	samples, err := asr.SynthesizeText(p.Lexicon(), "call mom", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ship the query at 32 kHz; the server must resample to the
+	// front-end's 16 kHz. (Upsampled audio is information-preserving, so
+	// recognition should still work; 8 kHz telephone band would degrade
+	// the fricatives.)
+	high := audio.Resample(samples, 16000, 32000)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, _ := mw.CreateFormFile("audio", "q.wav")
+	if err := audio.WriteWAV(fw, high, 32000); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+	resp, err = http.Post(srv.URL+"/query", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("8 kHz query status %d", resp.StatusCode)
+	}
+	if r.Transcript == "" {
+		t.Fatal("resampled audio produced no transcript")
+	}
+
+	// Stats reflect the served queries.
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range snap.Served {
+		total += v
+	}
+	if total < 2 {
+		t.Fatalf("stats served %d, want >= 2 (%+v)", total, snap)
+	}
+	if snap.MeanLatency <= 0 || snap.UptimeSeconds <= 0 {
+		t.Fatalf("stats incomplete: %+v", snap)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	// The pipeline documents itself as safe for concurrent queries; hammer
+	// it from several goroutines across all three input paths. Run with
+	// -race to verify.
+	p := pipeline(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				switch w % 3 {
+				case 0:
+					q := kb.VoiceQueries[(w+i)%len(kb.VoiceQueries)]
+					if resp := p.ProcessText(q.Text); resp.Kind != KindAnswer {
+						errs <- fmt.Errorf("text query misrouted")
+					}
+				case 1:
+					q := kb.VoiceCommands[(w+i)%len(kb.VoiceCommands)]
+					samples, err := asr.SynthesizeText(p.Lexicon(), q.Text, int64(w*100+i))
+					if err != nil {
+						errs <- err
+						continue
+					}
+					if _, err := p.ProcessVoice(samples); err != nil {
+						errs <- err
+					}
+				default:
+					q := kb.VoiceImageQueries[(w+i)%len(kb.VoiceImageQueries)]
+					scene := vision.GenerateScene(q.ImageID, vision.DefaultSceneConfig())
+					photo := vision.Warp(scene, vision.DefaultWarp(int64(w*10+i)))
+					p.ProcessTextImage(q.Text, photo)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRescoringImprovesVoiceQA(t *testing.T) {
+	// The two-pass decoder's trigram absorbs near-homophone confusions
+	// ("of" vs "off"); with it on (the default pipeline), voice QA must
+	// answer at least as many queries as the single-pass decoder.
+	cfg := DefaultConfig()
+	cfg.Rescoring = false
+	onePass, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoPass := pipeline(t) // default config has rescoring on
+	score := func(p *Pipeline) int {
+		correct := 0
+		for i, q := range kb.VoiceQueries {
+			samples, err := asr.SynthesizeText(p.Lexicon(), q.Text, int64(7000+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := p.ProcessVoice(samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Answer == q.Want {
+				correct++
+			}
+		}
+		return correct
+	}
+	one := score(onePass)
+	two := score(twoPass)
+	t.Logf("voice QA: single-pass %d/16, rescored %d/16", one, two)
+	if two < one {
+		t.Fatalf("rescoring regressed accuracy: %d < %d", two, one)
+	}
+	if two < 12 {
+		t.Fatalf("rescored voice QA %d/16 below threshold", two)
+	}
+}
+
+func TestUnknownImageNotMatched(t *testing.T) {
+	// A photo of something outside the database must not be confidently
+	// resolved to a database entity.
+	p := pipeline(t)
+	unknown := vision.GenerateScene("completely unknown storefront", vision.DefaultSceneConfig())
+	resp := p.ProcessTextImage("when does this restaurant close", unknown)
+	if resp.MatchedImage != "" {
+		t.Fatalf("unknown photo matched %q", resp.MatchedImage)
+	}
+	// Known photos still match.
+	known := vision.Warp(vision.GenerateScene("sun cafe", vision.DefaultSceneConfig()), vision.DefaultWarp(123))
+	resp = p.ProcessTextImage("when does this cafe close", known)
+	if resp.MatchedImage != "sun cafe" {
+		t.Fatalf("known photo matched %q", resp.MatchedImage)
+	}
+}

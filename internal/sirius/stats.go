@@ -1,0 +1,88 @@
+package sirius
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// stats aggregates served-query metrics for the /stats endpoint, the
+// operational view a datacenter operator would scrape.
+type stats struct {
+	mu          sync.Mutex
+	served      map[Kind]int
+	errors      int
+	totalLat    time.Duration
+	maxLat      time.Duration
+	asrLat      time.Duration
+	qaLat       time.Duration
+	immLat      time.Duration
+	start       time.Time
+}
+
+func newStats() *stats {
+	return &stats{served: map[Kind]int{}, start: time.Now()}
+}
+
+func (s *stats) record(resp Response) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.served[resp.Kind]++
+	s.totalLat += resp.Latency.Total
+	if resp.Latency.Total > s.maxLat {
+		s.maxLat = resp.Latency.Total
+	}
+	s.asrLat += resp.Latency.ASR
+	s.qaLat += resp.Latency.QA
+	s.immLat += resp.Latency.IMM
+}
+
+func (s *stats) recordError() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errors++
+}
+
+// Snapshot is the JSON shape of /stats.
+type Snapshot struct {
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Served        map[Kind]int  `json:"served"`
+	Errors        int           `json:"errors"`
+	MeanLatency   time.Duration `json:"mean_latency_ns"`
+	MaxLatency    time.Duration `json:"max_latency_ns"`
+	MeanASR       time.Duration `json:"mean_asr_ns"`
+	MeanQA        time.Duration `json:"mean_qa_ns"`
+	MeanIMM       time.Duration `json:"mean_imm_ns"`
+}
+
+func (s *stats) snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	served := map[Kind]int{}
+	for k, v := range s.served {
+		served[k] = v
+		n += v
+	}
+	snap := Snapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Served:        served,
+		Errors:        s.errors,
+		MaxLatency:    s.maxLat,
+	}
+	if n > 0 {
+		snap.MeanLatency = s.totalLat / time.Duration(n)
+		snap.MeanASR = s.asrLat / time.Duration(n)
+		snap.MeanQA = s.qaLat / time.Duration(n)
+		snap.MeanIMM = s.immLat / time.Duration(n)
+	}
+	return snap
+}
+
+func (s *stats) handler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,273 @@
+package vision
+
+import (
+	"sort"
+	"sync"
+)
+
+// Keypoint is one detected interest point.
+type Keypoint struct {
+	X, Y        float64
+	Scale       float64 // SURF scale: 1.2 * filterSize / 9
+	Response    float64 // Hessian determinant at the maximum
+	Orientation float64 // radians, assigned by the descriptor stage
+}
+
+// DetectorConfig tunes the fast-Hessian detector.
+type DetectorConfig struct {
+	// FilterSizes are the box-filter side lengths of the scale stack
+	// (must be increasing, length >= 3 so interior scales exist).
+	FilterSizes []int
+	// Threshold rejects weak extrema.
+	Threshold float64
+	// MaxKeypoints caps the output (strongest first); 0 = unlimited.
+	MaxKeypoints int
+	// Interpolate refines maxima to sub-pixel position and continuous
+	// scale with a 3D quadratic fit (SURF's standard refinement).
+	Interpolate bool
+}
+
+// DefaultDetector mirrors SURF's first octave.
+func DefaultDetector() DetectorConfig {
+	return DetectorConfig{
+		FilterSizes:  []int{9, 15, 21, 27},
+		Threshold:    1e-4,
+		MaxKeypoints: 200,
+	}
+}
+
+// hessianResponse computes the approximated Hessian determinant map for
+// one filter size over the given tile region.
+func hessianResponse(ii *Integral, size int, t Tile) []float64 {
+	w := t.X1 - t.X0
+	h := t.Y1 - t.Y0
+	resp := make([]float64, w*h)
+	lobe := size / 3
+	norm := 1.0 / float64(size*size)
+	border := size/2 + 1
+	for y := t.Y0; y < t.Y1; y++ {
+		if y < border || y >= ii.H-border {
+			continue
+		}
+		for x := t.X0; x < t.X1; x++ {
+			if x < border || x >= ii.W-border {
+				continue
+			}
+			// Dyy: full (2*lobe-1) x (3*lobe) band with the middle lobe
+			// weighted -2 (i.e. whole - 3*middle).
+			whole := ii.Sum(x-lobe+1, y-(3*lobe-1)/2, x+lobe, y+(3*lobe-1)/2+1)
+			mid := ii.Sum(x-lobe+1, y-(lobe-1)/2, x+lobe, y+(lobe-1)/2+1)
+			dyy := (whole - 3*mid) * norm
+			// Dxx: transpose of Dyy.
+			wholeX := ii.Sum(x-(3*lobe-1)/2, y-lobe+1, x+(3*lobe-1)/2+1, y+lobe)
+			midX := ii.Sum(x-(lobe-1)/2, y-lobe+1, x+(lobe-1)/2+1, y+lobe)
+			dxx := (wholeX - 3*midX) * norm
+			// Dxy: four lobe x lobe quadrant boxes.
+			dxy := (ii.Sum(x+1, y-lobe, x+lobe+1, y) +
+				ii.Sum(x-lobe, y+1, x, y+lobe+1) -
+				ii.Sum(x-lobe, y-lobe, x, y) -
+				ii.Sum(x+1, y+1, x+lobe+1, y+lobe+1)) * norm
+			det := dxx*dyy - 0.81*dxy*dxy
+			resp[(y-t.Y0)*w+(x-t.X0)] = det
+		}
+	}
+	return resp
+}
+
+// DetectKeypoints runs the fast-Hessian detector over the whole image.
+// This is the single-threaded baseline of the Suite FE kernel.
+func DetectKeypoints(im *Image, cfg DetectorConfig) []Keypoint {
+	ii := NewIntegral(im)
+	full := Tile{X0: 0, Y0: 0, X1: im.W, Y1: im.H}
+	return detectInTile(ii, cfg, full, full)
+}
+
+// DetectKeypointsTiled is the multicore port: the image is tiled and each
+// tile's scale stack and non-max suppression run on its own goroutine
+// (paper §4.3.1). Results match the serial version because suppression
+// reads responses computed over a tile border margin.
+func DetectKeypointsTiled(im *Image, cfg DetectorConfig, workers, minTile int) []Keypoint {
+	tiles := Tiles(im.W, im.H, minTile)
+	if workers <= 1 || len(tiles) == 1 {
+		return DetectKeypoints(im, cfg)
+	}
+	ii := NewIntegral(im)
+	full := Tile{X0: 0, Y0: 0, X1: im.W, Y1: im.H}
+	results := make([][]Keypoint, len(tiles))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, t := range tiles {
+		wg.Add(1)
+		go func(i int, t Tile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = detectInTile(ii, cfg, t, full)
+		}(i, t)
+	}
+	wg.Wait()
+	var all []Keypoint
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	sortKeypoints(all)
+	if cfg.MaxKeypoints > 0 && len(all) > cfg.MaxKeypoints {
+		all = all[:cfg.MaxKeypoints]
+	}
+	return all
+}
+
+// detectInTile detects maxima whose centers lie in `detect`, computing
+// responses over detect expanded by one pixel (clamped to bounds) so
+// suppression at tile edges is exact.
+func detectInTile(ii *Integral, cfg DetectorConfig, detect, bounds Tile) []Keypoint {
+	margin := 1
+	comp := Tile{
+		X0: maxInt(bounds.X0, detect.X0-margin),
+		Y0: maxInt(bounds.Y0, detect.Y0-margin),
+		X1: minInt(bounds.X1, detect.X1+margin),
+		Y1: minInt(bounds.Y1, detect.Y1+margin),
+	}
+	w := comp.X1 - comp.X0
+
+	stack := make([][]float64, len(cfg.FilterSizes))
+	for si, size := range cfg.FilterSizes {
+		stack[si] = hessianResponse(ii, size, comp)
+	}
+	var kps []Keypoint
+	at := func(s, x, y int) float64 { return stack[s][(y-comp.Y0)*w+(x-comp.X0)] }
+	for s := 1; s < len(cfg.FilterSizes)-1; s++ {
+		for y := detect.Y0; y < detect.Y1; y++ {
+			if y <= comp.Y0 || y >= comp.Y1-1 {
+				continue
+			}
+			for x := detect.X0; x < detect.X1; x++ {
+				if x <= comp.X0 || x >= comp.X1-1 {
+					continue
+				}
+				v := at(s, x, y)
+				if v < cfg.Threshold {
+					continue
+				}
+				if !isLocalMax(at, s, x, y, v) {
+					continue
+				}
+				kp := Keypoint{
+					X:        float64(x),
+					Y:        float64(y),
+					Scale:    1.2 * float64(cfg.FilterSizes[s]) / 9,
+					Response: v,
+				}
+				// The NMS guard already ensures x±1, y±1, s±1 lie inside the
+				// computed region, so tiled and serial interpolation read
+				// identical data.
+				if cfg.Interpolate {
+					if fx, fy, fs, ok := interpolateMaximum(at, s, x, y, cfg.FilterSizes); ok {
+						kp.X, kp.Y, kp.Scale = fx, fy, fs
+					}
+				}
+				kps = append(kps, kp)
+			}
+		}
+	}
+
+	sortKeypoints(kps)
+	if cfg.MaxKeypoints > 0 && len(kps) > cfg.MaxKeypoints {
+		kps = kps[:cfg.MaxKeypoints]
+	}
+	return kps
+}
+
+func isLocalMax(at func(s, x, y int) float64, s, x, y int, v float64) bool {
+	for ds := -1; ds <= 1; ds++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if ds == 0 && dy == 0 && dx == 0 {
+					continue
+				}
+				if at(s+ds, x+dx, y+dy) >= v {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func sortKeypoints(kps []Keypoint) {
+	sort.Slice(kps, func(i, j int) bool {
+		if kps[i].Response != kps[j].Response {
+			return kps[i].Response > kps[j].Response
+		}
+		if kps[i].Y != kps[j].Y {
+			return kps[i].Y < kps[j].Y
+		}
+		return kps[i].X < kps[j].X
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ExtendedDetector widens the scale stack to cover the paper's larger
+// SURF octaves (filter sizes up to 51 px) so bigger structures are
+// detected; DefaultDetector covers only the first octave.
+func ExtendedDetector() DetectorConfig {
+	return DetectorConfig{
+		FilterSizes:  []int{9, 15, 21, 27, 39, 51},
+		Threshold:    1e-4,
+		MaxKeypoints: 300,
+	}
+}
+
+// interpolateMaximum refines a discrete scale-space maximum with the 3D
+// quadratic fit SURF applies (Brown & Lowe's method): offset = -H^{-1} g
+// over (x, y, scale). Offsets beyond one sample spacing indicate an
+// unstable extremum and leave the discrete location unchanged.
+func interpolateMaximum(at func(s, x, y int) float64, s, x, y int, sizes []int) (fx, fy, fscale float64, ok bool) {
+	// Gradient (central differences).
+	gx := (at(s, x+1, y) - at(s, x-1, y)) / 2
+	gy := (at(s, x, y+1) - at(s, x, y-1)) / 2
+	gs := (at(s+1, x, y) - at(s-1, x, y)) / 2
+	// Hessian.
+	v := at(s, x, y)
+	hxx := at(s, x+1, y) - 2*v + at(s, x-1, y)
+	hyy := at(s, x, y+1) - 2*v + at(s, x, y-1)
+	hss := at(s+1, x, y) - 2*v + at(s-1, x, y)
+	hxy := (at(s, x+1, y+1) - at(s, x-1, y+1) - at(s, x+1, y-1) + at(s, x-1, y-1)) / 4
+	hxs := (at(s+1, x+1, y) - at(s+1, x-1, y) - at(s-1, x+1, y) + at(s-1, x-1, y)) / 4
+	hys := (at(s+1, x, y+1) - at(s+1, x, y-1) - at(s-1, x, y+1) + at(s-1, x, y-1)) / 4
+	// Solve H * offset = -g by Cramer's rule.
+	det := hxx*(hyy*hss-hys*hys) - hxy*(hxy*hss-hys*hxs) + hxs*(hxy*hys-hyy*hxs)
+	if det == 0 {
+		return 0, 0, 0, false
+	}
+	bx, by, bs := -gx, -gy, -gs
+	ox := (bx*(hyy*hss-hys*hys) - hxy*(by*hss-bs*hys) + hxs*(by*hys-bs*hyy)) / det
+	oy := (hxx*(by*hss-bs*hys) - bx*(hxy*hss-hys*hxs) + hxs*(hxy*bs-by*hxs)) / det
+	os := (hxx*(hyy*bs-by*hys) - hxy*(hxy*bs-by*hxs) + bx*(hxy*hys-hyy*hxs)) / det
+	if ox < -0.6 || ox > 0.6 || oy < -0.6 || oy > 0.6 || os < -0.6 || os > 0.6 {
+		return 0, 0, 0, false
+	}
+	fx = float64(x) + ox
+	fy = float64(y) + oy
+	// Scale interpolates between adjacent filter sizes.
+	size := float64(sizes[s])
+	if os >= 0 && s+1 < len(sizes) {
+		size += os * float64(sizes[s+1]-sizes[s])
+	} else if os < 0 && s-1 >= 0 {
+		size += os * float64(sizes[s]-sizes[s-1])
+	}
+	return fx, fy, 1.2 * size / 9, true
+}

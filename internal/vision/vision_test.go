@@ -1,0 +1,366 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntegralSumMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(20), 1+rng.Intn(20)
+		im := NewImage(w, h)
+		for i := range im.Pix {
+			im.Pix[i] = rng.Float64()
+		}
+		ii := NewIntegral(im)
+		x0, y0 := rng.Intn(w), rng.Intn(h)
+		x1, y1 := x0+rng.Intn(w-x0)+1, y0+rng.Intn(h-y0)+1
+		var want float64
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				want += im.Pix[y*w+x]
+			}
+		}
+		return math.Abs(ii.Sum(x0, y0, x1, y1)-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegralSumClipsAndEmpty(t *testing.T) {
+	im := NewImage(4, 4)
+	for i := range im.Pix {
+		im.Pix[i] = 1
+	}
+	ii := NewIntegral(im)
+	if got := ii.Sum(-5, -5, 100, 100); got != 16 {
+		t.Fatalf("clipped sum = %v", got)
+	}
+	if got := ii.Sum(2, 2, 2, 3); got != 0 {
+		t.Fatalf("empty rect = %v", got)
+	}
+	if got := ii.Sum(3, 3, 1, 1); got != 0 {
+		t.Fatalf("inverted rect = %v", got)
+	}
+}
+
+func TestImageAtClamps(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(0, 0, 5)
+	im.Set(1, 1, 7)
+	if im.At(-3, -3) != 5 || im.At(10, 10) != 7 {
+		t.Fatal("At must clamp to border")
+	}
+	im.Set(-1, 0, 9) // must not panic or write
+	if im.At(0, 0) != 5 {
+		t.Fatal("out-of-bounds Set must be ignored")
+	}
+}
+
+func TestHaarResponses(t *testing.T) {
+	// A vertical step edge: HaarX large, HaarY ~ 0.
+	im := NewImage(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 16; x < 32; x++ {
+			im.Pix[y*32+x] = 1
+		}
+	}
+	ii := NewIntegral(im)
+	hx := ii.HaarX(16, 16, 8)
+	hy := ii.HaarY(16, 16, 8)
+	if hx <= 0 {
+		t.Fatalf("HaarX on rising edge = %v, want > 0", hx)
+	}
+	if math.Abs(hy) > 1e-9 {
+		t.Fatalf("HaarY on vertical edge = %v, want 0", hy)
+	}
+}
+
+func TestGenerateSceneDeterministicAndDistinct(t *testing.T) {
+	cfg := DefaultSceneConfig()
+	a1 := GenerateScene("luigis restaurant", cfg)
+	a2 := GenerateScene("luigis restaurant", cfg)
+	b := GenerateScene("city museum", cfg)
+	var same, diff bool
+	for i := range a1.Pix {
+		if a1.Pix[i] != a2.Pix[i] {
+			t.Fatal("same label must give identical scenes")
+		}
+		if a1.Pix[i] != b.Pix[i] {
+			diff = true
+		}
+	}
+	same = true
+	if !same || !diff {
+		t.Fatal("different labels must differ")
+	}
+	for _, v := range a1.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel out of range: %v", v)
+		}
+	}
+}
+
+func TestDetectKeypointsFindsBlob(t *testing.T) {
+	// A single bright blob must yield a keypoint near its center.
+	im := NewImage(64, 64)
+	cx, cy, sigma := 32.0, 32.0, 4.0
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+			im.Pix[y*64+x] = math.Exp(-d2 / (2 * sigma * sigma))
+		}
+	}
+	kps := DetectKeypoints(im, DefaultDetector())
+	if len(kps) == 0 {
+		t.Fatal("no keypoints on a blob")
+	}
+	best := kps[0]
+	if math.Abs(best.X-cx) > 3 || math.Abs(best.Y-cy) > 3 {
+		t.Fatalf("keypoint at (%v, %v), want near (32, 32)", best.X, best.Y)
+	}
+}
+
+func TestDetectKeypointsEmptyOnFlat(t *testing.T) {
+	im := NewImage(64, 64)
+	for i := range im.Pix {
+		im.Pix[i] = 0.5
+	}
+	if kps := DetectKeypoints(im, DefaultDetector()); len(kps) != 0 {
+		t.Fatalf("flat image produced %d keypoints", len(kps))
+	}
+}
+
+func TestDetectTiledMatchesSerial(t *testing.T) {
+	im := GenerateScene("tile test scene", DefaultSceneConfig())
+	cfg := DefaultDetector()
+	serial := DetectKeypoints(im, cfg)
+	for _, workers := range []int{2, 4} {
+		tiled := DetectKeypointsTiled(im, cfg, workers, 50)
+		if len(tiled) != len(serial) {
+			t.Fatalf("workers=%d: %d keypoints vs serial %d", workers, len(tiled), len(serial))
+		}
+		for i := range serial {
+			if serial[i] != tiled[i] {
+				t.Fatalf("workers=%d keypoint %d: %+v != %+v", workers, i, tiled[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestTiles(t *testing.T) {
+	ts := Tiles(128, 128, 50)
+	if len(ts) != 4 {
+		t.Fatalf("128/50 must give 2x2 tiles, got %d (%v)", len(ts), ts)
+	}
+	// Tiles must partition the image exactly.
+	covered := make([]bool, 128*128)
+	for _, tl := range ts {
+		for y := tl.Y0; y < tl.Y1; y++ {
+			for x := tl.X0; x < tl.X1; x++ {
+				if covered[y*128+x] {
+					t.Fatalf("pixel (%d,%d) covered twice", x, y)
+				}
+				covered[y*128+x] = true
+			}
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("pixel %d uncovered", i)
+		}
+	}
+	if got := Tiles(30, 30, 50); len(got) != 1 {
+		t.Fatalf("small image must be one tile, got %v", got)
+	}
+	if got := Tiles(100, 100, 0); len(got) != 4 {
+		t.Fatalf("minSize<=0 must default to 50, got %v", got)
+	}
+	if Tile.String(ts[0]) == "" {
+		t.Fatal("Tile.String")
+	}
+}
+
+func TestDescriptorsNormalizedAndComplete(t *testing.T) {
+	im := GenerateScene("descriptor scene", DefaultSceneConfig())
+	descs := ExtractDescriptors(im, DefaultDetector())
+	if len(descs) < 10 {
+		t.Fatalf("only %d descriptors", len(descs))
+	}
+	for _, d := range descs {
+		var norm float64
+		for _, v := range d.Vector {
+			norm += v * v
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("descriptor norm %v != 1", norm)
+		}
+	}
+}
+
+func TestDescribeAllParallelMatchesSerial(t *testing.T) {
+	im := GenerateScene("parallel desc scene", DefaultSceneConfig())
+	ii := NewIntegral(im)
+	kps := DetectKeypoints(im, DefaultDetector())
+	serial := DescribeAll(ii, kps)
+	par := DescribeAllParallel(ii, kps, 4)
+	if len(par) != len(serial) {
+		t.Fatal("length mismatch")
+	}
+	for i := range serial {
+		if serial[i].Vector != par[i].Vector {
+			t.Fatalf("descriptor %d differs", i)
+		}
+	}
+}
+
+func TestDescriptorInvarianceUnderWarp(t *testing.T) {
+	// Descriptors of the same scene under a small warp must be closer to
+	// each other than to descriptors of a different scene.
+	cfg := DefaultDetector()
+	a := GenerateScene("invariance scene A", DefaultSceneConfig())
+	aw := Warp(a, DefaultWarp(5))
+	b := GenerateScene("invariance scene B", DefaultSceneConfig())
+	da := ExtractDescriptors(a, cfg)
+	daw := ExtractDescriptors(aw, cfg)
+	db := ExtractDescriptors(b, cfg)
+	if len(da) == 0 || len(daw) == 0 || len(db) == 0 {
+		t.Fatal("descriptor sets empty")
+	}
+	nnDist := func(from, to []Descriptor) float64 {
+		var total float64
+		for _, f := range from {
+			best := math.Inf(1)
+			for _, g := range to {
+				var d float64
+				for i := range f.Vector {
+					diff := f.Vector[i] - g.Vector[i]
+					d += diff * diff
+				}
+				if d < best {
+					best = d
+				}
+			}
+			total += math.Sqrt(best)
+		}
+		return total / float64(len(from))
+	}
+	same := nnDist(daw, da)
+	cross := nnDist(daw, db)
+	if same >= cross {
+		t.Fatalf("warped-to-original distance %v not below cross-scene %v", same, cross)
+	}
+}
+
+func TestWarpIdentity(t *testing.T) {
+	im := GenerateScene("warp id", DefaultSceneConfig())
+	id := Warp(im, WarpParams{Scale: 1, NoiseStd: 0, Seed: 1})
+	var maxDiff float64
+	for i := range im.Pix {
+		if d := math.Abs(im.Pix[i] - id.Pix[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-9 {
+		t.Fatalf("identity warp changed pixels by %v", maxDiff)
+	}
+}
+
+func BenchmarkDetectKeypoints(b *testing.B) {
+	im := GenerateScene("bench scene", DefaultSceneConfig())
+	cfg := DefaultDetector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectKeypoints(im, cfg)
+	}
+}
+
+func BenchmarkDescribeAll(b *testing.B) {
+	im := GenerateScene("bench scene", DefaultSceneConfig())
+	ii := NewIntegral(im)
+	kps := DetectKeypoints(im, DefaultDetector())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DescribeAll(ii, kps)
+	}
+}
+
+func TestExtendedDetectorFindsLargeBlob(t *testing.T) {
+	// A wide Gaussian blob responds at large scales only; the extended
+	// scale stack must assign it a larger keypoint scale than the first
+	// octave can represent.
+	im := NewImage(128, 128)
+	cx, cy, sigma := 64.0, 64.0, 6.0
+	for y := 0; y < 128; y++ {
+		for x := 0; x < 128; x++ {
+			d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+			im.Pix[y*128+x] = math.Exp(-d2 / (2 * sigma * sigma))
+		}
+	}
+	ext := DetectKeypoints(im, ExtendedDetector())
+	if len(ext) == 0 {
+		t.Fatal("extended detector found nothing")
+	}
+	best := ext[0]
+	if math.Abs(best.X-cx) > 5 || math.Abs(best.Y-cy) > 5 {
+		t.Fatalf("keypoint at (%v,%v), want near center", best.X, best.Y)
+	}
+	// Scale of a filter-39 interior detection is 1.2*39/9 = 5.2; the
+	// first octave tops out at 1.2*21/9 = 2.8.
+	if best.Scale <= 2.8 {
+		t.Fatalf("large blob detected at scale %v, want > 2.8", best.Scale)
+	}
+	// The extended stack remains consistent with tiling.
+	cfg := ExtendedDetector()
+	serial := DetectKeypoints(im, cfg)
+	tiled := DetectKeypointsTiled(im, cfg, 4, 50)
+	if len(serial) != len(tiled) {
+		t.Fatalf("tiled mismatch: %d vs %d", len(tiled), len(serial))
+	}
+}
+
+func TestInterpolationImprovesLocalization(t *testing.T) {
+	// A blob centered off the pixel grid: the interpolated keypoint must
+	// land closer to the true center than the discrete one.
+	im := NewImage(64, 64)
+	cx, cy, sigma := 32.4, 31.7, 4.0
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+			im.Pix[y*64+x] = math.Exp(-d2 / (2 * sigma * sigma))
+		}
+	}
+	discCfg := DefaultDetector()
+	interpCfg := DefaultDetector()
+	interpCfg.Interpolate = true
+	disc := DetectKeypoints(im, discCfg)
+	interp := DetectKeypoints(im, interpCfg)
+	if len(disc) == 0 || len(interp) == 0 {
+		t.Fatal("no keypoints")
+	}
+	dist := func(kp Keypoint) float64 {
+		return math.Hypot(kp.X-cx, kp.Y-cy)
+	}
+	if dist(interp[0]) > dist(disc[0])+1e-9 {
+		t.Fatalf("interpolated dist %.3f worse than discrete %.3f", dist(interp[0]), dist(disc[0]))
+	}
+	// Sub-pixel coordinates should actually be fractional.
+	if interp[0].X == math.Trunc(interp[0].X) && interp[0].Y == math.Trunc(interp[0].Y) {
+		t.Log("note: interpolation landed on integer coordinates (possible but unusual)")
+	}
+	// Tiled detection agrees with serial under interpolation.
+	serial := DetectKeypoints(im, interpCfg)
+	tiled := DetectKeypointsTiled(im, interpCfg, 4, 30)
+	if len(serial) != len(tiled) {
+		t.Fatalf("tiled interpolation mismatch: %d vs %d", len(tiled), len(serial))
+	}
+	for i := range serial {
+		if serial[i] != tiled[i] {
+			t.Fatalf("keypoint %d differs: %+v vs %+v", i, tiled[i], serial[i])
+		}
+	}
+}
