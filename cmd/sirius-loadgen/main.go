@@ -1,7 +1,10 @@
 // Command sirius-loadgen drives a running sirius-server with an
-// open-loop Poisson stream of text queries and reports the latency
-// distribution — the empirical companion to the M/M/1 analysis behind
-// the paper's Fig 17.
+// open-loop Poisson stream of text queries — a mix of questions (the VQ
+// path) and device commands (the VC path) — and reports the latency
+// distribution overall and per query kind: mean, p50, p95, p99, p999,
+// max, from the same telemetry histograms the server exports at
+// /metrics. The empirical companion to the M/M/1 analysis behind the
+// paper's Fig 17, shaped like the per-service tables of Figs 7-9.
 //
 // Usage:
 //
@@ -28,31 +31,48 @@ func main() {
 	n := flag.Int("n", 200, "total queries to send")
 	seed := flag.Int64("seed", 1, "arrival-process seed")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	commands := flag.Bool("commands", true, "mix device commands (action path) into the stream")
 	flag.Parse()
 
-	queries := kb.VoiceQueries
+	// The workload interleaves questions and commands so the report
+	// separates the two paths' tails — pooled, the fast action path
+	// masks the answer path's p99.
+	type query struct {
+		text string
+		kind string
+	}
+	var queries []query
+	for _, q := range kb.VoiceQueries {
+		queries = append(queries, query{q.Text, string(sirius.KindAnswer)})
+	}
+	if *commands {
+		for _, q := range kb.VoiceCommands {
+			queries = append(queries, query{q.Text, string(sirius.KindAction)})
+		}
+	}
+
 	client := &http.Client{Timeout: *timeout}
-	send := func(i int) error {
+	send := func(i int) (string, error) {
 		q := queries[i%len(queries)]
-		body, ctype, err := sirius.BuildMultipartQuery(nil, nil, q.Text)
+		body, ctype, err := sirius.BuildMultipartQuery(nil, nil, q.text)
 		if err != nil {
-			return err
+			return q.kind, err
 		}
 		resp, err := client.Post(*server+"/query", ctype, body)
 		if err != nil {
-			return err
+			return q.kind, err
 		}
 		defer resp.Body.Close()
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			return err
+			return q.kind, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("status %s", resp.Status)
+			return q.kind, fmt.Errorf("status %s", resp.Status)
 		}
-		return nil
+		return q.kind, nil
 	}
 
-	log.Printf("driving %s at %.1f q/s with %d VQ queries...", *server, *rate, *n)
+	log.Printf("driving %s at %.1f q/s with %d queries over %d texts...", *server, *rate, *n, len(queries))
 	res, err := loadgen.Run(context.Background(), loadgen.Spec{Rate: *rate, Requests: *n, Seed: *seed, Timeout: *timeout}, send)
 	if err != nil {
 		log.Fatal(err)

@@ -4,25 +4,37 @@
 // POST /query (multipart form with "audio" WAV, "image" PNG, and/or
 // "text" fields).
 //
+// Observability surface: Prometheus metrics at /metrics, JSON stats
+// with tail percentiles at /stats, recent request traces at
+// /debug/traces (add ?trace=1 to a query to get its span tree inline),
+// Go profiling at /debug/pprof/, and a JSON-lines access log on stderr.
+//
 // Usage:
 //
-//	sirius-server [-addr :8080] [-engine gmm|dnn]
+//	sirius-server [-addr :8080] [-engine gmm|dnn] [-drain 30s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sirius/internal/asr"
 	"sirius/internal/sirius"
+	"sirius/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	engine := flag.String("engine", "gmm", "acoustic model: gmm or dnn")
 	modelCache := flag.String("models", "", "path to cache trained acoustic models (created on first run)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 	flag.Parse()
 
 	cfg := sirius.DefaultConfig()
@@ -45,11 +57,39 @@ func main() {
 	log.Printf("pipeline ready in %v; listening on %s", time.Since(start), *addr)
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           sirius.NewServer(p),
+		Addr:    *addr,
+		Handler: telemetry.AccessLog(os.Stderr, sirius.NewServer(p)),
+		// Voice queries upload multi-second WAVs and take seconds of
+		// pipeline time under load, so read/write limits are generous —
+		// but present, so a stalled peer cannot pin a connection forever.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests with a
+	// deadline — the shutdown behavior a WSC scheduler rolling the fleet
+	// expects (no dropped queries, bounded drain).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining in-flight requests (deadline %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v (forcing close)", err)
+			_ = srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("server stopped")
 	}
 }

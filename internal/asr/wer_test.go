@@ -14,9 +14,9 @@ func TestWERKnownCases(t *testing.T) {
 		want     float64
 	}{
 		{"the cat sat", "the cat sat", 0},
-		{"the cat sat", "the cat", 1.0 / 3},        // one deletion
+		{"the cat sat", "the cat", 1.0 / 3},          // one deletion
 		{"the cat sat", "the cat sat down", 1.0 / 3}, // one insertion
-		{"the cat sat", "the dog sat", 1.0 / 3},    // one substitution
+		{"the cat sat", "the dog sat", 1.0 / 3},      // one substitution
 		{"the cat sat", "", 1},
 		{"", "", 0},
 		{"", "word", 1},

@@ -127,7 +127,7 @@ func TestMelScaleMonotoneInverse(t *testing.T) {
 func TestFrontEndDimensionsAndFrames(t *testing.T) {
 	cfg := DefaultFrontEnd()
 	fe := NewFrontEnd(cfg)
-	if fe.Frames(cfg.FrameLen - 1) != 0 {
+	if fe.Frames(cfg.FrameLen-1) != 0 {
 		t.Fatal("too-short audio must produce zero frames")
 	}
 	samples := make([]float64, cfg.FrameLen+cfg.FrameShift*9)

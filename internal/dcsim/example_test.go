@@ -11,7 +11,7 @@ import (
 // An accelerated server's latency win turns into a throughput win under
 // queueing: the lower the operating load, the larger the gain (Fig 17).
 func ExampleThroughputImprovement() {
-	base := 1 * time.Second      // CMP service latency
+	base := 1 * time.Second       // CMP service latency
 	acc := 100 * time.Millisecond // accelerated service latency
 	for _, rho := range []float64{0.2, 0.8} {
 		imp, _ := dcsim.ThroughputImprovement(base, acc, rho)

@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
+
+	"sirius/internal/telemetry"
 )
 
 // Trace-driven queue simulation: generate a Poisson arrival process,
@@ -28,12 +29,16 @@ func PoissonArrivals(rate float64, n int, seed int64) []time.Duration {
 	return out
 }
 
-// TraceResult summarizes one simulated run.
+// TraceResult summarizes one simulated run. The response-time
+// distribution lives in the same telemetry histogram the server and
+// load generator use, so simulated and measured tails line up
+// bucket-for-bucket. Means are exact (computed from sums, not buckets).
 type TraceResult struct {
 	Requests     int
 	MeanService  time.Duration
 	MeanResponse time.Duration // queueing + service
-	P99Response  time.Duration
+	P99Response  time.Duration // estimated from the response histogram
+	Response     telemetry.Summary
 	Utilization  float64 // busy time / makespan
 }
 
@@ -46,7 +51,7 @@ func SimulateQueue(arrivals, services []time.Duration) (TraceResult, error) {
 	if len(arrivals) == 0 {
 		return TraceResult{}, fmt.Errorf("dcsim: empty trace")
 	}
-	responses := make([]time.Duration, len(arrivals))
+	hist := &telemetry.Histogram{}
 	var serverFree time.Duration
 	var busy, sumService, sumResponse time.Duration
 	for i, arr := range arrivals {
@@ -56,19 +61,19 @@ func SimulateQueue(arrivals, services []time.Duration) (TraceResult, error) {
 		}
 		done := start + services[i]
 		serverFree = done
-		responses[i] = done - arr
+		hist.Observe(done - arr)
 		busy += services[i]
 		sumService += services[i]
-		sumResponse += responses[i]
+		sumResponse += done - arr
 	}
-	sort.Slice(responses, func(i, j int) bool { return responses[i] < responses[j] })
 	makespan := serverFree
 	res := TraceResult{
 		Requests:     len(arrivals),
 		MeanService:  sumService / time.Duration(len(arrivals)),
 		MeanResponse: sumResponse / time.Duration(len(arrivals)),
-		P99Response:  responses[len(responses)*99/100],
+		Response:     hist.Summarize(),
 	}
+	res.P99Response = res.Response.P99
 	if makespan > 0 {
 		res.Utilization = float64(busy) / float64(makespan)
 	}

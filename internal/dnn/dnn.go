@@ -29,11 +29,11 @@ const (
 
 // Layer is a fully connected layer: y = act(W*x + b).
 type Layer struct {
-	W    *mat.Dense `json:"w"` // Out x In
-	B    []float64  `json:"b"` // Out
-	Act  Activation `json:"act"`
-	In   int        `json:"in"`
-	Out  int        `json:"out"`
+	W   *mat.Dense `json:"w"` // Out x In
+	B   []float64  `json:"b"` // Out
+	Act Activation `json:"act"`
+	In  int        `json:"in"`
+	Out int        `json:"out"`
 }
 
 // Network is a feed-forward stack of layers.

@@ -11,13 +11,13 @@ import (
 // is N-best rescoring, the standard two-pass arrangement in production
 // recognizers.
 type Trigram struct {
-	lex      *Lexicon
-	uni      []float64
-	bi       map[[2]int]float64
-	tri      map[[3]int]float64
-	biCtx    map[int]float64    // continuation counts per bigram context
-	triCtx   map[[2]int]float64 // continuation counts per trigram context
-	total    float64
+	lex    *Lexicon
+	uni    []float64
+	bi     map[[2]int]float64
+	tri    map[[3]int]float64
+	biCtx  map[int]float64    // continuation counts per bigram context
+	triCtx map[[2]int]float64 // continuation counts per trigram context
+	total  float64
 	// Interpolation weights (tri, bi, uni); the uniform floor gets the
 	// remainder.
 	L3, L2, L1 float64

@@ -22,10 +22,10 @@ type point struct {
 
 // kdNode is a node of the k-d tree. Leaves hold point index ranges.
 type kdNode struct {
-	splitDim   int
-	splitVal   float64
+	splitDim    int
+	splitVal    float64
 	left, right *kdNode
-	lo, hi     int // leaf: points[lo:hi]
+	lo, hi      int // leaf: points[lo:hi]
 }
 
 // KDTree is a k-d tree over SURF descriptors supporting exact and

@@ -3,6 +3,9 @@
 // the empirical counterpart to the M/M/1 modeling of the paper's Fig 17.
 // The generator is transport-agnostic: it fires any send function, so
 // tests can drive an in-process pipeline and the CLI drives HTTP.
+// Latencies land in telemetry histograms, overall and per query kind,
+// so reports carry the same p50/p95/p99/p999 shape as the server's
+// /metrics and /stats — bench trajectories stay comparable across PRs.
 package loadgen
 
 import (
@@ -13,6 +16,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sirius/internal/telemetry"
 )
 
 // Spec configures one run.
@@ -25,22 +30,23 @@ type Spec struct {
 
 // Result summarizes a run.
 type Result struct {
-	Sent      int
-	Errors    int
-	Elapsed   time.Duration
-	Mean      time.Duration
-	P50       time.Duration
-	P95       time.Duration
-	P99       time.Duration
-	Max       time.Duration
+	Sent       int
+	Errors     int
+	Elapsed    time.Duration
 	Throughput float64 // completed requests per second
+
+	Latency telemetry.Summary            // all successful requests
+	PerKind map[string]telemetry.Summary // keyed by send's kind label
 }
 
 // Run fires spec.Requests requests at Poisson arrival times, calling
-// send(i) for each. Requests are issued asynchronously (open loop): a
-// slow server queues work rather than slowing the generator, which is
-// what exposes queueing delay.
-func Run(ctx context.Context, spec Spec, send func(i int) error) (Result, error) {
+// send(i) for each. send returns the kind label the request resolved to
+// ("answer", "action", ... — "" pools it under "other") so tails are
+// reported per kind; action and answer paths differ by orders of
+// magnitude and must not share a distribution. Requests are issued
+// asynchronously (open loop): a slow server queues work rather than
+// slowing the generator, which is what exposes queueing delay.
+func Run(ctx context.Context, spec Spec, send func(i int) (kind string, err error)) (Result, error) {
 	if spec.Rate <= 0 || spec.Requests <= 0 {
 		return Result{}, fmt.Errorf("loadgen: rate and requests must be positive")
 	}
@@ -52,8 +58,26 @@ func Run(ctx context.Context, spec Spec, send func(i int) error) (Result, error)
 		arrivals[i] = time.Duration(t * float64(time.Second))
 	}
 
-	latencies := make([]time.Duration, spec.Requests)
-	errs := make([]bool, spec.Requests)
+	overall := &telemetry.Histogram{}
+	var (
+		mu      sync.Mutex
+		perKind = map[string]*telemetry.Histogram{}
+		errors  int
+	)
+	kindHist := func(kind string) *telemetry.Histogram {
+		if kind == "" {
+			kind = "other"
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		h, ok := perKind[kind]
+		if !ok {
+			h = &telemetry.Histogram{}
+			perKind[kind] = h
+		}
+		return h
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < spec.Requests; i++ {
@@ -68,44 +92,59 @@ func Run(ctx context.Context, spec Spec, send func(i int) error) (Result, error)
 		go func(i int) {
 			defer wg.Done()
 			reqStart := time.Now()
-			err := send(i)
-			latencies[i] = time.Since(reqStart)
-			errs[i] = err != nil
+			kind, err := send(i)
+			lat := time.Since(reqStart)
+			if err != nil {
+				mu.Lock()
+				errors++
+				mu.Unlock()
+				return
+			}
+			overall.Observe(lat)
+			kindHist(kind).Observe(lat)
 		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	res := Result{Sent: spec.Requests, Elapsed: elapsed}
-	var ok []time.Duration
-	var sum time.Duration
-	for i := range latencies {
-		if errs[i] {
-			res.Errors++
-			continue
-		}
-		ok = append(ok, latencies[i])
-		sum += latencies[i]
+	res := Result{
+		Sent:    spec.Requests,
+		Errors:  errors,
+		Elapsed: elapsed,
+		Latency: overall.Summarize(),
+		PerKind: map[string]telemetry.Summary{},
 	}
-	if len(ok) == 0 {
+	for kind, h := range perKind {
+		res.PerKind[kind] = h.Summarize()
+	}
+	if res.Latency.Count == 0 {
 		return res, fmt.Errorf("loadgen: every request failed")
 	}
-	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
-	res.Mean = sum / time.Duration(len(ok))
-	res.P50 = ok[len(ok)/2]
-	res.P95 = ok[len(ok)*95/100]
-	res.P99 = ok[len(ok)*99/100]
-	res.Max = ok[len(ok)-1]
-	res.Throughput = float64(len(ok)) / elapsed.Seconds()
+	res.Throughput = float64(res.Latency.Count) / elapsed.Seconds()
 	return res, nil
 }
 
-// String renders the result as a report block.
+func summaryLine(s telemetry.Summary) string {
+	return fmt.Sprintf("mean %v  p50 %v  p95 %v  p99 %v  p999 %v  max %v",
+		s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.P999.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// String renders the result as a report block: an overall line plus one
+// line per query kind — the per-service latency table of Figs 7-9.
 func (r Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sent %d (%d errors) in %v — %.1f req/s completed\n", r.Sent, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput)
-	fmt.Fprintf(&b, "latency mean %v  p50 %v  p95 %v  p99 %v  max %v",
-		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
-		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	fmt.Fprintf(&b, "latency %s", summaryLine(r.Latency))
+	kinds := make([]string, 0, len(r.PerKind))
+	for k := range r.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		s := r.PerKind[k]
+		fmt.Fprintf(&b, "\n  %-8s n=%-5d %s", k, s.Count, summaryLine(s))
+	}
 	return b.String()
 }

@@ -11,10 +11,11 @@ import (
 
 func TestRunValidation(t *testing.T) {
 	ctx := context.Background()
-	if _, err := Run(ctx, Spec{Rate: 0, Requests: 10}, func(int) error { return nil }); err == nil {
+	ok := func(int) (string, error) { return "answer", nil }
+	if _, err := Run(ctx, Spec{Rate: 0, Requests: 10}, ok); err == nil {
 		t.Fatal("rate 0 must error")
 	}
-	if _, err := Run(ctx, Spec{Rate: 10, Requests: 0}, func(int) error { return nil }); err == nil {
+	if _, err := Run(ctx, Spec{Rate: 10, Requests: 0}, ok); err == nil {
 		t.Fatal("requests 0 must error")
 	}
 }
@@ -22,10 +23,13 @@ func TestRunValidation(t *testing.T) {
 func TestRunCountsAndPercentiles(t *testing.T) {
 	var calls int64
 	res, err := Run(context.Background(), Spec{Rate: 2000, Requests: 200, Seed: 1},
-		func(i int) error {
+		func(i int) (string, error) {
 			atomic.AddInt64(&calls, 1)
 			time.Sleep(time.Millisecond)
-			return nil
+			if i%2 == 0 {
+				return "answer", nil
+			}
+			return "action", nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -33,27 +37,38 @@ func TestRunCountsAndPercentiles(t *testing.T) {
 	if calls != 200 || res.Sent != 200 || res.Errors != 0 {
 		t.Fatalf("calls=%d res=%+v", calls, res)
 	}
-	if res.Mean < time.Millisecond {
-		t.Fatalf("mean %v below service time", res.Mean)
+	if res.Latency.Count != 200 {
+		t.Fatalf("latency count %d", res.Latency.Count)
 	}
-	if !(res.P50 <= res.P95 && res.P95 <= res.P99 && res.P99 <= res.Max) {
-		t.Fatalf("percentile ordering: %+v", res)
+	if res.Latency.Mean < time.Millisecond {
+		t.Fatalf("mean %v below service time", res.Latency.Mean)
+	}
+	s := res.Latency
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Fatalf("percentile ordering: %+v", s)
 	}
 	if res.Throughput <= 0 {
 		t.Fatal("throughput")
 	}
-	if !strings.Contains(res.String(), "p99") {
-		t.Fatal("report formatting")
+	// Per-kind split: both kinds present with half the requests each.
+	if res.PerKind["answer"].Count != 100 || res.PerKind["action"].Count != 100 {
+		t.Fatalf("per-kind counts: %+v", res.PerKind)
+	}
+	rep := res.String()
+	for _, want := range []string{"p99", "p999", "answer", "action"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report %q missing %q", rep, want)
+		}
 	}
 }
 
 func TestRunRecordsErrors(t *testing.T) {
 	res, err := Run(context.Background(), Spec{Rate: 5000, Requests: 50, Seed: 2},
-		func(i int) error {
+		func(i int) (string, error) {
 			if i%2 == 0 {
-				return errors.New("boom")
+				return "", errors.New("boom")
 			}
-			return nil
+			return "answer", nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -61,9 +76,13 @@ func TestRunRecordsErrors(t *testing.T) {
 	if res.Errors != 25 {
 		t.Fatalf("errors=%d", res.Errors)
 	}
+	// Failed requests must not pollute the latency distribution.
+	if res.Latency.Count != 25 {
+		t.Fatalf("latency count %d, want 25", res.Latency.Count)
+	}
 	// All failing: Run itself errors.
 	if _, err := Run(context.Background(), Spec{Rate: 5000, Requests: 10, Seed: 3},
-		func(int) error { return errors.New("x") }); err == nil {
+		func(int) (string, error) { return "", errors.New("x") }); err == nil {
 		t.Fatal("all-error run must fail")
 	}
 }
@@ -71,7 +90,7 @@ func TestRunRecordsErrors(t *testing.T) {
 func TestRunHonorsContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := Run(ctx, Spec{Rate: 1, Requests: 100, Seed: 4}, func(int) error { return nil })
+	_, err := Run(ctx, Spec{Rate: 1, Requests: 100, Seed: 4}, func(int) (string, error) { return "answer", nil })
 	if err == nil {
 		t.Fatal("cancelled context must abort")
 	}

@@ -57,13 +57,13 @@ var goldens = map[string]string{
 	"sensitiviti":    "sensit",
 	"sensibiliti":    "sensibl",
 	// Step 3
-	"triplicate": "triplic",
-	"formative":  "form",
-	"formalize":  "formal",
+	"triplicate":  "triplic",
+	"formative":   "form",
+	"formalize":   "formal",
 	"electriciti": "electr",
-	"electrical": "electr",
-	"hopeful":    "hope",
-	"goodness":   "good",
+	"electrical":  "electr",
+	"hopeful":     "hope",
+	"goodness":    "good",
 	// Step 4
 	"revival":     "reviv",
 	"allowance":   "allow",
@@ -85,11 +85,11 @@ var goldens = map[string]string{
 	"effective":   "effect",
 	"bowdlerize":  "bowdler",
 	// Step 5
-	"probate":    "probat",
-	"rate":       "rate",
-	"cease":      "ceas",
-	"controll":   "control",
-	"roll":       "roll",
+	"probate":  "probat",
+	"rate":     "rate",
+	"cease":    "ceas",
+	"controll": "control",
+	"roll":     "roll",
 	// Short words unchanged
 	"a":  "a",
 	"is": "is",

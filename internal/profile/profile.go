@@ -23,11 +23,11 @@ const IssueWidth = 4.0
 // Breakdown is one kernel's top-down cycle accounting: the four
 // categories sum to 1.
 type Breakdown struct {
-	IPC           float64
-	Retiring      float64 // useful work
-	FrontEnd      float64 // fetch/decode stalls
+	IPC            float64
+	Retiring       float64 // useful work
+	FrontEnd       float64 // fetch/decode stalls
 	BadSpeculation float64
-	BackEnd       float64 // memory/execution stalls
+	BackEnd        float64 // memory/execution stalls
 }
 
 // Breakdowns carries Fig 10's per-kernel measurements (read from the

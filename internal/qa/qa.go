@@ -43,8 +43,8 @@ type Answer struct {
 	Confidence float64 // margin of best over runner-up, in (0, 1]
 	// Evidence is the highest-scoring sentence that produced the answer —
 	// the justification a user-facing assistant shows with its response.
-	Evidence string
-	FilterHits int     // document-filter pattern hits (Fig 8c x-axis)
+	Evidence   string
+	FilterHits int // document-filter pattern hits (Fig 8c x-axis)
 	// FilterTime is the time spent inside the per-hit document filters
 	// (answer-pattern scans, POS validation, fallback extraction) — the
 	// cost that FilterHits drives (Fig 8c y-axis).

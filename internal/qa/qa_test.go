@@ -42,11 +42,11 @@ func TestAnswersRewrittenVIQQueries(t *testing.T) {
 	// entity before calling QA; test the rewritten forms.
 	e := engine()
 	cases := map[string]string{
-		"when does luigis restaurant close":  "ten",
-		"when does city museum open":         "nine",
-		"what is the rating of grand hotel":  "four",
-		"when does central library close":    "eight",
-		"what is the rating of river park":   "three",
+		"when does luigis restaurant close": "ten",
+		"when does city museum open":        "nine",
+		"what is the rating of grand hotel": "four",
+		"when does central library close":   "eight",
+		"what is the rating of river park":  "three",
 	}
 	correct := 0
 	for q, want := range cases {
@@ -198,10 +198,10 @@ func TestGeneralizationBeyondInputSet(t *testing.T) {
 	// over the benchmark queries.
 	e := engine()
 	cases := map[string]string{
-		"what language is spoken in italy":   "italian",
-		"what language is spoken in japan":   "japanese",
-		"what currency does germany use":     "euro",
-		"what currency does america use":     "dollar",
+		"what language is spoken in italy": "italian",
+		"what language is spoken in japan": "japanese",
+		"what currency does germany use":   "euro",
+		"what currency does america use":   "dollar",
 	}
 	correct := 0
 	for q, want := range cases {

@@ -42,12 +42,12 @@ type posting struct {
 // for concurrent reads after Freeze (or interleaved Add/Search guarded by
 // its internal lock).
 type Index struct {
-	mu        sync.RWMutex
-	docs      []*Document
-	postings  map[string][]posting
-	docLen    []int
-	totalLen  int
-	k1, b     float64
+	mu       sync.RWMutex
+	docs     []*Document
+	postings map[string][]posting
+	docLen   []int
+	totalLen int
+	k1, b    float64
 	// titleBoost weights title occurrences (BM25F-style field boost):
 	// a term in the title counts as titleBoost body occurrences.
 	titleBoost int

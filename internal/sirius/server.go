@@ -9,46 +9,107 @@ import (
 	"io"
 	"mime/multipart"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"sirius/internal/audio"
+	"sirius/internal/telemetry"
 	"sirius/internal/vision"
 )
 
 // Server exposes the pipeline as the web service of Figure 2: mobile
 // devices POST compressed recordings and images, the server replies with
-// the answer or action in JSON.
+// the answer or action in JSON. Alongside the serving endpoint it
+// carries the operational surface a WSC operator needs: Prometheus-style
+// /metrics, JSON /stats with tail percentiles, a ring buffer of recent
+// request traces at /debug/traces, and the Go profiler under
+// /debug/pprof/.
 type Server struct {
 	pipeline *Pipeline
 	mux      *http.ServeMux
 	stats    *stats
+
+	registry *telemetry.Registry
+	traces   *telemetry.TraceLog
+	queries  *telemetry.CounterVec   // sirius_queries_total{kind}
+	errors   *telemetry.CounterVec   // sirius_query_errors_total{reason}
+	inflight *telemetry.Gauge        // sirius_inflight_requests
+	queryLat *telemetry.HistogramVec // sirius_query_latency_seconds{kind}
+	stageLat *telemetry.HistogramVec // sirius_stage_latency_seconds{stage}
 }
 
-// NewServer wraps a pipeline in an HTTP handler exposing /query, /stats
-// and /healthz.
+// traceLogCapacity bounds /debug/traces memory: spans are small, and 64
+// requests of history is plenty to inspect a latency incident.
+const traceLogCapacity = 64
+
+// NewServer wraps a pipeline in an HTTP handler exposing /query, /stats,
+// /healthz, /metrics, /debug/traces, and /debug/pprof/*.
 func NewServer(p *Pipeline) *Server {
-	s := &Server{pipeline: p, mux: http.NewServeMux(), stats: newStats()}
+	reg := telemetry.NewRegistry()
+	s := &Server{
+		pipeline: p,
+		mux:      http.NewServeMux(),
+		stats:    newStats(),
+		registry: reg,
+		traces:   telemetry.NewTraceLog(traceLogCapacity),
+		queries:  reg.NewCounterVec("sirius_queries_total", "Queries served, by pipeline classification.", "kind"),
+		errors:   reg.NewCounterVec("sirius_query_errors_total", "Failed queries, by failure class.", "reason"),
+		inflight: reg.NewGauge("sirius_inflight_requests", "Queries currently being processed."),
+		queryLat: reg.NewHistogramVec("sirius_query_latency_seconds", "End-to-end query latency, by kind.", "kind"),
+		stageLat: reg.NewHistogramVec("sirius_stage_latency_seconds", "Pipeline stage latency (asr/qa/imm and their components).", "stage"),
+	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/stats", s.stats.handler)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.Handle("/metrics", reg.Handler())
+	s.mux.Handle("/debug/traces", s.traces.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
+// Registry exposes the server's metrics registry (for embedding hosts
+// that want to add their own series).
+func (s *Server) Registry() *telemetry.Registry { return s.registry }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// tracedResponse is the /query reply when ?trace=1 is set: the normal
+// response plus the request's span tree.
+type tracedResponse struct {
+	Response
+	Trace *telemetry.Trace `json:"trace"`
+}
+
+// badRequest records a client error in stats and metrics and replies 400.
+func (s *Server) badRequest(w http.ResponseWriter, reason, msg string) {
+	s.stats.recordError()
+	s.errors.With(reason).Inc()
+	http.Error(w, msg, http.StatusBadRequest)
+}
 
 // handleQuery accepts multipart form data with any of:
 //   - "audio": a 16 kHz mono 16-bit WAV recording
 //   - "image": a PNG photo accompanying the query
 //   - "text":  a pre-transcribed query (skips ASR)
+//
+// Append ?trace=1 to get the per-stage span tree back with the answer.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		s.errors.With("bad_method").Inc()
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	s.inflight.Inc()
+	defer s.inflight.Dec()
 	if err := r.ParseMultipartForm(32 << 20); err != nil {
-		http.Error(w, "bad multipart form: "+err.Error(), http.StatusBadRequest)
+		s.badRequest(w, "bad_multipart", "bad multipart form: "+err.Error())
 		return
 	}
 	var samples []float64
@@ -57,7 +118,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var sr int
 		samples, sr, err = audio.ReadWAV(f)
 		if err != nil {
-			http.Error(w, "bad audio: "+err.Error(), http.StatusBadRequest)
+			s.badRequest(w, "bad_audio", "bad audio: "+err.Error())
 			return
 		}
 		if sr != 16000 {
@@ -70,36 +131,80 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer f.Close()
 		img, err = DecodePNG(f)
 		if err != nil {
-			http.Error(w, "bad image: "+err.Error(), http.StatusBadRequest)
+			s.badRequest(w, "bad_image", "bad image: "+err.Error())
 			return
 		}
 	}
 	text := r.FormValue("text")
 
+	// Every query runs under a trace; the ring buffer keeps recent ones
+	// for /debug/traces whether or not this client asked for the dump.
+	ctx, tr := telemetry.StartTrace(r.Context(), "query")
+
 	var resp Response
 	var err error
 	switch {
 	case samples != nil && img != nil:
-		resp, err = s.pipeline.ProcessVoiceImage(samples, img)
+		resp, err = s.pipeline.ProcessVoiceImageContext(ctx, samples, img)
 	case samples != nil:
-		resp, err = s.pipeline.ProcessVoice(samples)
+		resp, err = s.pipeline.ProcessVoiceContext(ctx, samples)
 	case text != "" && img != nil:
-		resp = s.pipeline.ProcessTextImage(text, img)
+		resp = s.pipeline.ProcessTextImageContext(ctx, text, img)
 	case text != "":
-		resp = s.pipeline.ProcessText(text)
+		resp = s.pipeline.ProcessTextContext(ctx, text)
 	default:
-		http.Error(w, "provide audio, text, or text+image", http.StatusBadRequest)
+		s.badRequest(w, "empty_query", "provide audio, text, or text+image")
 		return
 	}
+	tr.Finish()
+	s.traces.Add(tr)
 	if err != nil {
 		s.stats.recordError()
+		s.errors.With("pipeline").Inc()
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	s.stats.record(resp)
+	s.observe(resp)
+
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
+	var body any = resp
+	if r.URL.Query().Get("trace") == "1" {
+		body = tracedResponse{Response: resp, Trace: tr}
+	}
+	if err := json.NewEncoder(w).Encode(body); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// observe feeds one served response into the Prometheus registry:
+// end-to-end latency per kind, and per-stage latency for the stages the
+// query exercised (components included, so Fig 7-9-style breakdowns
+// fall straight out of /metrics).
+func (s *Server) observe(resp Response) {
+	s.queries.With(string(resp.Kind)).Inc()
+	s.queryLat.With(string(resp.Kind)).Observe(resp.Latency.Total)
+	for _, st := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"asr", resp.Latency.ASR},
+		{"asr_feature", resp.Latency.ASRFeature},
+		{"asr_scoring", resp.Latency.ASRScoring},
+		{"asr_search", resp.Latency.ASRSearch},
+		{"qa", resp.Latency.QA},
+		{"qa_stemming", resp.Latency.QAStemming},
+		{"qa_regex", resp.Latency.QARegex},
+		{"qa_crf", resp.Latency.QACRF},
+		{"qa_retrieval", resp.Latency.QARetrieval},
+		{"imm", resp.Latency.IMM},
+		{"imm_fe", resp.Latency.IMMFE},
+		{"imm_fd", resp.Latency.IMMFD},
+		{"imm_search", resp.Latency.IMMSearch},
+	} {
+		if st.d > 0 {
+			s.stageLat.With(st.name).Observe(st.d)
+		}
 	}
 }
 

@@ -1,0 +1,286 @@
+package sirius
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sirius/internal/kb"
+	"sirius/internal/telemetry"
+)
+
+// postText POSTs a text query and returns the HTTP response.
+func postText(t *testing.T, url, text, suffix string) *http.Response {
+	t.Helper()
+	body, ctype, err := BuildMultipartQuery(nil, nil, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/query"+suffix, ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	// One answer, one action, one client error.
+	postText(t, srv.URL, "what is the capital of france", "").Body.Close()
+	postText(t, srv.URL, "call mom", "").Body.Close()
+	postText(t, srv.URL, "", "").Body.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE sirius_queries_total counter",
+		`sirius_queries_total{kind="answer"} 1`,
+		`sirius_queries_total{kind="action"} 1`,
+		"# TYPE sirius_query_errors_total counter",
+		`sirius_query_errors_total{reason="empty_query"} 1`,
+		"# TYPE sirius_inflight_requests gauge",
+		"# TYPE sirius_query_latency_seconds histogram",
+		`sirius_query_latency_seconds_count{kind="answer"} 1`,
+		"# TYPE sirius_stage_latency_seconds histogram",
+		`sirius_stage_latency_seconds_count{stage="qa"} 1`,
+		`sirius_stage_latency_seconds_bucket{stage="qa",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestServerTraceDump(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	// ?trace=1 returns the span tree inline with the answer.
+	resp := postText(t, srv.URL, "what is the capital of france", "?trace=1")
+	defer resp.Body.Close()
+	var traced struct {
+		Response
+		Trace *telemetry.Trace `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traced); err != nil {
+		t.Fatal(err)
+	}
+	if traced.Answer != "paris" {
+		t.Fatalf("answer %q", traced.Answer)
+	}
+	if traced.Trace == nil || traced.Trace.ID == "" || traced.Trace.Root == nil {
+		t.Fatalf("trace missing: %+v", traced.Trace)
+	}
+	if traced.Trace.Root.Duration <= 0 {
+		t.Fatal("unfinished root span")
+	}
+	names := map[string]bool{}
+	for _, c := range traced.Trace.Root.Children {
+		names[c.Name] = true
+	}
+	if !names["qa"] {
+		t.Fatalf("trace lacks qa span: %v", names)
+	}
+
+	// The same trace (and earlier ones) shows up in the ring buffer.
+	dresp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var traces []*telemetry.Trace
+	if err := json.NewDecoder(dresp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("/debug/traces empty after a query")
+	}
+	found := false
+	for _, tr := range traces {
+		if tr.ID == traced.Trace.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("query trace %q not in /debug/traces", traced.Trace.ID)
+	}
+
+	// Untraced requests don't leak a trace field... but still land in
+	// the ring buffer, so the JSON body must not include "trace".
+	resp = postText(t, srv.URL, "what is the capital of france", "")
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if bytes.Contains(raw, []byte(`"trace"`)) {
+		t.Fatalf("untraced response leaked trace: %s", raw)
+	}
+}
+
+func TestServerStatsPerKindAndErrorRate(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	postText(t, srv.URL, "what is the capital of spain", "").Body.Close()
+	postText(t, srv.URL, "call mom", "").Body.Close()
+	postText(t, srv.URL, "", "").Body.Close() // client error
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Served[KindAnswer] != 1 || snap.Served[KindAction] != 1 {
+		t.Fatalf("served %+v", snap.Served)
+	}
+	if snap.Errors != 1 {
+		t.Fatalf("errors %d", snap.Errors)
+	}
+	if want := 1.0 / 3.0; snap.ErrorRate < want-1e-9 || snap.ErrorRate > want+1e-9 {
+		t.Fatalf("error rate %v, want %v", snap.ErrorRate, want)
+	}
+	// Latency is now split per kind: both kinds carry their own tail.
+	ans, ok := snap.PerKind[KindAnswer]
+	if !ok || ans.Count != 1 || ans.P99 <= 0 {
+		t.Fatalf("answer summary %+v", ans)
+	}
+	act, ok := snap.PerKind[KindAction]
+	if !ok || act.Count != 1 {
+		t.Fatalf("action summary %+v", act)
+	}
+	if qa, ok := snap.Stages["qa"]; !ok || qa.Count != 1 {
+		t.Fatalf("qa stage summary %+v (stages %+v)", qa, snap.Stages)
+	}
+	if snap.Latency.Count != 2 || snap.MeanLatency <= 0 {
+		t.Fatalf("overall summary %+v", snap.Latency)
+	}
+}
+
+func TestServerPprof(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(raw, []byte("goroutine")) {
+		t.Fatal("pprof index lacks profile listing")
+	}
+}
+
+func TestServerConcurrentRequests(t *testing.T) {
+	// Concurrent queries interleaved with /metrics and /stats scrapes;
+	// run under -race to validate histogram and registry locking.
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	post := func(text, suffix string) error {
+		body, ctype, err := BuildMultipartQuery(nil, nil, text)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(srv.URL+"/query"+suffix, ctype, body)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return errStatus(resp.StatusCode)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				switch w % 3 {
+				case 0:
+					q := kb.VoiceQueries[(w+i)%len(kb.VoiceQueries)]
+					if err := post(q.Text, "?trace=1"); err != nil {
+						errs <- err
+					}
+				case 1:
+					q := kb.VoiceCommands[(w+i)%len(kb.VoiceCommands)]
+					if err := post(q.Text, ""); err != nil {
+						errs <- err
+					}
+				default:
+					for _, path := range []string{"/metrics", "/stats", "/debug/traces"} {
+						resp, err := http.Get(srv.URL + path)
+						if err != nil {
+							errs <- err
+							continue
+						}
+						if resp.StatusCode != 200 {
+							errs <- errStatus(resp.StatusCode)
+						}
+						resp.Body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the storm, counters and histograms agree.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range snap.Served {
+		total += v
+	}
+	if uint64(total) != snap.Latency.Count {
+		t.Fatalf("served %d but histogram count %d", total, snap.Latency.Count)
+	}
+}
+
+type errStatus int
+
+func (e errStatus) Error() string { return http.StatusText(int(e)) }

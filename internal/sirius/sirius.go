@@ -7,6 +7,7 @@
 package sirius
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"sirius/internal/nlp/regex"
 	"sirius/internal/qa"
 	"sirius/internal/search"
+	"sirius/internal/telemetry"
 	"sirius/internal/vision"
 )
 
@@ -192,18 +194,34 @@ func (p *Pipeline) ClassifyText(text string) Kind {
 // ProcessText runs the pipeline on an already-transcribed query: QC then
 // QA. Used directly by tests, and by ProcessVoice after ASR.
 func (p *Pipeline) ProcessText(text string) Response {
+	return p.ProcessTextContext(context.Background(), text)
+}
+
+// ProcessTextContext is ProcessText with an observability context: when
+// ctx carries a telemetry trace (see telemetry.StartTrace), the QA or
+// action stage is recorded as a span with its component timings as
+// children. With a plain context the span calls are no-ops.
+func (p *Pipeline) ProcessTextContext(ctx context.Context, text string) Response {
 	start := time.Now()
 	resp := Response{Transcript: text}
 	if p.ClassifyText(text) == KindAction {
+		_, sp := telemetry.StartSpan(ctx, "action")
 		resp.Kind = KindAction
 		act := ParseAction(text)
 		resp.Action = act.Verb
 		resp.ActionDetail = &act
+		sp.End()
 		resp.Latency.Total = time.Since(start)
 		return resp
 	}
 	resp.Kind = KindAnswer
+	_, sp := telemetry.StartSpan(ctx, "qa")
 	ans := p.qaEngine.Ask(text)
+	sp.End()
+	sp.AddTimed("stem", ans.Timings.Stemming)
+	sp.AddTimed("regex", ans.Timings.Regex)
+	sp.AddTimed("crf", ans.Timings.CRF)
+	sp.AddTimed("retrieval", ans.Timings.Retrieval)
 	resp.Answer = ans.Text
 	resp.Evidence = ans.Evidence
 	resp.Latency.QAStemming = ans.Timings.Stemming
@@ -217,15 +235,35 @@ func (p *Pipeline) ProcessText(text string) Response {
 	return resp
 }
 
+// recognize runs ASR under an "asr" span with component children.
+func (p *Pipeline) recognize(ctx context.Context, samples []float64) (asr.Result, error) {
+	_, sp := telemetry.StartSpan(ctx, "asr")
+	rec, err := p.recognizer.Recognize(samples)
+	sp.End()
+	if err != nil {
+		return rec, err
+	}
+	sp.AddTimed("feature", rec.Timings.FeatureExtraction)
+	sp.AddTimed("scoring", rec.Timings.Scoring)
+	sp.AddTimed("search", rec.Timings.Search)
+	return rec, nil
+}
+
 // ProcessVoice runs the full voice path: ASR, QC, then either the action
 // path or QA (the VC and VQ pathways of Figure 2).
 func (p *Pipeline) ProcessVoice(samples []float64) (Response, error) {
+	return p.ProcessVoiceContext(context.Background(), samples)
+}
+
+// ProcessVoiceContext is ProcessVoice with an observability context
+// (see ProcessTextContext).
+func (p *Pipeline) ProcessVoiceContext(ctx context.Context, samples []float64) (Response, error) {
 	start := time.Now()
-	rec, err := p.recognizer.Recognize(samples)
+	rec, err := p.recognize(ctx, samples)
 	if err != nil {
 		return Response{}, fmt.Errorf("sirius: asr: %w", err)
 	}
-	resp := p.ProcessText(rec.Text)
+	resp := p.ProcessTextContext(ctx, rec.Text)
 	resp.Transcript = rec.Text
 	resp.Latency.ASRFeature = rec.Timings.FeatureExtraction
 	resp.Latency.ASRScoring = rec.Timings.Scoring
@@ -239,12 +277,18 @@ func (p *Pipeline) ProcessVoice(samples []float64) (Response, error) {
 // is rewritten with the matched entity ("this restaurant" -> "luigis
 // restaurant") and answered by QA.
 func (p *Pipeline) ProcessVoiceImage(samples []float64, img *vision.Image) (Response, error) {
+	return p.ProcessVoiceImageContext(context.Background(), samples, img)
+}
+
+// ProcessVoiceImageContext is ProcessVoiceImage with an observability
+// context (see ProcessTextContext).
+func (p *Pipeline) ProcessVoiceImageContext(ctx context.Context, samples []float64, img *vision.Image) (Response, error) {
 	start := time.Now()
-	rec, err := p.recognizer.Recognize(samples)
+	rec, err := p.recognize(ctx, samples)
 	if err != nil {
 		return Response{}, fmt.Errorf("sirius: asr: %w", err)
 	}
-	resp := p.processTextImage(rec.Text, img)
+	resp := p.processTextImage(ctx, rec.Text, img)
 	resp.Transcript = rec.Text
 	resp.Latency.ASRFeature = rec.Timings.FeatureExtraction
 	resp.Latency.ASRScoring = rec.Timings.Scoring
@@ -256,18 +300,29 @@ func (p *Pipeline) ProcessVoiceImage(samples []float64, img *vision.Image) (Resp
 
 // ProcessTextImage is the text-input variant of the VIQ pathway.
 func (p *Pipeline) ProcessTextImage(text string, img *vision.Image) Response {
-	return p.processTextImage(text, img)
+	return p.processTextImage(context.Background(), text, img)
 }
 
-func (p *Pipeline) processTextImage(text string, img *vision.Image) Response {
+// ProcessTextImageContext is ProcessTextImage with an observability
+// context (see ProcessTextContext).
+func (p *Pipeline) ProcessTextImageContext(ctx context.Context, text string, img *vision.Image) Response {
+	return p.processTextImage(ctx, text, img)
+}
+
+func (p *Pipeline) processTextImage(ctx context.Context, text string, img *vision.Image) Response {
 	start := time.Now()
+	_, sp := telemetry.StartSpan(ctx, "imm")
 	match := p.imageDB.Match(img, p.immCfg)
+	sp.End()
+	sp.AddTimed("fe", match.FeatureExtraction)
+	sp.AddTimed("fd", match.FeatureDescription)
+	sp.AddTimed("search", match.Search)
 	matched := match.Votes >= p.minMatchVotes
 	rewritten := text
 	if matched {
 		rewritten = p.rewriteWithEntity(text, match.Label)
 	}
-	resp := p.ProcessText(rewritten)
+	resp := p.ProcessTextContext(ctx, rewritten)
 	resp.Transcript = text
 	if matched {
 		resp.MatchedImage = match.Label

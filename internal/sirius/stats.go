@@ -5,37 +5,75 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"sirius/internal/telemetry"
 )
 
 // stats aggregates served-query metrics for the /stats endpoint, the
-// operational view a datacenter operator would scrape.
+// operational view a datacenter operator would scrape. Latencies are
+// kept in log-bucketed histograms — per query kind and per pipeline
+// stage — because the paper's provisioning argument (§6) runs on tails,
+// not means: an action-path p50 and an answer-path p99 differ by orders
+// of magnitude and must not be pooled.
 type stats struct {
-	mu          sync.Mutex
-	served      map[Kind]int
-	errors      int
-	totalLat    time.Duration
-	maxLat      time.Duration
-	asrLat      time.Duration
-	qaLat       time.Duration
-	immLat      time.Duration
-	start       time.Time
+	mu      sync.Mutex
+	served  map[Kind]int
+	errors  int
+	start   time.Time
+	total   *telemetry.Histogram
+	perKind map[Kind]*telemetry.Histogram
+	stages  map[string]*telemetry.Histogram
 }
 
 func newStats() *stats {
-	return &stats{served: map[Kind]int{}, start: time.Now()}
+	return &stats{
+		served:  map[Kind]int{},
+		start:   time.Now(),
+		total:   &telemetry.Histogram{},
+		perKind: map[Kind]*telemetry.Histogram{},
+		stages:  map[string]*telemetry.Histogram{},
+	}
+}
+
+func (s *stats) kindHist(k Kind) *telemetry.Histogram {
+	h, ok := s.perKind[k]
+	if !ok {
+		h = &telemetry.Histogram{}
+		s.perKind[k] = h
+	}
+	return h
+}
+
+func (s *stats) stageHist(name string) *telemetry.Histogram {
+	h, ok := s.stages[name]
+	if !ok {
+		h = &telemetry.Histogram{}
+		s.stages[name] = h
+	}
+	return h
 }
 
 func (s *stats) record(resp Response) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.served[resp.Kind]++
-	s.totalLat += resp.Latency.Total
-	if resp.Latency.Total > s.maxLat {
-		s.maxLat = resp.Latency.Total
+	s.total.Observe(resp.Latency.Total)
+	s.kindHist(resp.Kind).Observe(resp.Latency.Total)
+	// Stage histograms only record stages the query exercised: a text
+	// query has no ASR time, and zero-filling would drag the ASR tail
+	// toward the floor.
+	for _, st := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"asr", resp.Latency.ASR},
+		{"qa", resp.Latency.QA},
+		{"imm", resp.Latency.IMM},
+	} {
+		if st.d > 0 {
+			s.stageHist(st.name).Observe(st.d)
+		}
 	}
-	s.asrLat += resp.Latency.ASR
-	s.qaLat += resp.Latency.QA
-	s.immLat += resp.Latency.IMM
 }
 
 func (s *stats) recordError() {
@@ -44,38 +82,46 @@ func (s *stats) recordError() {
 	s.errors++
 }
 
-// Snapshot is the JSON shape of /stats.
+// Snapshot is the JSON shape of /stats: per-kind and per-stage latency
+// summaries (count, mean, max, p50..p999) plus counts and error rate.
 type Snapshot struct {
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Served        map[Kind]int  `json:"served"`
-	Errors        int           `json:"errors"`
-	MeanLatency   time.Duration `json:"mean_latency_ns"`
-	MaxLatency    time.Duration `json:"max_latency_ns"`
-	MeanASR       time.Duration `json:"mean_asr_ns"`
-	MeanQA        time.Duration `json:"mean_qa_ns"`
-	MeanIMM       time.Duration `json:"mean_imm_ns"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Served        map[Kind]int                 `json:"served"`
+	Errors        int                          `json:"errors"`
+	ErrorRate     float64                      `json:"error_rate"`
+	MeanLatency   time.Duration                `json:"mean_latency_ns"`
+	MaxLatency    time.Duration                `json:"max_latency_ns"`
+	Latency       telemetry.Summary            `json:"latency"`
+	PerKind       map[Kind]telemetry.Summary   `json:"per_kind"`
+	Stages        map[string]telemetry.Summary `json:"stages"`
 }
 
 func (s *stats) snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	served := map[Kind]int{}
-	for k, v := range s.served {
-		served[k] = v
-		n += v
-	}
 	snap := Snapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Served:        served,
+		Served:        map[Kind]int{},
 		Errors:        s.errors,
-		MaxLatency:    s.maxLat,
+		Latency:       s.total.Summarize(),
+		PerKind:       map[Kind]telemetry.Summary{},
+		Stages:        map[string]telemetry.Summary{},
 	}
-	if n > 0 {
-		snap.MeanLatency = s.totalLat / time.Duration(n)
-		snap.MeanASR = s.asrLat / time.Duration(n)
-		snap.MeanQA = s.qaLat / time.Duration(n)
-		snap.MeanIMM = s.immLat / time.Duration(n)
+	n := 0
+	for k, v := range s.served {
+		snap.Served[k] = v
+		n += v
+	}
+	if n+s.errors > 0 {
+		snap.ErrorRate = float64(s.errors) / float64(n+s.errors)
+	}
+	snap.MeanLatency = snap.Latency.Mean
+	snap.MaxLatency = snap.Latency.Max
+	for k, h := range s.perKind {
+		snap.PerKind[k] = h.Summarize()
+	}
+	for name, h := range s.stages {
+		snap.Stages[name] = h.Summarize()
 	}
 	return snap
 }

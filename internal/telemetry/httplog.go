@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// statusWriter captures the status code and byte count a handler wrote,
+// so the access log can record them.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessEntry is one JSON line of the access log.
+type accessEntry struct {
+	Time      string  `json:"time"`
+	RequestID string  `json:"request_id"`
+	Remote    string  `json:"remote"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	DurMS     float64 `json:"dur_ms"`
+	Bytes     int64   `json:"bytes"`
+}
+
+// AccessLog wraps a handler with structured (JSON-lines) request
+// logging. It mints a request ID per request, attaches it to the
+// context (so StartTrace adopts it) and echoes it in the X-Request-Id
+// response header — log lines, trace dumps and client reports all join
+// on the same key. Lines are serialized with a mutex so concurrent
+// requests never interleave bytes.
+func AccessLog(out io.Writer, next http.Handler) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := NewRequestID()
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ContextWithRequestID(r.Context(), id)))
+		line, err := json.Marshal(accessEntry{
+			Time:      start.UTC().Format(time.RFC3339Nano),
+			RequestID: id,
+			Remote:    r.RemoteAddr,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Status:    sw.status,
+			DurMS:     float64(time.Since(start).Microseconds()) / 1000,
+			Bytes:     sw.bytes,
+		})
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		_, _ = out.Write(append(line, '\n'))
+		mu.Unlock()
+	})
+}

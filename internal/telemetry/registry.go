@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric families and renders them in the
+// Prometheus text exposition format (version 0.0.4). It is deliberately
+// minimal — counters, gauges and latency histograms with fixed label
+// sets — because that is all the serving stack needs and the container
+// has no client library to lean on.
+type Registry struct {
+	mu       sync.Mutex
+	names    map[string]bool
+	families []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+type family struct {
+	name, help, typ string
+	write           func(w io.Writer, name string)
+}
+
+func (r *Registry) register(name, help, typ string, write func(io.Writer, string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic("telemetry: duplicate metric " + name)
+	}
+	r.names[name] = true
+	r.families = append(r.families, &family{name: name, help: help, typ: typ, write: write})
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (e.g. in-flight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// labeledVec is the shared child-management machinery of the *Vec types.
+type labeledVec[T any] struct {
+	mu         sync.Mutex
+	labelNames []string
+	children   map[string]*T
+	labelSets  map[string][]string
+}
+
+func newLabeledVec[T any](labelNames []string) *labeledVec[T] {
+	return &labeledVec[T]{
+		labelNames: labelNames,
+		children:   map[string]*T{},
+		labelSets:  map[string][]string{},
+	}
+}
+
+func (v *labeledVec[T]) with(values ...string) *T {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("telemetry: got %d label values for %d labels", len(values), len(v.labelNames)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	child, ok := v.children[key]
+	if !ok {
+		child = new(T)
+		v.children[key] = child
+		v.labelSets[key] = append([]string(nil), values...)
+	}
+	return child
+}
+
+// sortedKeys returns child keys in deterministic exposition order.
+func (v *labeledVec[T]) sortedKeys() []string {
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ *labeledVec[Counter] }
+
+// With returns (creating if needed) the child for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return v.with(values...) }
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ *labeledVec[Gauge] }
+
+// With returns (creating if needed) the child for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.with(values...) }
+
+// HistogramVec is a latency-histogram family partitioned by label values.
+type HistogramVec struct{ *labeledVec[Histogram] }
+
+// With returns (creating if needed) the child for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.with(values...) }
+
+// Summaries digests every child, keyed by its first label value — the
+// bridge from the /metrics registry to JSON snapshots like /stats.
+func (v *HistogramVec) Summaries() map[string]Summary {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]Summary, len(v.children))
+	for key, h := range v.children {
+		out[v.labelSets[key][0]] = h.Summarize()
+	}
+	return out
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, c.Value())
+	})
+	return c
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	v := &CounterVec{newLabeledVec[Counter](labelNames)}
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		for _, key := range v.sortedKeys() {
+			fmt.Fprintf(w, "%s%s %d\n", n, labelString(v.labelNames, v.labelSets[key], "", 0), v.children[key].Value())
+		}
+	})
+	return v
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, g.Value())
+	})
+	return g
+}
+
+// NewHistogram registers and returns an unlabeled latency histogram,
+// exposed in seconds (the Prometheus base unit for time).
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.register(name, help, "histogram", func(w io.Writer, n string) {
+		writeHistogram(w, n, nil, nil, h)
+	})
+	return h
+}
+
+// NewHistogramVec registers and returns a labeled histogram family,
+// exposed in seconds.
+func (r *Registry) NewHistogramVec(name, help string, labelNames ...string) *HistogramVec {
+	v := &HistogramVec{newLabeledVec[Histogram](labelNames)}
+	r.register(name, help, "histogram", func(w io.Writer, n string) {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		for _, key := range v.sortedKeys() {
+			writeHistogram(w, n, v.labelNames, v.labelSets[key], v.children[key])
+		}
+	})
+	return v
+}
+
+// labelString renders {a="x",b="y"}; extraName/extraLe append the le
+// label histogram buckets need. Returns "" when there are no labels.
+func labelString(names, values []string, leName string, le float64) string {
+	var parts []string
+	for i, n := range names {
+		parts = append(parts, n+`="`+escapeLabel(values[i])+`"`)
+	}
+	if leName != "" {
+		if le < 0 { // +Inf sentinel
+			parts = append(parts, leName+`="+Inf"`)
+		} else {
+			parts = append(parts, leName+`="`+strconv.FormatFloat(le, 'g', -1, 64)+`"`)
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func writeHistogram(w io.Writer, name string, labelNames, labelValues []string, h *Histogram) {
+	cum := h.cumulative()
+	for i, bound := range bucketBounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labelNames, labelValues, "le", bound.Seconds()), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labelNames, labelValues, "le", -1), cum[numBuckets])
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labelString(labelNames, labelValues, "", 0), h.Sum().Seconds())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labelNames, labelValues, "", 0), h.Count())
+}
+
+// WritePrometheus renders every registered family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		f.write(bw, f.name)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry at an HTTP endpoint (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

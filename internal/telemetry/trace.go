@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation inside a trace. Offsets are relative to
+// the trace start, so a dumped trace reads as a waterfall: request →
+// asr → {feature, scoring, search}, qa → {stem, regex, crf, retrieval},
+// imm → {fe, fd, search}.
+type Span struct {
+	Name     string        `json:"name"`
+	Offset   time.Duration `json:"offset_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	Children []*Span       `json:"children,omitempty"`
+
+	start time.Time
+	trace *Trace
+}
+
+// Trace is one request's span tree plus identity. Build it while the
+// request runs, Finish it, then read it (JSON dump, ring buffer) — the
+// struct is quiescent after Finish.
+type Trace struct {
+	ID   string    `json:"id"`
+	Time time.Time `json:"time"`
+	Root *Span     `json:"root"`
+
+	mu sync.Mutex
+}
+
+type ctxKey int
+
+const (
+	traceCtxKey ctxKey = iota
+	spanCtxKey
+	requestIDCtxKey
+)
+
+// Request IDs: a per-process random prefix plus a sequence number, so
+// IDs are unique across restarts but still cheap and sortable in logs.
+var (
+	idPrefix string
+	idSeq    atomic.Uint64
+)
+
+func init() {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		copy(b[:], "srus")
+	}
+	idPrefix = hex.EncodeToString(b[:])
+}
+
+// NewRequestID mints a process-unique request ID.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06x", idPrefix, idSeq.Add(1))
+}
+
+// ContextWithRequestID attaches a request ID (e.g. minted by the access
+// log middleware) so StartTrace reuses it as the trace ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDCtxKey, id)
+}
+
+// RequestIDFromContext returns the attached request ID, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDCtxKey).(string)
+	return id
+}
+
+// StartTrace opens a new trace with a root span of the given name and
+// returns a context carrying it. The trace ID reuses the context's
+// request ID when present.
+func StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	id := RequestIDFromContext(ctx)
+	if id == "" {
+		id = NewRequestID()
+	}
+	now := time.Now()
+	t := &Trace{ID: id, Time: now}
+	t.Root = &Span{Name: name, start: now, trace: t}
+	ctx = context.WithValue(ctx, traceCtxKey, t)
+	ctx = context.WithValue(ctx, spanCtxKey, t.Root)
+	return ctx, t
+}
+
+// TraceFromContext returns the active trace, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey).(*Trace)
+	return t
+}
+
+// Finish closes the root span (fixing the trace's total duration).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.Root.End()
+}
+
+// Duration is the root span's duration (0 before Finish).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.Root.Duration
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// context in which it is current. With no trace in ctx it returns a nil
+// span, whose methods all no-op — callers instrument unconditionally.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanCtxKey).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{Name: name, start: time.Now(), trace: parent.trace}
+	s.Offset = s.start.Sub(parent.trace.Time)
+	parent.trace.mu.Lock()
+	parent.Children = append(parent.Children, s)
+	parent.trace.mu.Unlock()
+	return context.WithValue(ctx, spanCtxKey, s), s
+}
+
+// End closes the span. Safe on nil and idempotent enough for deferred
+// use (the last call wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Duration = time.Since(s.start)
+}
+
+// AddTimed attaches an already-measured child span of known duration —
+// how pre-existing component timers (ASR feature/scoring/search etc.)
+// surface in the trace without re-instrumenting their internals. The
+// child is laid out ending where the parent currently is.
+func (s *Span) AddTimed(name string, d time.Duration) {
+	if s == nil || d < 0 {
+		return
+	}
+	offset := time.Since(s.trace.Time) - d
+	if offset < s.Offset {
+		offset = s.Offset
+	}
+	child := &Span{Name: name, Offset: offset, Duration: d, trace: s.trace}
+	s.trace.mu.Lock()
+	s.Children = append(s.Children, child)
+	s.trace.mu.Unlock()
+}
+
+// TraceLog is a fixed-capacity ring buffer of recent finished traces,
+// served at /debug/traces so an operator can inspect the last N
+// requests' waterfalls without external infrastructure.
+type TraceLog struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	full bool
+}
+
+// NewTraceLog returns a ring buffer holding the last capacity traces.
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceLog{buf: make([]*Trace, capacity)}
+}
+
+// Add records a finished trace, evicting the oldest when full.
+func (l *TraceLog) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	l.mu.Lock()
+	l.buf[l.next] = t
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the buffered traces, newest first.
+func (l *TraceLog) Snapshot() []*Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}
+
+// Handler serves the buffer as a JSON array (mount at /debug/traces).
+func (l *TraceLog) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(l.Snapshot())
+	})
+}

@@ -109,10 +109,10 @@ func (ii *Integral) HaarY(x, y, size int) float64 {
 
 // SceneConfig controls the procedural image generator.
 type SceneConfig struct {
-	W, H      int
-	Blobs     int
-	Rects     int
-	NoiseStd  float64
+	W, H     int
+	Blobs    int
+	Rects    int
+	NoiseStd float64
 }
 
 // DefaultSceneConfig returns the generator settings used by the image

@@ -1,0 +1,27 @@
+#!/bin/sh
+# verify.sh — the full pre-merge gate: formatting, static checks, build,
+# and the test suite under the race detector. Tier-1 CI runs
+# `go build ./... && go test ./...`; this script is the stricter local
+# superset referenced from ROADMAP.md.
+set -e
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "verify: OK"
