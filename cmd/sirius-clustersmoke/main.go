@@ -1,0 +1,233 @@
+// Command sirius-clustersmoke is the CI gate for the serving tier: it
+// spawns a real 3-process cluster (1 sirius-frontend + 2 sirius-server
+// backends) on loopback ports, waits for registration and readiness,
+// issues text queries through the frontend, and asserts that /metrics
+// shows both backends serving. Everything runs under a hard deadline —
+// on timeout the processes are killed and the gate fails rather than
+// hangs. verify.sh runs this after the unit tests.
+//
+// Usage:
+//
+//	sirius-clustersmoke -server-bin ./sirius-server -frontend-bin ./sirius-frontend [-timeout 90s]
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"sirius/internal/sirius"
+)
+
+// freePort asks the kernel for an unused loopback port. There is a
+// small window before the subprocess binds it, but on a loopback-only
+// CI host that race is negligible.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// proc is one spawned cluster member with its captured output.
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+	out  bytes.Buffer
+	mu   sync.Mutex
+}
+
+func (p *proc) start(ctx context.Context, bin string, args ...string) error {
+	p.cmd = exec.CommandContext(ctx, bin, args...)
+	p.cmd.Stdout = &lockedWriter{p: p}
+	p.cmd.Stderr = &lockedWriter{p: p}
+	// Deliver SIGTERM (graceful drain) rather than SIGKILL when the
+	// context deadline fires, and escalate if drain hangs.
+	p.cmd.Cancel = func() error { return p.cmd.Process.Signal(syscall.SIGTERM) }
+	p.cmd.WaitDelay = 10 * time.Second
+	return p.cmd.Start()
+}
+
+func (p *proc) stop() {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return
+	}
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	_ = p.cmd.Wait()
+}
+
+func (p *proc) dump() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.String()
+}
+
+type lockedWriter struct{ p *proc }
+
+func (w *lockedWriter) Write(b []byte) (int, error) {
+	w.p.mu.Lock()
+	defer w.p.mu.Unlock()
+	return w.p.out.Write(b)
+}
+
+// waitHTTP polls url until it returns wantStatus or the context ends.
+func waitHTTP(ctx context.Context, client *http.Client, url string, wantStatus int) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == wantStatus {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			if err != nil {
+				return fmt.Errorf("waiting for %s: %w (last error: %v)", url, ctx.Err(), err)
+			}
+			return fmt.Errorf("waiting for %s: %w", url, ctx.Err())
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+func run() (err error) {
+	serverBin := flag.String("server-bin", "", "path to the sirius-server binary")
+	frontendBin := flag.String("frontend-bin", "", "path to the sirius-frontend binary")
+	timeout := flag.Duration("timeout", 90*time.Second, "hard deadline for the whole smoke test")
+	queries := flag.Int("queries", 12, "text queries to issue through the frontend")
+	flag.Parse()
+	if *serverBin == "" || *frontendBin == "" {
+		return fmt.Errorf("both -server-bin and -frontend-bin are required")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	fPort, err := freePort()
+	if err != nil {
+		return err
+	}
+	b1Port, err := freePort()
+	if err != nil {
+		return err
+	}
+	b2Port, err := freePort()
+	if err != nil {
+		return err
+	}
+	frontURL := fmt.Sprintf("http://127.0.0.1:%d", fPort)
+
+	front := &proc{name: "frontend"}
+	back1 := &proc{name: "backend1"}
+	back2 := &proc{name: "backend2"}
+	procs := []*proc{front, back1, back2}
+	defer func() {
+		for _, p := range procs {
+			p.stop()
+		}
+		if err != nil {
+			for _, p := range procs {
+				fmt.Fprintf(os.Stderr, "--- %s output ---\n%s\n", p.name, p.dump())
+			}
+		}
+	}()
+
+	if err := front.start(ctx, *frontendBin, "-addr", fmt.Sprintf("127.0.0.1:%d", fPort)); err != nil {
+		return fmt.Errorf("start frontend: %w", err)
+	}
+	for i, p := range []*proc{back1, back2} {
+		port := []int{b1Port, b2Port}[i]
+		if err := p.start(ctx, *serverBin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-frontend", frontURL,
+		); err != nil {
+			return fmt.Errorf("start %s: %w", p.name, err)
+		}
+	}
+
+	// Readiness flips true once at least one backend has registered and
+	// passed an active health probe; wait for both backends' /readyz
+	// too so round-robin definitely has two targets.
+	for _, url := range []string{
+		fmt.Sprintf("http://127.0.0.1:%d/readyz", b1Port),
+		fmt.Sprintf("http://127.0.0.1:%d/readyz", b2Port),
+		frontURL + "/readyz",
+	} {
+		if err := waitHTTP(ctx, client, url, http.StatusOK); err != nil {
+			return err
+		}
+	}
+	log.Printf("cluster up: frontend :%d, backends :%d :%d", fPort, b1Port, b2Port)
+
+	texts := []string{
+		"what is the capital of france",
+		"call mom",
+		"what is the capital of spain",
+		"set my alarm for eight",
+	}
+	for i := 0; i < *queries; i++ {
+		body, ctype, err := sirius.BuildMultipartQuery(nil, nil, texts[i%len(texts)])
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, frontURL+"/query", body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", ctype)
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("query %d: status %s", i, resp.Status)
+		}
+	}
+
+	resp, err := client.Get(frontURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, port := range []int{b1Port, b2Port} {
+		want := fmt.Sprintf(`cluster_backend_requests_total{backend="127.0.0.1:%d",outcome="ok"}`, port)
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("frontend /metrics missing %q — backend :%d never served;\n--- metrics ---\n%s", want, port, metrics)
+		}
+	}
+	log.Printf("both backends served traffic; cluster smoke OK")
+	return nil
+}
+
+func main() {
+	log.SetPrefix("clustersmoke: ")
+	if err := run(); err != nil {
+		log.Printf("FAIL: %v", err)
+		os.Exit(1)
+	}
+}

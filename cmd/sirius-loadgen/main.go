@@ -1,14 +1,20 @@
-// Command sirius-loadgen drives a running sirius-server with an
+// Command sirius-loadgen drives a running Sirius service with an
 // open-loop Poisson stream of text queries — a mix of questions (the VQ
 // path) and device commands (the VC path) — and reports the latency
-// distribution overall and per query kind: mean, p50, p95, p99, p999,
-// max, from the same telemetry histograms the server exports at
-// /metrics. The empirical companion to the M/M/1 analysis behind the
+// distribution overall, per query kind, and per target: mean, p50, p95,
+// p99, p999, max, from the same telemetry histograms the server exports
+// at /metrics. The empirical companion to the M/M/1 analysis behind the
 // paper's Fig 17, shaped like the per-service tables of Figs 7-9.
+//
+// Targets: a single -addr pointed at a sirius-frontend load-tests the
+// whole cluster; repeated -addr flags spray round-robin across several
+// servers and report each target's percentiles alongside the merged
+// histogram, so one sick replica can't hide inside the pool's tail.
 //
 // Usage:
 //
-//	sirius-loadgen -server http://localhost:8080 -rate 50 -n 500
+//	sirius-loadgen -addr http://localhost:8080 -rate 50 -n 500
+//	sirius-loadgen -addr http://h1:8080 -addr http://h2:8080 -rate 50 -n 500
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"sirius/internal/kb"
@@ -25,14 +32,31 @@ import (
 	"sirius/internal/sirius"
 )
 
+// addrFlags collects repeated -addr targets.
+type addrFlags []string
+
+func (a *addrFlags) String() string { return strings.Join(*a, ",") }
+func (a *addrFlags) Set(v string) error {
+	*a = append(*a, strings.TrimRight(v, "/"))
+	return nil
+}
+
 func main() {
-	server := flag.String("server", "http://localhost:8080", "sirius-server base URL")
+	var addrs addrFlags
+	flag.Var(&addrs, "addr", "target base URL (a server or a frontend); repeat to spray several targets")
+	server := flag.String("server", "", "deprecated alias for a single -addr")
 	rate := flag.Float64("rate", 20, "arrival rate (queries/second)")
 	n := flag.Int("n", 200, "total queries to send")
 	seed := flag.Int64("seed", 1, "arrival-process seed")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	commands := flag.Bool("commands", true, "mix device commands (action path) into the stream")
 	flag.Parse()
+	if *server != "" {
+		addrs = append(addrs, strings.TrimRight(*server, "/"))
+	}
+	if len(addrs) == 0 {
+		addrs = addrFlags{"http://localhost:8080"}
+	}
 
 	// The workload interleaves questions and commands so the report
 	// separates the two paths' tails — pooled, the fast action path
@@ -52,27 +76,28 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: *timeout}
-	send := func(i int) (string, error) {
+	send := func(i int) (string, string, error) {
 		q := queries[i%len(queries)]
+		target := addrs[i%len(addrs)]
 		body, ctype, err := sirius.BuildMultipartQuery(nil, nil, q.text)
 		if err != nil {
-			return q.kind, err
+			return q.kind, target, err
 		}
-		resp, err := client.Post(*server+"/query", ctype, body)
+		resp, err := client.Post(target+"/query", ctype, body)
 		if err != nil {
-			return q.kind, err
+			return q.kind, target, err
 		}
 		defer resp.Body.Close()
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			return q.kind, err
+			return q.kind, target, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return q.kind, fmt.Errorf("status %s", resp.Status)
+			return q.kind, target, fmt.Errorf("status %s", resp.Status)
 		}
-		return q.kind, nil
+		return q.kind, target, nil
 	}
 
-	log.Printf("driving %s at %.1f q/s with %d queries over %d texts...", *server, *rate, *n, len(queries))
+	log.Printf("driving %s at %.1f q/s with %d queries over %d texts...", addrs.String(), *rate, *n, len(queries))
 	res, err := loadgen.Run(context.Background(), loadgen.Spec{Rate: *rate, Requests: *n, Seed: *seed, Timeout: *timeout}, send)
 	if err != nil {
 		log.Fatal(err)

@@ -7,18 +7,30 @@
 // Observability surface: Prometheus metrics at /metrics, JSON stats
 // with tail percentiles at /stats, recent request traces at
 // /debug/traces (add ?trace=1 to a query to get its span tree inline),
-// Go profiling at /debug/pprof/, and a JSON-lines access log on stderr.
+// liveness at /healthz and readiness at /readyz (readiness flips false
+// during graceful drain), Go profiling at /debug/pprof/, and a
+// JSON-lines access log on stderr.
+//
+// Backend mode: with -frontend the server joins a cluster — it
+// registers itself with a sirius-frontend (retrying until the frontend
+// is up), reports its in-flight load in the X-Sirius-Inflight response
+// header, and on shutdown flips /readyz to 503 and deregisters before
+// draining, so the router stops sending work ahead of the listener
+// closing.
 //
 // Usage:
 //
 //	sirius-server [-addr :8080] [-engine gmm|dnn] [-drain 30s]
+//	    [-frontend http://lb:8090] [-kinds asr,qa,imm] [-advertise http://me:8080]
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,15 +38,32 @@ import (
 	"time"
 
 	"sirius/internal/asr"
+	"sirius/internal/cluster"
 	"sirius/internal/sirius"
 	"sirius/internal/telemetry"
 )
+
+// advertiseURL derives the URL peers should use to reach -addr when no
+// explicit -advertise is given: an unspecified host becomes loopback.
+func advertiseURL(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return fmt.Sprintf("http://%s", net.JoinHostPort(host, port))
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	engine := flag.String("engine", "gmm", "acoustic model: gmm or dnn")
 	modelCache := flag.String("models", "", "path to cache trained acoustic models (created on first run)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for draining in-flight requests")
+	frontend := flag.String("frontend", "", "frontend base URL to register with (backend mode)")
+	kinds := flag.String("kinds", "all", "stage pools this backend serves: comma-separated asr,qa,imm, or all")
+	advertise := flag.String("advertise", "", "base URL peers reach this server at (default: derived from -addr)")
 	flag.Parse()
 
 	cfg := sirius.DefaultConfig()
@@ -47,6 +76,9 @@ func main() {
 	default:
 		log.Fatalf("unknown engine %q (want gmm or dnn)", *engine)
 	}
+	if _, err := cluster.ParseKinds(*kinds); err != nil {
+		log.Fatal(err)
+	}
 
 	log.Printf("training models and building indexes (engine=%s)...", cfg.Engine)
 	start := time.Now()
@@ -56,9 +88,10 @@ func main() {
 	}
 	log.Printf("pipeline ready in %v; listening on %s", time.Since(start), *addr)
 
+	s := sirius.NewServer(p)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: telemetry.AccessLog(os.Stderr, sirius.NewServer(p)),
+		Handler: telemetry.AccessLog(os.Stderr, s),
 		// Voice queries upload multi-second WAVs and take seconds of
 		// pipeline time under load, so read/write limits are generous —
 		// but present, so a stalled peer cannot pin a connection forever.
@@ -68,9 +101,41 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// Backend mode: announce ourselves to the frontend, retrying —
+	// backends and frontend boot in any order.
+	reg := cluster.Registration{URL: *advertise, Kinds: *kinds}
+	if reg.URL == "" {
+		reg.URL = advertiseURL(*addr)
+	}
+	regClient := &http.Client{Timeout: 5 * time.Second}
+	regCtx, regCancel := context.WithCancel(context.Background())
+	defer regCancel()
+	if *frontend != "" {
+		go func() {
+			for {
+				if err := cluster.Register(regClient, *frontend, reg); err == nil {
+					log.Printf("registered with frontend %s as %s (kinds=%s)", *frontend, reg.URL, *kinds)
+					return
+				} else if regCtx.Err() != nil {
+					return
+				} else {
+					log.Printf("frontend registration failed (will retry): %v", err)
+				}
+				select {
+				case <-regCtx.Done():
+					return
+				case <-time.After(time.Second):
+				}
+			}
+		}()
+	}
+
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests with a
 	// deadline — the shutdown behavior a WSC scheduler rolling the fleet
-	// expects (no dropped queries, bounded drain).
+	// expects (no dropped queries, bounded drain). The drain sequence is
+	// ordered for zero routed-to-a-corpse requests: readiness off first
+	// (health checks stop picking us), deregister from the frontend,
+	// then close the listener.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -81,6 +146,13 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("signal received; draining in-flight requests (deadline %v)", *drain)
+		s.SetReady(false)
+		regCancel()
+		if *frontend != "" {
+			if err := cluster.Deregister(regClient, *frontend, reg); err != nil {
+				log.Printf("deregister: %v", err)
+			}
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

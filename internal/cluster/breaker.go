@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position. The breaker sits
+// between the router and one backend: Closed passes traffic, Open
+// fails fast after consecutive errors (sparing a struggling replica
+// the retry storm that would keep it down), HalfOpen admits a single
+// probe to test recovery.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the state as a metrics-label-friendly word.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-backend circuit breaker: Threshold consecutive
+// failures open it; after OpenFor it admits one probe (half-open); the
+// probe's outcome closes or re-opens it. Concurrency-safe.
+type Breaker struct {
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // half-open: a probe is already in flight
+
+	threshold    int
+	openFor      time.Duration
+	onTransition func(from, to BreakerState)
+	now          func() time.Time // injectable for tests
+}
+
+// NewBreaker returns a closed breaker. onTransition (may be nil) fires
+// under the breaker lock on every state change — keep it cheap (e.g. a
+// counter increment).
+func NewBreaker(threshold int, openFor time.Duration, onTransition func(from, to BreakerState)) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if openFor <= 0 {
+		openFor = time.Second
+	}
+	return &Breaker{
+		threshold:    threshold,
+		openFor:      openFor,
+		onTransition: onTransition,
+		now:          time.Now,
+	}
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// Allow reports whether an attempt may be sent now. An open breaker
+// whose cool-off elapsed flips to half-open and claims the probe slot
+// for this caller; a half-open breaker admits only that one probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record feeds an attempt's outcome back. Closed counts consecutive
+// failures toward Threshold; half-open resolves the probe; outcomes
+// arriving while open (stragglers from before it opened) are ignored.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.transition(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.failures = 0
+			b.transition(BreakerClosed)
+		} else {
+			b.openedAt = b.now()
+			b.transition(BreakerOpen)
+		}
+	}
+}
+
+// State returns the current state (open flips to half-open lazily in
+// Allow, so an expired open breaker still reads as open here).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,543 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubBackend emulates a sirius-server replica: /readyz with a drain
+// switch, /query with failure and delay switches, X-Request-Id echo and
+// the X-Sirius-Inflight load header.
+type stubBackend struct {
+	name  string
+	srv   *httptest.Server
+	fail  atomic.Bool
+	drain atomic.Bool
+	delay atomic.Int64 // nanoseconds added to each /query
+
+	mu      sync.Mutex
+	lastID  string // X-Request-Id seen on the last /query
+	queries atomic.Int64
+}
+
+func newStubBackend(t *testing.T, name string) *stubBackend {
+	t.Helper()
+	s := &stubBackend{name: name}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.drain.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		s.queries.Add(1)
+		id := r.Header.Get("X-Request-Id")
+		s.mu.Lock()
+		s.lastID = id
+		s.mu.Unlock()
+		if d := time.Duration(s.delay.Load()); d > 0 {
+			time.Sleep(d)
+		}
+		w.Header().Set("X-Sirius-Inflight", "0")
+		if id != "" {
+			w.Header().Set("X-Request-Id", id)
+		}
+		if s.fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "answer from %s", name)
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *stubBackend) seenID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastID
+}
+
+// newTestFrontend wires a frontend (no background checks — tests probe
+// explicitly) with the given backends and serves it over httptest.
+func newTestFrontend(t *testing.T, cfg FrontendConfig, backends ...*stubBackend) (*Frontend, *httptest.Server) {
+	t.Helper()
+	cfg.CheckInterval = 0
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = time.Millisecond
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 5 * time.Millisecond
+	}
+	f := NewFrontend(cfg)
+	for _, b := range backends {
+		if _, err := f.AddBackend(b.srv.URL, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(f)
+	t.Cleanup(srv.Close)
+	return f, srv
+}
+
+// textQuery builds the multipart body a text /query carries.
+func textQuery(t *testing.T, text string) (*bytes.Buffer, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	if err := mw.WriteField("text", text); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, mw.FormDataContentType()
+}
+
+func postQuery(t *testing.T, url, text string, hdr map[string]string) *http.Response {
+	t.Helper()
+	body, ctype := textQuery(t, text)
+	req, err := http.NewRequest(http.MethodPost, url+"/query", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ctype)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func metricsText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestParseKinds(t *testing.T) {
+	for _, s := range []string{"", "all", "ALL"} {
+		km, err := ParseKinds(s)
+		if err != nil || km != nil {
+			t.Fatalf("ParseKinds(%q) = %v, %v", s, km, err)
+		}
+	}
+	km, err := ParseKinds("asr, qa")
+	if err != nil || !km[KindASR] || !km[KindQA] || km[KindIMM] {
+		t.Fatalf("ParseKinds(asr,qa) = %v, %v", km, err)
+	}
+	if _, err := ParseKinds("asr,bogus"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	b := &Backend{Kinds: km}
+	if !b.Serves(KindASR) || b.Serves(KindIMM) {
+		t.Fatal("Serves ignores the kind set")
+	}
+	if (&Backend{}).Serves(KindIMM) == false {
+		t.Fatal("kindless backend serves everything")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	var transitions []string
+	clock := time.Unix(0, 0)
+	b := NewBreaker(2, 100*time.Millisecond, func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+">"+to.String())
+	})
+	b.now = func() time.Time { return clock }
+
+	if !b.Allow() {
+		t.Fatal("closed breaker must admit")
+	}
+	b.Record(false)
+	b.Record(true) // success resets the consecutive count
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after non-consecutive failures", b.State())
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold failures", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cool-off")
+	}
+
+	clock = clock.Add(101 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("expired breaker must admit the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after probe admitted", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+	b.Record(false) // probe fails: re-open
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe", b.State())
+	}
+	clock = clock.Add(101 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("re-expired breaker must admit")
+	}
+	b.Record(true) // probe passes: close
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after passed probe", b.State())
+	}
+	want := []string{"closed>open", "open>half_open", "half_open>open", "open>half_open", "half_open>closed"}
+	if strings.Join(transitions, " ") != strings.Join(want, " ") {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+}
+
+func TestClassifyQuery(t *testing.T) {
+	build := func(fields ...string) (string, []byte) {
+		var buf bytes.Buffer
+		mw := multipart.NewWriter(&buf)
+		for _, f := range fields {
+			if f == "text" {
+				mw.WriteField("text", "hi")
+			} else {
+				fw, _ := mw.CreateFormFile(f, f+".bin")
+				fw.Write([]byte{1, 2, 3})
+			}
+		}
+		mw.Close()
+		return mw.FormDataContentType(), buf.Bytes()
+	}
+	for _, tc := range []struct {
+		fields []string
+		want   string
+	}{
+		{[]string{"text"}, KindQA},
+		{[]string{"audio"}, KindASR},
+		{[]string{"audio", "text"}, KindASR},
+		{[]string{"image"}, KindIMM},
+		{[]string{"image", "audio"}, KindIMM},
+	} {
+		ct, body := build(tc.fields...)
+		if got := ClassifyQuery(ct, body); got != tc.want {
+			t.Errorf("ClassifyQuery(%v) = %q, want %q", tc.fields, got, tc.want)
+		}
+	}
+	if got := ClassifyQuery("text/plain", []byte("x")); got != KindQA {
+		t.Errorf("non-multipart classified %q", got)
+	}
+}
+
+// Queries spread across the pool, and one request id follows the query
+// across the process boundary in both directions.
+func TestFrontendRoutingAndRequestID(t *testing.T) {
+	b1 := newStubBackend(t, "b1")
+	b2 := newStubBackend(t, "b2")
+	_, srv := newTestFrontend(t, DefaultFrontendConfig(), b1, b2)
+
+	resp := postQuery(t, srv.URL, "what is up", map[string]string{"X-Request-Id": "req-test-42"})
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "req-test-42" {
+		t.Fatalf("response request id %q", got)
+	}
+	if resp.Header.Get("X-Sirius-Backend") == "" {
+		t.Fatal("missing X-Sirius-Backend")
+	}
+	served := b1
+	if b2.queries.Load() > 0 {
+		served = b2
+	}
+	if got := served.seenID(); got != "req-test-42" {
+		t.Fatalf("backend saw request id %q", got)
+	}
+
+	// Without a client-supplied id the frontend mints one.
+	resp = postQuery(t, srv.URL, "what is up", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("frontend did not mint a request id")
+	}
+
+	// Round-robin reaches both replicas.
+	for i := 0; i < 4; i++ {
+		resp := postQuery(t, srv.URL, "spread", nil)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if b1.queries.Load() == 0 || b2.queries.Load() == 0 {
+		t.Fatalf("unbalanced pool: b1=%d b2=%d", b1.queries.Load(), b2.queries.Load())
+	}
+}
+
+// Killing one of two backends mid-load must stay invisible to clients:
+// retries absorb the dead replica until its breaker opens.
+func TestFrontendFailoverOnBackendKill(t *testing.T) {
+	b1 := newStubBackend(t, "b1")
+	b2 := newStubBackend(t, "b2")
+	_, srv := newTestFrontend(t, DefaultFrontendConfig(), b1, b2)
+
+	b2.srv.Close() // hard kill: connections refused from here on
+
+	for i := 0; i < 20; i++ {
+		resp := postQuery(t, srv.URL, "failover", nil)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("query %d: status %d (%s) — a dead replica leaked to the client", i, resp.StatusCode, body)
+		}
+	}
+	out := metricsText(t, srv.URL)
+	if !strings.Contains(out, "cluster_retries_total ") || strings.Contains(out, "cluster_retries_total 0") {
+		t.Fatalf("expected retries after backend kill:\n%s", out)
+	}
+	if !strings.Contains(out, `cluster_breaker_transitions_total{backend="`+b2ID(b2)+`",to="open"}`) {
+		t.Fatalf("dead backend's breaker never opened:\n%s", out)
+	}
+	if b1.queries.Load() != 20 {
+		t.Fatalf("surviving backend served %d of 20", b1.queries.Load())
+	}
+}
+
+func b2ID(s *stubBackend) string { return strings.TrimPrefix(s.srv.URL, "http://") }
+
+// The breaker walks open → half-open → closed as the backend fails,
+// cools off, and recovers; each transition lands on /metrics.
+func TestFrontendBreakerOpenHalfOpenClose(t *testing.T) {
+	b := newStubBackend(t, "flaky")
+	cfg := DefaultFrontendConfig()
+	cfg.MaxRetries = 0
+	cfg.BreakerThreshold = 2
+	cfg.BreakerOpenFor = 50 * time.Millisecond
+	f, srv := newTestFrontend(t, cfg, b)
+
+	b.fail.Store(true)
+	for i := 0; i < 2; i++ {
+		resp := postQuery(t, srv.URL, "q", nil)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 500 {
+			t.Fatalf("failing backend relayed status %d", resp.StatusCode)
+		}
+	}
+	backend := f.Backends().Get(b2ID(b))
+	if backend.breaker.State() != BreakerOpen {
+		t.Fatalf("breaker %v after threshold failures", backend.breaker.State())
+	}
+
+	// Open breaker: the pool is effectively empty, fail fast.
+	resp := postQuery(t, srv.URL, "q", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker returned %d, want 503", resp.StatusCode)
+	}
+
+	// Recovery: after the cool-off the single probe closes it.
+	b.fail.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	resp = postQuery(t, srv.URL, "q", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("recovered backend returned %d", resp.StatusCode)
+	}
+	if backend.breaker.State() != BreakerClosed {
+		t.Fatalf("breaker %v after successful probe", backend.breaker.State())
+	}
+	out := metricsText(t, srv.URL)
+	for _, want := range []string{
+		`cluster_breaker_transitions_total{backend="` + b2ID(b) + `",to="open"} 1`,
+		`cluster_breaker_transitions_total{backend="` + b2ID(b) + `",to="half_open"} 1`,
+		`cluster_breaker_transitions_total{backend="` + b2ID(b) + `",to="closed"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A slow primary gets hedged onto the other replica after the delay,
+// and the hedge's response answers the client.
+func TestFrontendHedgeWins(t *testing.T) {
+	slow := newStubBackend(t, "slow")
+	fast := newStubBackend(t, "fast")
+	slow.delay.Store(int64(300 * time.Millisecond))
+	cfg := DefaultFrontendConfig()
+	cfg.MaxRetries = 0
+	cfg.Hedge = true
+	cfg.HedgeMinDelay = 10 * time.Millisecond
+	cfg.HedgeWarmup = 0
+	_, srv := newTestFrontend(t, cfg, slow, fast)
+
+	// Round-robin alternates, so of two queries exactly one lands its
+	// primary on the slow replica and must be won by the hedge.
+	for i := 0; i < 2; i++ {
+		resp := postQuery(t, srv.URL, "tail", nil)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Sirius-Backend"); got != b2ID(fast) {
+			t.Fatalf("query %d answered by %q, want the fast replica %q (body %q)", i, got, b2ID(fast), body)
+		}
+	}
+	out := metricsText(t, srv.URL)
+	if strings.Contains(out, "cluster_hedges_total 0") {
+		t.Fatalf("no hedges launched:\n%s", out)
+	}
+	if strings.Contains(out, "cluster_hedge_wins_total 0") {
+		t.Fatalf("no hedge wins recorded:\n%s", out)
+	}
+}
+
+// /readyz is readiness (pool has a servable replica), /healthz is
+// liveness; a draining backend leaves the pool without being evicted.
+func TestFrontendReadyzAndDrain(t *testing.T) {
+	b := newStubBackend(t, "b")
+	f, srv := newTestFrontend(t, DefaultFrontendConfig(), b)
+
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s status %d with a ready backend", ep, resp.StatusCode)
+		}
+	}
+
+	// The backend starts draining: the next probe benches it.
+	b.drain.Store(true)
+	f.Backends().CheckOnce(context.Background(), http.DefaultClient)
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz %d with a draining pool, want 503", resp.StatusCode)
+	}
+	// Liveness is unaffected.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz %d during drain", resp.StatusCode)
+	}
+	var status []BackendStatus
+	resp, err = http.Get(srv.URL + "/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(status) != 1 || !status[0].Draining || status[0].Ready {
+		t.Fatalf("pool view %+v, want draining, not ready, still listed", status)
+	}
+
+	// Drain finishes (backend back, e.g. after a rolling restart): the
+	// next probe returns it to the pool.
+	b.drain.Store(false)
+	f.Backends().CheckOnce(context.Background(), http.DefaultClient)
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/readyz %d after drain ended", resp.StatusCode)
+	}
+}
+
+// Registration protocol: a backend announces itself over HTTP, serves,
+// then withdraws; the pool follows.
+func TestFrontendRegisterDeregister(t *testing.T) {
+	b := newStubBackend(t, "b")
+	_, srv := newTestFrontend(t, DefaultFrontendConfig())
+
+	if err := Register(http.DefaultClient, srv.URL, Registration{URL: b.srv.URL, Kinds: "qa"}); err != nil {
+		t.Fatal(err)
+	}
+	resp := postQuery(t, srv.URL, "hello", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d after registration", resp.StatusCode)
+	}
+	if err := Deregister(http.DefaultClient, srv.URL, Registration{URL: b.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	resp = postQuery(t, srv.URL, "hello", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d after deregistration, want 503", resp.StatusCode)
+	}
+}
+
+// Kind pools: an image query only routes to an imm-capable backend.
+func TestFrontendKindPools(t *testing.T) {
+	qaOnly := newStubBackend(t, "qa-only")
+	immOnly := newStubBackend(t, "imm-only")
+	f := NewFrontend(FrontendConfig{CheckInterval: 0, MaxRetries: 0})
+	if _, err := f.AddBackend(qaOnly.srv.URL, "qa"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddBackend(immOnly.srv.URL, "imm"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f)
+	t.Cleanup(srv.Close)
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, _ := mw.CreateFormFile("image", "q.png")
+	fw.Write([]byte{1, 2, 3})
+	mw.Close()
+	resp, err := http.Post(srv.URL+"/query", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Sirius-Backend"); got != b2ID(immOnly) {
+		t.Fatalf("image query routed to %q, want the imm pool %q", got, b2ID(immOnly))
+	}
+	if qaOnly.queries.Load() != 0 {
+		t.Fatal("image query leaked into the qa pool")
+	}
+}

@@ -1,0 +1,562 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sirius/internal/telemetry"
+)
+
+// FrontendConfig tunes the router and its tail-cutting machinery.
+type FrontendConfig struct {
+	Policy      Policy        // backend selection policy
+	MaxRetries  int           // extra attempts after the first failure
+	BaseBackoff time.Duration // first retry delay (doubles per retry)
+	MaxBackoff  time.Duration // backoff cap
+
+	// Hedge enables tail-cutting duplicate requests: when a primary
+	// attempt outlives the kind's observed p95 (never less than
+	// HedgeMinDelay), a second attempt goes to another backend and the
+	// first response wins. HedgeWarmup observations are required before
+	// the p95 is trusted; 0 hedges from the first request at the floor
+	// delay.
+	Hedge         bool
+	HedgeMinDelay time.Duration
+	HedgeWarmup   int
+
+	BreakerThreshold int           // consecutive failures to open a backend's breaker
+	BreakerOpenFor   time.Duration // cool-off before the half-open probe
+
+	CheckInterval  time.Duration // active /readyz probe period (0 = no background checks)
+	AttemptTimeout time.Duration // per-attempt HTTP timeout
+	MaxBodyBytes   int64         // request/response body cap
+}
+
+// DefaultFrontendConfig mirrors a conservative production posture:
+// round-robin, two retries, hedging off (enable per deployment).
+func DefaultFrontendConfig() FrontendConfig {
+	return FrontendConfig{
+		Policy:           PolicyRoundRobin,
+		MaxRetries:       2,
+		BaseBackoff:      10 * time.Millisecond,
+		MaxBackoff:       250 * time.Millisecond,
+		Hedge:            false,
+		HedgeMinDelay:    20 * time.Millisecond,
+		HedgeWarmup:      32,
+		BreakerThreshold: 3,
+		BreakerOpenFor:   5 * time.Second,
+		CheckInterval:    2 * time.Second,
+		AttemptTimeout:   30 * time.Second,
+		MaxBodyBytes:     32 << 20,
+	}
+}
+
+// Frontend is the cluster's load balancer (the "front end" box of
+// Figure 2): it accepts the same POST /query as a sirius-server,
+// classifies the query into a stage pool (asr/qa/imm), and dispatches
+// it to a backend with retries, per-backend circuit breaking, and
+// optional hedging. Its /metrics exposes per-backend latency and every
+// retry/hedge/breaker decision; /backends is the operator's pool view.
+type Frontend struct {
+	cfg         FrontendConfig
+	reg         *Registry
+	router      *Router
+	mux         *http.ServeMux
+	client      *http.Client
+	checkClient *http.Client
+	metrics     *telemetry.Registry
+	traces      *telemetry.TraceLog
+	stopChecks  func()
+
+	mu  sync.Mutex
+	rng *rand.Rand // backoff jitter
+
+	queries      *telemetry.CounterVec   // cluster_queries_total{kind}
+	errsC        *telemetry.CounterVec   // cluster_query_errors_total{reason}
+	retries      *telemetry.Counter      // cluster_retries_total
+	hedges       *telemetry.Counter      // cluster_hedges_total
+	hedgeWins    *telemetry.Counter      // cluster_hedge_wins_total
+	breakerTrans *telemetry.CounterVec   // cluster_breaker_transitions_total{backend,to}
+	backendReqs  *telemetry.CounterVec   // cluster_backend_requests_total{backend,outcome}
+	backendLat   *telemetry.HistogramVec // cluster_backend_latency_seconds{backend}
+	queryLat     *telemetry.HistogramVec // cluster_query_latency_seconds{kind}
+	readyGauge   *telemetry.Gauge        // cluster_backends_ready
+}
+
+// NewFrontend builds a frontend with an empty backend pool. Call
+// AddBackend for static configuration, Start for background health
+// checks, and serve it as an http.Handler.
+func NewFrontend(cfg FrontendConfig) *Frontend {
+	def := DefaultFrontendConfig()
+	if cfg.Policy == "" {
+		cfg.Policy = def.Policy
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = def.BaseBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = def.MaxBackoff
+	}
+	if cfg.HedgeMinDelay <= 0 {
+		cfg.HedgeMinDelay = def.HedgeMinDelay
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = def.BreakerThreshold
+	}
+	if cfg.BreakerOpenFor <= 0 {
+		cfg.BreakerOpenFor = def.BreakerOpenFor
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = def.AttemptTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = def.MaxBodyBytes
+	}
+	reg := NewRegistry()
+	m := telemetry.NewRegistry()
+	f := &Frontend{
+		cfg:          cfg,
+		reg:          reg,
+		router:       NewRouter(reg, cfg.Policy, 1),
+		mux:          http.NewServeMux(),
+		client:       &http.Client{Timeout: cfg.AttemptTimeout},
+		checkClient:  &http.Client{Timeout: 2 * time.Second},
+		metrics:      m,
+		traces:       telemetry.NewTraceLog(64),
+		rng:          rand.New(rand.NewSource(1)),
+		queries:      m.NewCounterVec("cluster_queries_total", "Queries dispatched, by stage pool.", "kind"),
+		errsC:        m.NewCounterVec("cluster_query_errors_total", "Queries the frontend could not serve, by failure class.", "reason"),
+		retries:      m.NewCounter("cluster_retries_total", "Retry attempts launched after a failed attempt."),
+		hedges:       m.NewCounter("cluster_hedges_total", "Hedged (duplicate) attempts launched to cut the tail."),
+		hedgeWins:    m.NewCounter("cluster_hedge_wins_total", "Requests won by the hedged attempt."),
+		breakerTrans: m.NewCounterVec("cluster_breaker_transitions_total", "Circuit breaker state transitions, by backend and new state.", "backend", "to"),
+		backendReqs:  m.NewCounterVec("cluster_backend_requests_total", "Attempts per backend, by outcome (ok/5xx/error/canceled).", "backend", "outcome"),
+		backendLat:   m.NewHistogramVec("cluster_backend_latency_seconds", "Frontend-observed per-backend attempt latency (network included).", "backend"),
+		queryLat:     m.NewHistogramVec("cluster_query_latency_seconds", "End-to-end frontend query latency, by stage pool.", "kind"),
+		readyGauge:   m.NewGauge("cluster_backends_ready", "Backends currently ready for traffic."),
+	}
+	f.mux.HandleFunc("/query", f.handleQuery)
+	f.mux.HandleFunc("/register", f.handleRegister)
+	f.mux.HandleFunc("/deregister", f.handleDeregister)
+	f.mux.HandleFunc("/backends", f.handleBackends)
+	f.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	f.mux.HandleFunc("/readyz", f.handleReadyz)
+	f.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		f.readyGauge.Set(int64(len(f.reg.readyAny())))
+		m.Handler().ServeHTTP(w, r)
+	})
+	f.mux.Handle("/debug/traces", f.traces.Handler())
+	return f
+}
+
+// readyAny returns the backends ready for any kind at all.
+func (r *Registry) readyAny() []*Backend {
+	all := r.All()
+	out := all[:0]
+	for _, b := range all {
+		if b.Ready() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Backends exposes the registry (for embedding hosts and tests).
+func (f *Frontend) Backends() *Registry { return f.reg }
+
+// Metrics exposes the frontend's telemetry registry.
+func (f *Frontend) Metrics() *telemetry.Registry { return f.metrics }
+
+// AddBackend registers a backend by URL with a fresh breaker wired to
+// the transition counter, then probes it immediately so it can take
+// traffic without waiting a full check interval.
+func (f *Frontend) AddBackend(rawURL, kinds string) (*Backend, error) {
+	b, err := NewBackend(rawURL, kinds, nil)
+	if err != nil {
+		return nil, err
+	}
+	id := b.ID
+	b.breaker = NewBreaker(f.cfg.BreakerThreshold, f.cfg.BreakerOpenFor, func(from, to BreakerState) {
+		f.breakerTrans.With(id, to.String()).Inc()
+	})
+	if existing := f.reg.Add(b); existing != b {
+		return existing, nil
+	}
+	f.reg.CheckBackend(context.Background(), f.checkClient, b)
+	return b, nil
+}
+
+// Start launches the periodic health-check loop (no-op when
+// CheckInterval is 0). Stop undoes it.
+func (f *Frontend) Start() {
+	if f.cfg.CheckInterval > 0 && f.stopChecks == nil {
+		f.stopChecks = f.reg.StartChecks(f.cfg.CheckInterval, f.checkClient)
+	}
+}
+
+// Stop halts background health checking.
+func (f *Frontend) Stop() {
+	if f.stopChecks != nil {
+		f.stopChecks()
+		f.stopChecks = nil
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) { f.mux.ServeHTTP(w, r) }
+
+// ClassifyQuery maps a /query body onto a stage pool by which multipart
+// fields it carries: a photo routes to the imm pool (the VIQ path), a
+// recording to asr, plain text to qa. Unparseable bodies fall back to
+// qa — the backend will reject them with a proper 400.
+func ClassifyQuery(contentType string, body []byte) string {
+	mt, params, err := mime.ParseMediaType(contentType)
+	if err != nil || !strings.HasPrefix(mt, "multipart/") {
+		return KindQA
+	}
+	mr := multipart.NewReader(bytes.NewReader(body), params["boundary"])
+	kind := KindQA
+	for {
+		p, err := mr.NextPart()
+		if err != nil {
+			return kind
+		}
+		switch p.FormName() {
+		case "image":
+			p.Close()
+			return KindIMM
+		case "audio":
+			kind = KindASR
+		}
+		p.Close()
+	}
+}
+
+// attemptResult carries one backend attempt's outcome.
+type attemptResult struct {
+	backend     *Backend
+	status      int
+	contentType string
+	body        []byte
+	err         error
+	hedged      bool
+	latency     time.Duration
+}
+
+// ok means the client can be answered from this attempt: the backend
+// responded and did not fail server-side (4xx relays as-is — the
+// request itself is bad and retrying elsewhere cannot fix it).
+func (r *attemptResult) ok() bool { return r.err == nil && r.status < 500 }
+
+// attempt forwards the buffered query to one backend and reports on
+// results. It propagates X-Request-Id across the process boundary (so
+// /debug/traces on both tiers shows the same id), reads the backend's
+// self-reported load header, and feeds the breaker — except when the
+// attempt lost a hedge race and was canceled, which says nothing about
+// backend health.
+func (f *Frontend) attempt(ctx context.Context, b *Backend, ctype string, body []byte, reqID string, hedged bool, results chan<- *attemptResult) {
+	name := "attempt " + b.ID
+	if hedged {
+		name = "hedge " + b.ID
+	}
+	_, sp := telemetry.StartSpan(ctx, name)
+	defer sp.End()
+
+	start := time.Now()
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	res := &attemptResult{backend: b, hedged: hedged}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		res.err = err
+		results <- res
+		return
+	}
+	req.Header.Set("Content-Type", ctype)
+	req.Header.Set("X-Request-Id", reqID)
+	if hedged {
+		req.Header.Set("X-Sirius-Hedge", "1")
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		res.err = err
+	} else {
+		res.status = resp.StatusCode
+		res.contentType = resp.Header.Get("Content-Type")
+		if v, perr := strconv.ParseInt(resp.Header.Get("X-Sirius-Inflight"), 10, 64); perr == nil {
+			b.reported.Store(v)
+		}
+		res.body, res.err = io.ReadAll(io.LimitReader(resp.Body, f.cfg.MaxBodyBytes))
+		resp.Body.Close()
+	}
+	res.latency = time.Since(start)
+
+	canceled := ctx.Err() != nil && res.err != nil
+	outcome := "ok"
+	switch {
+	case canceled:
+		outcome = "canceled"
+	case res.err != nil:
+		outcome = "error"
+	case res.status >= 500:
+		outcome = "5xx"
+	}
+	if !canceled {
+		b.breaker.Record(res.ok())
+		b.latency.Observe(res.latency)
+		f.backendLat.With(b.ID).Observe(res.latency)
+	}
+	f.backendReqs.With(b.ID, outcome).Inc()
+	results <- res
+}
+
+// backoff returns the nth retry delay: exponential from BaseBackoff,
+// capped, with ±50% jitter so synchronized retry waves decorrelate.
+func (f *Frontend) backoff(n int) time.Duration {
+	d := f.cfg.BaseBackoff << uint(n)
+	if d > f.cfg.MaxBackoff || d <= 0 {
+		d = f.cfg.MaxBackoff
+	}
+	f.mu.Lock()
+	jitter := 0.5 + f.rng.Float64()
+	f.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// hedgeDelay derives the hedge trigger from the kind's observed e2e
+// latency: p95 with a floor of HedgeMinDelay, once HedgeWarmup
+// observations exist. Hedging at p95 bounds extra load at ~5% of
+// traffic while attacking exactly the tail the paper's §6 studies.
+func (f *Frontend) hedgeDelay(kind string) (time.Duration, bool) {
+	h := f.queryLat.With(kind)
+	if h.Count() < uint64(f.cfg.HedgeWarmup) {
+		return 0, false
+	}
+	d := h.Quantile(0.95)
+	if d < f.cfg.HedgeMinDelay {
+		d = f.cfg.HedgeMinDelay
+	}
+	return d, true
+}
+
+// dispatch runs the attempt state machine for one query: a primary
+// attempt, failure-triggered retries (bounded, backed off, jittered),
+// and at most one hedge once the hedge delay elapses with the primary
+// still in flight. The first successful attempt wins; losers are
+// canceled via ctx when dispatch returns.
+func (f *Frontend) dispatch(ctx context.Context, kind, ctype string, body []byte, reqID string) (*attemptResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan *attemptResult, f.cfg.MaxRetries+2)
+	outstanding := 0
+	exclude := map[string]bool{}
+	launch := func(hedged bool) error {
+		b, err := f.router.Pick(kind, exclude)
+		if err != nil {
+			return err
+		}
+		exclude[b.ID] = true
+		outstanding++
+		go f.attempt(ctx, b, ctype, body, reqID, hedged, results)
+		return nil
+	}
+	if err := launch(false); err != nil {
+		return nil, err
+	}
+
+	var hedgeC <-chan time.Time
+	if f.cfg.Hedge {
+		if d, ok := f.hedgeDelay(kind); ok {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			hedgeC = t.C
+		}
+	}
+	retriesLeft := f.cfg.MaxRetries
+	var retryC <-chan time.Time
+	var retryT *time.Timer
+	defer func() {
+		if retryT != nil {
+			retryT.Stop()
+		}
+	}()
+	backoffN := 0
+	var lastFail *attemptResult
+	for {
+		select {
+		case res := <-results:
+			outstanding--
+			if res.ok() {
+				if res.hedged {
+					f.hedgeWins.Inc()
+				}
+				return res, nil
+			}
+			lastFail = res
+			if retriesLeft > 0 && retryC == nil {
+				retryT = time.NewTimer(f.backoff(backoffN))
+				backoffN++
+				retryC = retryT.C
+			} else if outstanding == 0 && retryC == nil {
+				return lastFail, nil
+			}
+		case <-retryC:
+			retryC = nil
+			retriesLeft--
+			f.retries.Inc()
+			if err := launch(false); err != nil && outstanding == 0 {
+				if lastFail != nil {
+					return lastFail, nil
+				}
+				return nil, err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if outstanding > 0 {
+				f.hedges.Inc()
+				_ = launch(true) // pool exhausted → no hedge, primary races on
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// handleQuery is the frontend's /query: buffer, classify into a pool,
+// dispatch, relay. The body must be buffered — retries and hedges
+// replay it.
+func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		f.errsC.With("bad_method").Inc()
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes))
+	if err != nil {
+		f.errsC.With("bad_body").Inc()
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctype := r.Header.Get("Content-Type")
+	kind := ClassifyQuery(ctype, body)
+
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	ctx := telemetry.ContextWithRequestID(r.Context(), reqID)
+	ctx, tr := telemetry.StartTrace(ctx, "frontend "+kind)
+	res, err := f.dispatch(ctx, kind, ctype, body, reqID)
+	tr.Finish()
+	f.traces.Add(tr)
+	if err != nil {
+		reason := "dispatch"
+		if errors.Is(err, ErrNoBackends) {
+			reason = "no_backends"
+		}
+		f.errsC.With(reason).Inc()
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if !res.ok() {
+		f.errsC.With("backend_failure").Inc()
+		if res.err != nil {
+			http.Error(w, "all backends failed: "+res.err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("X-Sirius-Backend", res.backend.ID)
+		w.WriteHeader(res.status)
+		_, _ = w.Write(res.body)
+		return
+	}
+	f.queries.With(kind).Inc()
+	if res.status == http.StatusOK {
+		f.queryLat.With(kind).Observe(time.Since(start))
+	}
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	w.Header().Set("X-Sirius-Backend", res.backend.ID)
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// handleRegister adds the announcing backend to the pool and probes it
+// right away — a freshly booted backend takes traffic within one RTT.
+func (f *Frontend) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var reg Registration
+	if !decodeRegistration(w, r, &reg) {
+		return
+	}
+	b, err := f.AddBackend(reg.URL, reg.Kinds)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"id": b.ID})
+}
+
+// handleDeregister removes a backend (the drain path: the backend
+// withdraws before closing its listener).
+func (f *Frontend) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var reg Registration
+	if !decodeRegistration(w, r, &reg) {
+		return
+	}
+	b, err := NewBackend(reg.URL, "", nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	removed := f.reg.Remove(b.ID)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]bool{"removed": removed})
+}
+
+func decodeRegistration(w http.ResponseWriter, r *http.Request, reg *Registration) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(reg); err != nil {
+		http.Error(w, "bad registration: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// handleBackends serves the operator's pool view.
+func (f *Frontend) handleBackends(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(f.reg.Status())
+}
+
+// handleReadyz reports readiness: the frontend can serve only when at
+// least one backend is ready. Liveness stays on /healthz.
+func (f *Frontend) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if len(f.reg.readyAny()) == 0 {
+		http.Error(w, "no ready backends", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

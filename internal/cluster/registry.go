@@ -1,0 +1,341 @@
+// Package cluster is the distributed serving tier of the paper's
+// Figure 2: a front-end load balancer that dispatches voice/vision
+// queries across replicated pools of backend servers. The paper's §6
+// provisioning study trades machine count against tail latency under
+// exactly this topology; this package makes the topology real so the
+// repo can measure it. It provides a backend registry with active
+// health checks and drain awareness, a router (round-robin or
+// power-of-two-choices least-loaded, with per-kind asr/qa/imm stage
+// pools), per-backend circuit breakers, bounded retries with
+// exponential backoff + jitter, and optional request hedging after a
+// p95-derived delay — the standard WSC tail-cutting toolkit (Dean &
+// Barroso, "The Tail at Scale").
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sirius/internal/telemetry"
+)
+
+// Query kinds a backend can serve — the stage pools of Figure 2. A
+// backend with no explicit kinds serves everything (the monolithic
+// sirius-server default).
+const (
+	KindASR = "asr" // voice queries (audio upload)
+	KindIMM = "imm" // image-matching queries (photo upload)
+	KindQA  = "qa"  // text-only question answering
+)
+
+// Backend is one registered server replica, as seen from the
+// frontend: its address, which stage pools it belongs to, and the
+// liveness/load/breaker state routing decisions read.
+type Backend struct {
+	ID    string          // stable identity, defaults to host:port
+	URL   string          // base URL, e.g. http://10.0.0.7:8080
+	Kinds map[string]bool // kinds served; empty = all kinds
+
+	healthy  atomic.Bool  // last active /readyz probe returned 200
+	draining atomic.Bool  // last probe returned 503 (graceful drain)
+	inflight atomic.Int64 // requests this frontend has outstanding here
+	reported atomic.Int64 // backend's self-reported in-flight (X-Sirius-Inflight)
+
+	breaker *Breaker
+	latency *telemetry.Histogram // frontend-observed, includes network
+}
+
+// ParseKinds parses a comma-separated kind list ("asr,qa"); "" and
+// "all" mean every kind.
+func ParseKinds(s string) (map[string]bool, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	kinds := map[string]bool{}
+	for _, k := range strings.Split(s, ",") {
+		k = strings.TrimSpace(k)
+		switch k {
+		case KindASR, KindQA, KindIMM:
+			kinds[k] = true
+		case "":
+		default:
+			return nil, fmt.Errorf("cluster: unknown kind %q (want asr, qa, imm, or all)", k)
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, nil
+	}
+	return kinds, nil
+}
+
+// KindsString renders the backend's pools for display ("all" when
+// unrestricted).
+func (b *Backend) KindsString() string {
+	if len(b.Kinds) == 0 {
+		return "all"
+	}
+	out := make([]string, 0, len(b.Kinds))
+	for k := range b.Kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// Serves reports whether the backend belongs to the kind's pool.
+func (b *Backend) Serves(kind string) bool {
+	return len(b.Kinds) == 0 || b.Kinds[kind]
+}
+
+// Ready reports whether the router may send new work here: the last
+// active probe passed and the backend is not draining. The breaker is
+// a separate, per-attempt gate.
+func (b *Backend) Ready() bool {
+	return b.healthy.Load() && !b.draining.Load()
+}
+
+// Load estimates outstanding work for least-loaded routing. The local
+// in-flight count sees only this frontend's traffic; the self-reported
+// header sees all frontends but lags by one response. The max of the
+// two is a sound lower bound on the true queue without double counting.
+func (b *Backend) Load() int64 {
+	l, r := b.inflight.Load(), b.reported.Load()
+	if r > l {
+		return r
+	}
+	return l
+}
+
+// Registry is the frontend's view of the backend pool: add/remove
+// (static config or the /register endpoint), periodic active health
+// checks against each backend's /readyz, and ready-set queries for the
+// router. All methods are concurrency-safe.
+type Registry struct {
+	mu       sync.Mutex
+	backends map[string]*Backend
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{backends: map[string]*Backend{}}
+}
+
+// NewBackend builds a Backend from a base URL and kind list, with the
+// given breaker. The ID is the URL's host:port.
+func NewBackend(rawURL, kinds string, breaker *Breaker) (*Backend, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad backend URL %q: %w", rawURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("cluster: backend URL %q needs scheme and host", rawURL)
+	}
+	km, err := ParseKinds(kinds)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{
+		ID:      u.Host,
+		URL:     strings.TrimRight(u.String(), "/"),
+		Kinds:   km,
+		breaker: breaker,
+		latency: &telemetry.Histogram{},
+	}, nil
+}
+
+// Add registers a backend. Re-adding an existing ID keeps the original
+// (preserving its breaker and health state across re-registration —
+// a restarting backend re-announces itself idempotently) and returns it.
+func (r *Registry) Add(b *Backend) *Backend {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.backends[b.ID]; ok {
+		return old
+	}
+	r.backends[b.ID] = b
+	return b
+}
+
+// Remove deregisters a backend by ID; it reports whether it was present.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.backends[id]
+	delete(r.backends, id)
+	return ok
+}
+
+// Get returns the backend with the given ID, or nil.
+func (r *Registry) Get(id string) *Backend {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.backends[id]
+}
+
+// All returns every registered backend, sorted by ID.
+func (r *Registry) All() []*Backend {
+	r.mu.Lock()
+	out := make([]*Backend, 0, len(r.backends))
+	for _, b := range r.backends {
+		out = append(out, b)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ReadyFor returns the backends the router may consider for a kind:
+// in the kind's pool, probe-healthy, and not draining.
+func (r *Registry) ReadyFor(kind string) []*Backend {
+	all := r.All()
+	out := all[:0]
+	for _, b := range all {
+		if b.Ready() && b.Serves(kind) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// CheckBackend actively probes one backend's /readyz and updates its
+// health/drain state: 200 is ready, 503 is alive-but-draining (the
+// graceful-shutdown window — stop sending, don't evict), anything else
+// (including transport errors) is unhealthy.
+func (r *Registry) CheckBackend(ctx context.Context, client *http.Client, b *Backend) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/readyz", nil)
+	if err != nil {
+		b.healthy.Store(false)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		b.healthy.Store(false)
+		b.draining.Store(false)
+		return
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b.healthy.Store(true)
+		b.draining.Store(false)
+	case http.StatusServiceUnavailable:
+		b.healthy.Store(true)
+		b.draining.Store(true)
+	default:
+		b.healthy.Store(false)
+		b.draining.Store(false)
+	}
+}
+
+// CheckOnce probes every backend concurrently and waits for the round
+// to finish.
+func (r *Registry) CheckOnce(ctx context.Context, client *http.Client) {
+	var wg sync.WaitGroup
+	for _, b := range r.All() {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			r.CheckBackend(ctx, client, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// StartChecks probes all backends every interval until the returned
+// stop function is called (stop waits for the loop to exit).
+func (r *Registry) StartChecks(interval time.Duration, client *http.Client) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				r.CheckOnce(ctx, client)
+			}
+		}
+	}()
+	return func() { cancel(); <-done }
+}
+
+// BackendStatus is the JSON shape of one backend in the frontend's
+// /backends listing — the operator's one-glance pool view.
+type BackendStatus struct {
+	ID       string            `json:"id"`
+	URL      string            `json:"url"`
+	Kinds    string            `json:"kinds"`
+	Ready    bool              `json:"ready"`
+	Draining bool              `json:"draining"`
+	Breaker  string            `json:"breaker"`
+	Inflight int64             `json:"inflight"`
+	Reported int64             `json:"reported_load"`
+	Latency  telemetry.Summary `json:"latency"`
+}
+
+// Status snapshots every backend for /backends.
+func (r *Registry) Status() []BackendStatus {
+	all := r.All()
+	out := make([]BackendStatus, len(all))
+	for i, b := range all {
+		out[i] = BackendStatus{
+			ID:       b.ID,
+			URL:      b.URL,
+			Kinds:    b.KindsString(),
+			Ready:    b.Ready(),
+			Draining: b.draining.Load(),
+			Breaker:  b.breaker.State().String(),
+			Inflight: b.inflight.Load(),
+			Reported: b.reported.Load(),
+			Latency:  b.latency.Summarize(),
+		}
+	}
+	return out
+}
+
+// Registration is the JSON body a backend POSTs to the frontend's
+// /register (and /deregister) endpoint when it boots in backend mode.
+type Registration struct {
+	URL   string `json:"url"`             // backend base URL, reachable from the frontend
+	Kinds string `json:"kinds,omitempty"` // comma-separated pools; ""/"all" = every kind
+}
+
+// Register announces a backend to a frontend. Backends call this on
+// startup (and may retry: the frontend might boot later).
+func Register(client *http.Client, frontendURL string, reg Registration) error {
+	return postJSON(client, strings.TrimRight(frontendURL, "/")+"/register", reg)
+}
+
+// Deregister withdraws a backend from a frontend ahead of shutdown, so
+// the router stops picking it before the listener closes.
+func Deregister(client *http.Client, frontendURL string, reg Registration) error {
+	return postJSON(client, strings.TrimRight(frontendURL, "/")+"/deregister", reg)
+}
+
+func postJSON(client *http.Client, url string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s returned %s", url, resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects how the router spreads work over a kind's ready pool.
+type Policy string
+
+const (
+	// PolicyRoundRobin cycles through the pool — fair when replicas
+	// and requests are uniform.
+	PolicyRoundRobin Policy = "round_robin"
+	// PolicyP2C samples two random replicas and sends to the less
+	// loaded — near-optimal load spread at O(1) cost, and robust to
+	// heterogeneous replicas and fat-tailed service times (which is
+	// exactly what the paper's Figs 7-9 latency distributions are).
+	PolicyP2C Policy = "p2c"
+)
+
+// ParsePolicy accepts the flag spellings of a policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "round_robin", "rr", "roundrobin":
+		return PolicyRoundRobin, nil
+	case "p2c", "least", "least_loaded":
+		return PolicyP2C, nil
+	}
+	return "", errors.New("cluster: unknown policy " + s + " (want round_robin or p2c)")
+}
+
+// ErrNoBackends means no ready backend (with an admitting breaker)
+// exists for the requested kind.
+var ErrNoBackends = errors.New("cluster: no ready backend for kind")
+
+// Router picks a backend for each attempt, combining the registry's
+// ready set, the policy, and each backend's circuit breaker.
+type Router struct {
+	reg    *Registry
+	policy Policy
+	seq    atomic.Uint64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRouter builds a router over the registry. Seed fixes the P2C
+// sampling sequence (tests); pass 0 for an arbitrary fixed seed.
+func NewRouter(reg *Registry, policy Policy, seed int64) *Router {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Router{reg: reg, policy: policy, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick returns a ready backend for the kind whose breaker admits the
+// attempt, skipping backends in exclude (already tried, or carrying
+// this request's other hedge arm). When every candidate is excluded
+// but some exist, exclusions are waived — with one replica left,
+// retrying it beats failing outright. Allow is called on the returned
+// backend (claiming the half-open probe slot when applicable), so the
+// caller must Record the attempt's outcome on the backend.
+func (rt *Router) Pick(kind string, exclude map[string]bool) (*Backend, error) {
+	ready := rt.reg.ReadyFor(kind)
+	if len(ready) == 0 {
+		return nil, ErrNoBackends
+	}
+	candidates := make([]*Backend, 0, len(ready))
+	for _, b := range ready {
+		if !exclude[b.ID] {
+			candidates = append(candidates, b)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = ready
+	}
+	switch rt.policy {
+	case PolicyP2C:
+		if b := rt.pickP2C(candidates); b != nil {
+			return b, nil
+		}
+	default:
+		if b := rt.pickRoundRobin(candidates); b != nil {
+			return b, nil
+		}
+	}
+	return nil, ErrNoBackends
+}
+
+// pickRoundRobin tries candidates in rotation order until a breaker
+// admits one.
+func (rt *Router) pickRoundRobin(candidates []*Backend) *Backend {
+	start := int(rt.seq.Add(1) - 1)
+	for i := 0; i < len(candidates); i++ {
+		b := candidates[(start+i)%len(candidates)]
+		if b.breaker.Allow() {
+			return b
+		}
+	}
+	return nil
+}
+
+// pickP2C samples two distinct candidates, prefers the less loaded,
+// and falls back to a full scan if both breakers refuse.
+func (rt *Router) pickP2C(candidates []*Backend) *Backend {
+	if len(candidates) == 1 {
+		if candidates[0].breaker.Allow() {
+			return candidates[0]
+		}
+		return nil
+	}
+	rt.mu.Lock()
+	i := rt.rng.Intn(len(candidates))
+	j := rt.rng.Intn(len(candidates) - 1)
+	rt.mu.Unlock()
+	if j >= i {
+		j++
+	}
+	first, second := candidates[i], candidates[j]
+	if second.Load() < first.Load() {
+		first, second = second, first
+	}
+	if first.breaker.Allow() {
+		return first
+	}
+	if second.breaker.Allow() {
+		return second
+	}
+	for _, b := range candidates {
+		if b != first && b != second && b.breaker.Allow() {
+			return b
+		}
+	}
+	return nil
+}

@@ -35,18 +35,23 @@ type Result struct {
 	Elapsed    time.Duration
 	Throughput float64 // completed requests per second
 
-	Latency telemetry.Summary            // all successful requests
-	PerKind map[string]telemetry.Summary // keyed by send's kind label
+	Latency   telemetry.Summary            // all successful requests
+	PerKind   map[string]telemetry.Summary // keyed by send's kind label
+	PerTarget map[string]telemetry.Summary // keyed by send's target label ("" omits the split)
 }
 
 // Run fires spec.Requests requests at Poisson arrival times, calling
 // send(i) for each. send returns the kind label the request resolved to
 // ("answer", "action", ... — "" pools it under "other") so tails are
 // reported per kind; action and answer paths differ by orders of
-// magnitude and must not share a distribution. Requests are issued
+// magnitude and must not share a distribution. It also returns a target
+// label (the server address the request went to) so a multi-backend run
+// reports per-target percentiles alongside the merged histogram —
+// that's how a replica with a sick tail shows through an otherwise
+// healthy pool; "" skips the per-target split. Requests are issued
 // asynchronously (open loop): a slow server queues work rather than
 // slowing the generator, which is what exposes queueing delay.
-func Run(ctx context.Context, spec Spec, send func(i int) (kind string, err error)) (Result, error) {
+func Run(ctx context.Context, spec Spec, send func(i int) (kind, target string, err error)) (Result, error) {
 	if spec.Rate <= 0 || spec.Requests <= 0 {
 		return Result{}, fmt.Errorf("loadgen: rate and requests must be positive")
 	}
@@ -60,20 +65,18 @@ func Run(ctx context.Context, spec Spec, send func(i int) (kind string, err erro
 
 	overall := &telemetry.Histogram{}
 	var (
-		mu      sync.Mutex
-		perKind = map[string]*telemetry.Histogram{}
-		errors  int
+		mu        sync.Mutex
+		perKind   = map[string]*telemetry.Histogram{}
+		perTarget = map[string]*telemetry.Histogram{}
+		errors    int
 	)
-	kindHist := func(kind string) *telemetry.Histogram {
-		if kind == "" {
-			kind = "other"
-		}
+	histIn := func(m map[string]*telemetry.Histogram, key string) *telemetry.Histogram {
 		mu.Lock()
 		defer mu.Unlock()
-		h, ok := perKind[kind]
+		h, ok := m[key]
 		if !ok {
 			h = &telemetry.Histogram{}
-			perKind[kind] = h
+			m[key] = h
 		}
 		return h
 	}
@@ -92,7 +95,7 @@ func Run(ctx context.Context, spec Spec, send func(i int) (kind string, err erro
 		go func(i int) {
 			defer wg.Done()
 			reqStart := time.Now()
-			kind, err := send(i)
+			kind, target, err := send(i)
 			lat := time.Since(reqStart)
 			if err != nil {
 				mu.Lock()
@@ -101,21 +104,31 @@ func Run(ctx context.Context, spec Spec, send func(i int) (kind string, err erro
 				return
 			}
 			overall.Observe(lat)
-			kindHist(kind).Observe(lat)
+			if kind == "" {
+				kind = "other"
+			}
+			histIn(perKind, kind).Observe(lat)
+			if target != "" {
+				histIn(perTarget, target).Observe(lat)
+			}
 		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	res := Result{
-		Sent:    spec.Requests,
-		Errors:  errors,
-		Elapsed: elapsed,
-		Latency: overall.Summarize(),
-		PerKind: map[string]telemetry.Summary{},
+		Sent:      spec.Requests,
+		Errors:    errors,
+		Elapsed:   elapsed,
+		Latency:   overall.Summarize(),
+		PerKind:   map[string]telemetry.Summary{},
+		PerTarget: map[string]telemetry.Summary{},
 	}
 	for kind, h := range perKind {
 		res.PerKind[kind] = h.Summarize()
+	}
+	for target, h := range perTarget {
+		res.PerTarget[target] = h.Summarize()
 	}
 	if res.Latency.Count == 0 {
 		return res, fmt.Errorf("loadgen: every request failed")
@@ -131,20 +144,33 @@ func summaryLine(s telemetry.Summary) string {
 		s.P999.Round(time.Microsecond), s.Max.Round(time.Microsecond))
 }
 
-// String renders the result as a report block: an overall line plus one
-// line per query kind — the per-service latency table of Figs 7-9.
+// String renders the result as a report block: an overall line, one
+// line per query kind (the per-service latency table of Figs 7-9), and
+// — when the run spanned several targets — one line per target, so
+// replica skew is visible next to the merged tail.
 func (r Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sent %d (%d errors) in %v — %.1f req/s completed\n", r.Sent, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput)
 	fmt.Fprintf(&b, "latency %s", summaryLine(r.Latency))
-	kinds := make([]string, 0, len(r.PerKind))
-	for k := range r.PerKind {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	for _, k := range kinds {
+	for _, k := range sortedKeys(r.PerKind) {
 		s := r.PerKind[k]
 		fmt.Fprintf(&b, "\n  %-8s n=%-5d %s", k, s.Count, summaryLine(s))
 	}
+	if len(r.PerTarget) > 1 {
+		fmt.Fprintf(&b, "\nper target:")
+		for _, tgt := range sortedKeys(r.PerTarget) {
+			s := r.PerTarget[tgt]
+			fmt.Fprintf(&b, "\n  %-24s n=%-5d %s", tgt, s.Count, summaryLine(s))
+		}
+	}
 	return b.String()
+}
+
+func sortedKeys(m map[string]telemetry.Summary) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -11,7 +11,7 @@ import (
 
 func TestRunValidation(t *testing.T) {
 	ctx := context.Background()
-	ok := func(int) (string, error) { return "answer", nil }
+	ok := func(int) (string, string, error) { return "answer", "", nil }
 	if _, err := Run(ctx, Spec{Rate: 0, Requests: 10}, ok); err == nil {
 		t.Fatal("rate 0 must error")
 	}
@@ -23,13 +23,13 @@ func TestRunValidation(t *testing.T) {
 func TestRunCountsAndPercentiles(t *testing.T) {
 	var calls int64
 	res, err := Run(context.Background(), Spec{Rate: 2000, Requests: 200, Seed: 1},
-		func(i int) (string, error) {
+		func(i int) (string, string, error) {
 			atomic.AddInt64(&calls, 1)
 			time.Sleep(time.Millisecond)
 			if i%2 == 0 {
-				return "answer", nil
+				return "answer", "a:1", nil
 			}
-			return "action", nil
+			return "action", "b:2", nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -54,8 +54,12 @@ func TestRunCountsAndPercentiles(t *testing.T) {
 	if res.PerKind["answer"].Count != 100 || res.PerKind["action"].Count != 100 {
 		t.Fatalf("per-kind counts: %+v", res.PerKind)
 	}
+	// Per-target split mirrors the kind split (each kind hit one target).
+	if res.PerTarget["a:1"].Count != 100 || res.PerTarget["b:2"].Count != 100 {
+		t.Fatalf("per-target counts: %+v", res.PerTarget)
+	}
 	rep := res.String()
-	for _, want := range []string{"p99", "p999", "answer", "action"} {
+	for _, want := range []string{"p99", "p999", "answer", "action", "per target", "a:1", "b:2"} {
 		if !strings.Contains(rep, want) {
 			t.Fatalf("report %q missing %q", rep, want)
 		}
@@ -64,11 +68,11 @@ func TestRunCountsAndPercentiles(t *testing.T) {
 
 func TestRunRecordsErrors(t *testing.T) {
 	res, err := Run(context.Background(), Spec{Rate: 5000, Requests: 50, Seed: 2},
-		func(i int) (string, error) {
+		func(i int) (string, string, error) {
 			if i%2 == 0 {
-				return "", errors.New("boom")
+				return "", "", errors.New("boom")
 			}
-			return "answer", nil
+			return "answer", "", nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +86,7 @@ func TestRunRecordsErrors(t *testing.T) {
 	}
 	// All failing: Run itself errors.
 	if _, err := Run(context.Background(), Spec{Rate: 5000, Requests: 10, Seed: 3},
-		func(int) (string, error) { return "", errors.New("x") }); err == nil {
+		func(int) (string, string, error) { return "", "", errors.New("x") }); err == nil {
 		t.Fatal("all-error run must fail")
 	}
 }
@@ -90,7 +94,7 @@ func TestRunRecordsErrors(t *testing.T) {
 func TestRunHonorsContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := Run(ctx, Spec{Rate: 1, Requests: 100, Seed: 4}, func(int) (string, error) { return "answer", nil })
+	_, err := Run(ctx, Spec{Rate: 1, Requests: 100, Seed: 4}, func(int) (string, string, error) { return "answer", "", nil })
 	if err == nil {
 		t.Fatal("cancelled context must abort")
 	}

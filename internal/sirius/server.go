@@ -10,6 +10,8 @@ import (
 	"mime/multipart"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"sirius/internal/audio"
@@ -28,6 +30,12 @@ type Server struct {
 	pipeline *Pipeline
 	mux      *http.ServeMux
 	stats    *stats
+
+	// ready gates /readyz: true while the server accepts new work,
+	// false during graceful drain — the frontend's health checks stop
+	// routing here before the listener closes. Liveness (/healthz)
+	// stays true throughout: the process is alive, just not accepting.
+	ready atomic.Bool
 
 	registry *telemetry.Registry
 	traces   *telemetry.TraceLog
@@ -58,9 +66,20 @@ func NewServer(p *Pipeline) *Server {
 		queryLat: reg.NewHistogramVec("sirius_query_latency_seconds", "End-to-end query latency, by kind.", "kind"),
 		stageLat: reg.NewHistogramVec("sirius_stage_latency_seconds", "Pipeline stage latency (asr/qa/imm and their components).", "stage"),
 	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/stats", s.stats.handler)
+	// Liveness vs readiness: /healthz answers "is the process up",
+	// /readyz answers "may the router send new work" — they diverge
+	// during graceful drain.
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.Handle("/metrics", reg.Handler())
@@ -76,6 +95,18 @@ func NewServer(p *Pipeline) *Server {
 // Registry exposes the server's metrics registry (for embedding hosts
 // that want to add their own series).
 func (s *Server) Registry() *telemetry.Registry { return s.registry }
+
+// SetReady flips readiness: pass false at the start of graceful drain
+// so /readyz tells the frontend to stop routing here, while in-flight
+// requests finish and /healthz stays green.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Inflight returns the number of queries currently being processed —
+// the load figure backend mode reports in the X-Sirius-Inflight header.
+func (s *Server) Inflight() int64 { return s.inflight.Value() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -108,6 +139,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inflight.Inc()
 	defer s.inflight.Dec()
+	// Report instantaneous load to the caller: the cluster frontend
+	// reads this header to steer least-loaded (P2C) routing.
+	w.Header().Set("X-Sirius-Inflight", strconv.FormatInt(s.inflight.Value(), 10))
 	if err := r.ParseMultipartForm(32 << 20); err != nil {
 		s.badRequest(w, "bad_multipart", "bad multipart form: "+err.Error())
 		return
@@ -139,7 +173,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Every query runs under a trace; the ring buffer keeps recent ones
 	// for /debug/traces whether or not this client asked for the dump.
-	ctx, tr := telemetry.StartTrace(r.Context(), "query")
+	// The trace adopts the caller's X-Request-Id (the frontend mints one
+	// per client query and forwards it), so /debug/traces on the
+	// frontend and on this backend correlate the same query by the same
+	// id across the process boundary.
+	ctx := r.Context()
+	if telemetry.RequestIDFromContext(ctx) == "" {
+		if id := r.Header.Get("X-Request-Id"); id != "" {
+			ctx = telemetry.ContextWithRequestID(ctx, id)
+			w.Header().Set("X-Request-Id", id)
+		}
+	}
+	ctx, tr := telemetry.StartTrace(ctx, "query")
 
 	var resp Response
 	var err error

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -284,3 +285,72 @@ func TestServerConcurrentRequests(t *testing.T) {
 type errStatus int
 
 func (e errStatus) Error() string { return http.StatusText(int(e)) }
+
+// TestServerReadinessAndBackendHeaders covers the surface backend mode
+// leans on: /readyz flips with SetReady (while /healthz stays green),
+// a frontend-supplied X-Request-Id is adopted and echoed, and every
+// /query response self-reports load via X-Sirius-Inflight.
+func TestServerReadinessAndBackendHeaders(t *testing.T) {
+	p := pipeline(t)
+	s := NewServer(p)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != 200 {
+		t.Fatalf("/readyz %d at boot", got)
+	}
+	s.SetReady(false) // drain starts
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz %d while draining, want 503", got)
+	}
+	if got := get("/healthz"); got != 200 {
+		t.Fatalf("/healthz %d while draining — liveness must not flip", got)
+	}
+	if s.Ready() {
+		t.Fatal("Ready() true while draining")
+	}
+	s.SetReady(true)
+	if got := get("/readyz"); got != 200 {
+		t.Fatalf("/readyz %d after drain ended", got)
+	}
+
+	// A routed query arrives with the frontend's request id: the server
+	// adopts it (same id in both tiers' traces) and reports its load.
+	body, ctype, err := BuildMultipartQuery(nil, nil, "what is the capital of france")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/query", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ctype)
+	req.Header.Set("X-Request-Id", "frontend-id-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "frontend-id-7" {
+		t.Fatalf("X-Request-Id %q, want the frontend's id adopted", got)
+	}
+	if _, err := strconv.Atoi(resp.Header.Get("X-Sirius-Inflight")); err != nil {
+		t.Fatalf("X-Sirius-Inflight %q not a number", resp.Header.Get("X-Sirius-Inflight"))
+	}
+	if s.Inflight() != 0 {
+		t.Fatalf("Inflight %d after the query finished", s.Inflight())
+	}
+}

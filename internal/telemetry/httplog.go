@@ -40,15 +40,19 @@ type accessEntry struct {
 }
 
 // AccessLog wraps a handler with structured (JSON-lines) request
-// logging. It mints a request ID per request, attaches it to the
-// context (so StartTrace adopts it) and echoes it in the X-Request-Id
-// response header — log lines, trace dumps and client reports all join
-// on the same key. Lines are serialized with a mutex so concurrent
-// requests never interleave bytes.
+// logging. It adopts the caller's X-Request-Id when present (a cluster
+// frontend forwarding a query sends the id it minted, so both tiers'
+// logs and traces join on one key) and mints one otherwise, attaches
+// it to the context (so StartTrace adopts it) and echoes it in the
+// X-Request-Id response header. Lines are serialized with a mutex so
+// concurrent requests never interleave bytes.
 func AccessLog(out io.Writer, next http.Handler) http.Handler {
 	var mu sync.Mutex
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := NewRequestID()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = NewRequestID()
+		}
 		w.Header().Set("X-Request-Id", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()

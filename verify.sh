@@ -24,4 +24,18 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== cluster smoke (1 frontend + 2 backends) =="
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir" ./cmd/sirius-frontend ./cmd/sirius-server ./cmd/sirius-clustersmoke
+# The smoke binary enforces its own -timeout deadline; the outer
+# `timeout` (where available) is a belt-and-braces guard against a
+# wedged runtime.
+smoke="$bindir/sirius-clustersmoke -server-bin $bindir/sirius-server -frontend-bin $bindir/sirius-frontend -timeout 90s"
+if command -v timeout >/dev/null 2>&1; then
+    timeout 120 $smoke
+else
+    $smoke
+fi
+
 echo "verify: OK"
