@@ -35,11 +35,12 @@ func (s BreakerState) String() string {
 // failures open it; after OpenFor it admits one probe (half-open); the
 // probe's outcome closes or re-opens it. Concurrency-safe.
 type Breaker struct {
-	mu       sync.Mutex
-	state    BreakerState
-	failures int
-	openedAt time.Time
-	probing  bool // half-open: a probe is already in flight
+	mu         sync.Mutex
+	state      BreakerState
+	failures   int
+	openedAt   time.Time
+	probing    bool      // half-open: a probe is already in flight
+	probeStart time.Time // when the current probe claimed the slot
 
 	threshold    int
 	openFor      time.Duration
@@ -78,7 +79,10 @@ func (b *Breaker) transition(to BreakerState) {
 
 // Allow reports whether an attempt may be sent now. An open breaker
 // whose cool-off elapsed flips to half-open and claims the probe slot
-// for this caller; a half-open breaker admits only that one probe.
+// for this caller; a half-open breaker admits only that one probe. A
+// probe slot held longer than OpenFor is reclaimed — the probe attempt
+// died without reporting, and an unreclaimed slot would reject every
+// future attempt and blackhole the backend with no recovery path.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -91,13 +95,28 @@ func (b *Breaker) Allow() bool {
 		}
 		b.transition(BreakerHalfOpen)
 		b.probing = true
+		b.probeStart = b.now()
 		return true
 	default: // BreakerHalfOpen
-		if b.probing {
+		if b.probing && b.now().Sub(b.probeStart) < b.openFor {
 			return false
 		}
 		b.probing = true
+		b.probeStart = b.now()
 		return true
+	}
+}
+
+// CancelProbe releases the half-open probe slot without recording a
+// verdict. An attempt canceled mid-flight (hedge loser, client
+// disconnect) says nothing about backend health, so it must not close
+// or re-open the breaker — but if it held the probe slot, leaving the
+// slot claimed would wedge the breaker half-open forever.
+func (b *Breaker) CancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
 	}
 }
 

@@ -20,11 +20,12 @@ import (
 // switch, /query with failure and delay switches, X-Request-Id echo and
 // the X-Sirius-Inflight load header.
 type stubBackend struct {
-	name  string
-	srv   *httptest.Server
-	fail  atomic.Bool
-	drain atomic.Bool
-	delay atomic.Int64 // nanoseconds added to each /query
+	name    string
+	srv     *httptest.Server
+	fail    atomic.Bool
+	drain   atomic.Bool
+	delay   atomic.Int64 // nanoseconds added to each /query
+	loadRep atomic.Int64 // X-Sirius-Inflight figure /readyz reports
 
 	mu      sync.Mutex
 	lastID  string // X-Request-Id seen on the last /query
@@ -36,6 +37,7 @@ func newStubBackend(t *testing.T, name string) *stubBackend {
 	s := &stubBackend{name: name}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Sirius-Inflight", fmt.Sprint(s.loadRep.Load()))
 		if s.drain.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
@@ -213,6 +215,63 @@ func TestBreakerLifecycle(t *testing.T) {
 	want := []string{"closed>open", "open>half_open", "half_open>open", "open>half_open", "half_open>closed"}
 	if strings.Join(transitions, " ") != strings.Join(want, " ") {
 		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+}
+
+// A canceled probe (hedge loser, client disconnect) must hand the
+// half-open slot back, and a probe that never reports at all must lose
+// the slot after the cool-off — either leak would blackhole the backend
+// forever.
+func TestBreakerProbeSlotRecovery(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(1, 100*time.Millisecond, nil)
+	b.now = func() time.Time { return clock }
+
+	// CancelProbe releases the slot without a verdict.
+	b.Record(false) // open
+	clock = clock.Add(101 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("expired breaker must admit the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+	b.CancelProbe()
+	if !b.Allow() {
+		t.Fatal("canceled probe must free the slot for the next attempt")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+
+	// A probe lost without even a cancel is reclaimed after the
+	// cool-off period.
+	clock = clock.Add(101 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("stale probe slot must be reclaimed after the cool-off")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe", b.State())
+	}
+}
+
+// Load trusts the self-reported figure only while fresh; a stale
+// reading must not keep outvoting the local in-flight count (it would
+// starve a now-idle replica under P2C).
+func TestBackendLoadStaleness(t *testing.T) {
+	b := &Backend{}
+	b.inflight.Store(2)
+	if b.Load() != 2 {
+		t.Fatalf("Load() = %d with no report, want local 2", b.Load())
+	}
+	b.setReported(7)
+	if b.Load() != 7 {
+		t.Fatalf("Load() = %d with fresh report, want 7", b.Load())
+	}
+	b.reportedAt.Store(time.Now().Add(-2 * reportedLoadTTL).UnixNano())
+	if b.Load() != 2 {
+		t.Fatalf("Load() = %d with stale report, want local 2", b.Load())
 	}
 }
 
@@ -436,9 +495,14 @@ func TestFrontendReadyzAndDrain(t *testing.T) {
 		}
 	}
 
-	// The backend starts draining: the next probe benches it.
+	// The backend starts draining: the next probe benches it — and
+	// still refreshes the reported load figure.
 	b.drain.Store(true)
+	b.loadRep.Store(3)
 	f.Backends().CheckOnce(context.Background(), http.DefaultClient)
+	if got := f.Backends().Get(b2ID(b)).reported.Load(); got != 3 {
+		t.Fatalf("health check left reported load at %d, want 3", got)
+	}
 	resp, err := http.Get(srv.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)

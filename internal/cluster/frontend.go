@@ -80,7 +80,7 @@ type Frontend struct {
 	traces      *telemetry.TraceLog
 	stopChecks  func()
 
-	mu  sync.Mutex
+	mu  sync.Mutex // guards rng and stopChecks
 	rng *rand.Rand // backoff jitter
 
 	queries      *telemetry.CounterVec   // cluster_queries_total{kind}
@@ -193,16 +193,21 @@ func (f *Frontend) AddBackend(rawURL, kinds string) (*Backend, error) {
 	b.breaker = NewBreaker(f.cfg.BreakerThreshold, f.cfg.BreakerOpenFor, func(from, to BreakerState) {
 		f.breakerTrans.With(id, to.String()).Inc()
 	})
-	if existing := f.reg.Add(b); existing != b {
-		return existing, nil
-	}
-	f.reg.CheckBackend(context.Background(), f.checkClient, b)
-	return b, nil
+	target := f.reg.Add(b)
+	// Probe even a re-registering backend: one that crashed and came
+	// back keeps its registry entry but may be marked unhealthy, and
+	// without this probe it would wait a full check interval (forever,
+	// with checks disabled) before taking traffic again.
+	f.reg.CheckBackend(context.Background(), f.checkClient, target)
+	return target, nil
 }
 
 // Start launches the periodic health-check loop (no-op when
-// CheckInterval is 0). Stop undoes it.
+// CheckInterval is 0). Stop undoes it. Both are safe to call
+// concurrently.
 func (f *Frontend) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.cfg.CheckInterval > 0 && f.stopChecks == nil {
 		f.stopChecks = f.reg.StartChecks(f.cfg.CheckInterval, f.checkClient)
 	}
@@ -210,9 +215,12 @@ func (f *Frontend) Start() {
 
 // Stop halts background health checking.
 func (f *Frontend) Stop() {
-	if f.stopChecks != nil {
-		f.stopChecks()
-		f.stopChecks = nil
+	f.mu.Lock()
+	stop := f.stopChecks
+	f.stopChecks = nil
+	f.mu.Unlock()
+	if stop != nil {
+		stop() // outside the lock: it blocks until the check loop exits
 	}
 }
 
@@ -298,7 +306,7 @@ func (f *Frontend) attempt(ctx context.Context, b *Backend, ctype string, body [
 		res.status = resp.StatusCode
 		res.contentType = resp.Header.Get("Content-Type")
 		if v, perr := strconv.ParseInt(resp.Header.Get("X-Sirius-Inflight"), 10, 64); perr == nil {
-			b.reported.Store(v)
+			b.setReported(v)
 		}
 		res.body, res.err = io.ReadAll(io.LimitReader(resp.Body, f.cfg.MaxBodyBytes))
 		resp.Body.Close()
@@ -315,7 +323,11 @@ func (f *Frontend) attempt(ctx context.Context, b *Backend, ctype string, body [
 	case res.status >= 500:
 		outcome = "5xx"
 	}
-	if !canceled {
+	if canceled {
+		// No verdict to Record, but if this attempt held the half-open
+		// probe slot it must give it back or the breaker wedges.
+		b.breaker.CancelProbe()
+	} else {
 		b.breaker.Record(res.ok())
 		b.latency.Observe(res.latency)
 		f.backendLat.With(b.ID).Observe(res.latency)
@@ -418,8 +430,11 @@ func (f *Frontend) dispatch(ctx context.Context, kind, ctype string, body []byte
 		case <-retryC:
 			retryC = nil
 			retriesLeft--
-			f.retries.Inc()
-			if err := launch(false); err != nil && outstanding == 0 {
+			// Count the retry only once launched — an exhausted pool
+			// means no attempt actually went out.
+			if err := launch(false); err == nil {
+				f.retries.Inc()
+			} else if outstanding == 0 {
 				if lastFail != nil {
 					return lastFail, nil
 				}
@@ -427,9 +442,8 @@ func (f *Frontend) dispatch(ctx context.Context, kind, ctype string, body []byte
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if outstanding > 0 {
+			if outstanding > 0 && launch(true) == nil { // pool exhausted → no hedge, primary races on
 				f.hedges.Inc()
-				_ = launch(true) // pool exhausted → no hedge, primary races on
 			}
 		case <-ctx.Done():
 			return nil, ctx.Err()

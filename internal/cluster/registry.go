@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,10 +45,11 @@ type Backend struct {
 	URL   string          // base URL, e.g. http://10.0.0.7:8080
 	Kinds map[string]bool // kinds served; empty = all kinds
 
-	healthy  atomic.Bool  // last active /readyz probe returned 200
-	draining atomic.Bool  // last probe returned 503 (graceful drain)
-	inflight atomic.Int64 // requests this frontend has outstanding here
-	reported atomic.Int64 // backend's self-reported in-flight (X-Sirius-Inflight)
+	healthy    atomic.Bool  // last active /readyz probe returned 200
+	draining   atomic.Bool  // last probe returned 503 (graceful drain)
+	inflight   atomic.Int64 // requests this frontend has outstanding here
+	reported   atomic.Int64 // backend's self-reported in-flight (X-Sirius-Inflight)
+	reportedAt atomic.Int64 // unix nanos of the last reported update (0 = never)
 
 	breaker *Breaker
 	latency *telemetry.Histogram // frontend-observed, includes network
@@ -103,13 +105,31 @@ func (b *Backend) Ready() bool {
 	return b.healthy.Load() && !b.draining.Load()
 }
 
+// reportedLoadTTL bounds how long a backend's self-reported in-flight
+// figure is trusted. The figure refreshes on every /query response and
+// every /readyz health check, but a replica that P2C keeps losing never
+// gets a /query to refresh it — without an expiry, one old high reading
+// would starve a now-idle backend indefinitely.
+const reportedLoadTTL = 10 * time.Second
+
+// setReported stores the backend's self-reported in-flight figure and
+// stamps its freshness for Load's staleness cutoff.
+func (b *Backend) setReported(v int64) {
+	b.reported.Store(v)
+	b.reportedAt.Store(time.Now().UnixNano())
+}
+
 // Load estimates outstanding work for least-loaded routing. The local
 // in-flight count sees only this frontend's traffic; the self-reported
 // header sees all frontends but lags by one response. The max of the
-// two is a sound lower bound on the true queue without double counting.
+// two is a sound lower bound on the true queue without double counting;
+// a reported figure older than reportedLoadTTL is ignored as stale.
 func (b *Backend) Load() int64 {
-	l, r := b.inflight.Load(), b.reported.Load()
-	if r > l {
+	l := b.inflight.Load()
+	if time.Now().UnixNano()-b.reportedAt.Load() > int64(reportedLoadTTL) {
+		return l
+	}
+	if r := b.reported.Load(); r > l {
 		return r
 	}
 	return l
@@ -223,6 +243,12 @@ func (r *Registry) CheckBackend(ctx context.Context, client *http.Client, b *Bac
 		return
 	}
 	resp.Body.Close()
+	// The probe doubles as a load refresh: a backend this frontend
+	// sends no /query traffic to would otherwise keep a stale reported
+	// figure (see reportedLoadTTL).
+	if v, perr := strconv.ParseInt(resp.Header.Get("X-Sirius-Inflight"), 10, 64); perr == nil {
+		b.setReported(v)
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		b.healthy.Store(true)

@@ -76,6 +76,12 @@ func NewServer(p *Pipeline) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// The probe doubles as a load report: the frontend's health
+		// checker reads this header, so a backend receiving no /query
+		// traffic still refreshes its reported in-flight figure (the
+		// /query header alone can never report an idle backend — it
+		// counts the request carrying it).
+		w.Header().Set("X-Sirius-Inflight", strconv.FormatInt(s.inflight.Value(), 10))
 		if !s.ready.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
