@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"sirius/internal/kb"
 	"sirius/internal/profile"
 	"sirius/internal/report"
+	"sirius/internal/sirius"
 	"sirius/internal/suite"
 	"sirius/internal/vision"
 )
@@ -80,7 +82,7 @@ func BenchmarkFig7aScalabilityGap(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.Search("capital of italy", 10)
-		if _, err := h.Pipeline.ProcessVoice(samples); err != nil {
+		if _, err := h.Pipeline.Process(context.Background(), sirius.Request{Samples: samples}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,13 +104,13 @@ func BenchmarkFig7bQueryTypeLatency(b *testing.B) {
 	photo := vision.Warp(vision.GenerateScene(viqQ.ImageID, vision.DefaultSceneConfig()), vision.DefaultWarp(5))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Pipeline.ProcessVoice(vc); err != nil {
+		if _, err := h.Pipeline.Process(context.Background(), sirius.Request{Samples: vc}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := h.Pipeline.ProcessVoice(vq); err != nil {
+		if _, err := h.Pipeline.Process(context.Background(), sirius.Request{Samples: vq}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := h.Pipeline.ProcessVoiceImage(viq, photo); err != nil {
+		if _, err := h.Pipeline.Process(context.Background(), sirius.Request{Samples: viq, Image: photo}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -129,7 +131,7 @@ func BenchmarkFig8aServiceVariability(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h.Pipeline.ProcessText(kb.VoiceQueries[i%len(kb.VoiceQueries)].Text)
+		h.Pipeline.Process(context.Background(), sirius.Request{Text: kb.VoiceQueries[i%len(kb.VoiceQueries)].Text})
 	}
 }
 
@@ -144,7 +146,7 @@ func BenchmarkFig8bOpenEphyraBreakdown(b *testing.B) {
 	printOnce("fig8b", report.FormatFig8bc(rows, corr))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h.Pipeline.ProcessText(kb.VoiceQueries[i%len(kb.VoiceQueries)].Text)
+		h.Pipeline.Process(context.Background(), sirius.Request{Text: kb.VoiceQueries[i%len(kb.VoiceQueries)].Text})
 	}
 }
 
@@ -158,7 +160,7 @@ func BenchmarkFig8cFilterHits(b *testing.B) {
 	b.ReportMetric(corr, "pearson-r")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h.Pipeline.ProcessText(kb.VoiceQueries[(i*3)%len(kb.VoiceQueries)].Text)
+		h.Pipeline.Process(context.Background(), sirius.Request{Text: kb.VoiceQueries[(i*3)%len(kb.VoiceQueries)].Text})
 	}
 }
 
@@ -175,7 +177,7 @@ func BenchmarkFig9CycleBreakdown(b *testing.B) {
 	photo := vision.Warp(vision.GenerateScene(viqQ.ImageID, vision.DefaultSceneConfig()), vision.DefaultWarp(6))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Pipeline.ProcessVoiceImage(samples, photo); err != nil {
+		if _, err := h.Pipeline.Process(context.Background(), sirius.Request{Samples: samples, Image: photo}); err != nil {
 			b.Fatal(err)
 		}
 	}

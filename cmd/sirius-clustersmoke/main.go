@@ -1,8 +1,10 @@
 // Command sirius-clustersmoke is the CI gate for the serving tier: it
 // spawns a real 3-process cluster (1 sirius-frontend + 2 sirius-server
 // backends) on loopback ports, waits for registration and readiness,
-// issues text queries through the frontend, and asserts that /metrics
-// shows both backends serving. Everything runs under a hard deadline —
+// issues text queries through the frontend (multipart /query and JSON
+// /v1/query), asserts that an empty query relays the backend's
+// structured error envelope, and asserts that /metrics shows both
+// backends serving. Everything runs under a hard deadline —
 // on timeout the processes are killed and the gate fails rather than
 // hangs. verify.sh runs this after the unit tests.
 //
@@ -14,6 +16,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -203,6 +206,70 @@ func run() (err error) {
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("query %d: status %s", i, resp.Status)
 		}
+	}
+
+	// The versioned endpoint must proxy end to end: a JSON /v1/query
+	// through the frontend reaches a backend and answers.
+	{
+		body, ctype, err := sirius.BuildJSONQuery(nil, nil, "what is the capital of france")
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, frontURL+"/v1/query", body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", ctype)
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("v1 json query: %w", err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("v1 json query: status %s; body %s", resp.Status, payload)
+		}
+		var ans struct {
+			Answer string `json:"answer"`
+		}
+		if err := json.Unmarshal(payload, &ans); err != nil {
+			return fmt.Errorf("v1 json query: bad response %q: %w", payload, err)
+		}
+		log.Printf("/v1/query JSON answered %q", ans.Answer)
+	}
+
+	// An empty query through the frontend must come back as the
+	// backend's structured error envelope, relayed verbatim.
+	{
+		body, ctype, err := sirius.BuildJSONQuery(nil, nil, "")
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, frontURL+"/v1/query", body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", ctype)
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("empty query: %w", err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			return fmt.Errorf("empty query: status %s, want 400; body %s", resp.Status, payload)
+		}
+		var env sirius.ErrorEnvelope
+		if err := json.Unmarshal(payload, &env); err != nil {
+			return fmt.Errorf("empty query: not an error envelope %q: %w", payload, err)
+		}
+		if env.Code != http.StatusBadRequest || env.Reason != "empty_query" || env.RequestID == "" {
+			return fmt.Errorf("empty query: bad envelope %+v", env)
+		}
+		if got := resp.Header.Get("X-Request-Id"); got != env.RequestID {
+			return fmt.Errorf("empty query: envelope request_id %q does not match X-Request-Id %q", env.RequestID, got)
+		}
+		log.Printf("error envelope relayed through the frontend: %+v", env)
 	}
 
 	resp, err := client.Get(frontURL + "/metrics")

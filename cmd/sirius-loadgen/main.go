@@ -15,6 +15,13 @@
 //
 //	sirius-loadgen -addr http://localhost:8080 -rate 50 -n 500
 //	sirius-loadgen -addr http://h1:8080 -addr http://h2:8080 -rate 50 -n 500
+//	sirius-loadgen -addr http://lb:8090 -rate 50 -n 500 -voice 0.5 -json
+//
+// -voice sends that fraction of the stream as synthesized WAV
+// recordings (exercising the ASR path and any cross-request scoring
+// batcher); -json switches to the versioned JSON encoding on
+// /v1/query. When the target serves from its result cache, the hit
+// count (X-Sirius-Cache: hit responses) is reported after the run.
 package main
 
 import (
@@ -25,8 +32,10 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"sirius/internal/asr"
 	"sirius/internal/kb"
 	"sirius/internal/loadgen"
 	"sirius/internal/sirius"
@@ -50,6 +59,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "arrival-process seed")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	commands := flag.Bool("commands", true, "mix device commands (action path) into the stream")
+	voice := flag.Float64("voice", 0, "fraction of queries sent as synthesized WAV recordings (0..1)")
+	jsonBody := flag.Bool("json", false, "POST application/json to /v1/query instead of multipart to /query")
 	flag.Parse()
 	if *server != "" {
 		addrs = append(addrs, strings.TrimRight(*server, "/"))
@@ -62,32 +73,63 @@ func main() {
 	// separates the two paths' tails — pooled, the fast action path
 	// masks the answer path's p99.
 	type query struct {
-		text string
-		kind string
+		text    string
+		kind    string
+		samples []float64 // non-nil: send as a WAV recording (ASR path)
 	}
 	var queries []query
 	for _, q := range kb.VoiceQueries {
-		queries = append(queries, query{q.Text, string(sirius.KindAnswer)})
+		queries = append(queries, query{text: q.Text, kind: string(sirius.KindAnswer)})
 	}
 	if *commands {
 		for _, q := range kb.VoiceCommands {
-			queries = append(queries, query{q.Text, string(sirius.KindAction)})
+			queries = append(queries, query{text: q.Text, kind: string(sirius.KindAction)})
+		}
+	}
+	if *voice > 0 {
+		// Pre-synthesize recordings outside the timed loop so the load
+		// generator measures serving latency, not synthesis. Every
+		// ceil(1/voice)-th query goes out as audio.
+		lex, _ := kb.BuildLexicon()
+		stride := int(1 / *voice)
+		if stride < 1 {
+			stride = 1
+		}
+		for i := range queries {
+			if i%stride != 0 {
+				continue
+			}
+			samples, err := asr.SynthesizeText(lex, queries[i].text, int64(100+i))
+			if err != nil {
+				log.Fatalf("synthesizing %q: %v", queries[i].text, err)
+			}
+			queries[i].samples = samples
 		}
 	}
 
+	path := "/query"
+	build := sirius.BuildMultipartQuery
+	if *jsonBody {
+		path = "/v1/query"
+		build = sirius.BuildJSONQuery
+	}
+	var cacheHits atomic.Int64
 	client := &http.Client{Timeout: *timeout}
 	send := func(i int) (string, string, error) {
 		q := queries[i%len(queries)]
 		target := addrs[i%len(addrs)]
-		body, ctype, err := sirius.BuildMultipartQuery(nil, nil, q.text)
+		body, ctype, err := build(q.samples, nil, q.text)
 		if err != nil {
 			return q.kind, target, err
 		}
-		resp, err := client.Post(target+"/query", ctype, body)
+		resp, err := client.Post(target+path, ctype, body)
 		if err != nil {
 			return q.kind, target, err
 		}
 		defer resp.Body.Close()
+		if resp.Header.Get("X-Sirius-Cache") == "hit" {
+			cacheHits.Add(1)
+		}
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 			return q.kind, target, err
 		}
@@ -103,5 +145,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(res)
+	if hits := cacheHits.Load(); hits > 0 {
+		fmt.Printf("\nresult-cache hits: %d/%d (responses carrying X-Sirius-Cache: hit)\n", hits, *n)
+	}
 	fmt.Printf("\n(compare with the M/M/1 prediction: R = 1/(mu - lambda) with mu = 1/mean service time)\n")
 }

@@ -22,6 +22,13 @@
 //
 //	sirius-server [-addr :8080] [-engine gmm|dnn] [-drain 30s]
 //	    [-frontend http://lb:8090] [-kinds asr,qa,imm] [-advertise http://me:8080]
+//	    [-batch] [-batch-size 8] [-batch-wait 2ms] [-cache 256]
+//
+// Queries are served on POST /v1/query (and its legacy alias /query) in
+// either encoding: multipart form data or application/json with base64
+// "audio"/"image" fields. -batch turns on cross-request batched
+// acoustic scoring; -cache answers repeated queries from a bounded LRU
+// (look for the X-Sirius-Cache response header).
 package main
 
 import (
@@ -64,6 +71,10 @@ func main() {
 	frontend := flag.String("frontend", "", "frontend base URL to register with (backend mode)")
 	kinds := flag.String("kinds", "all", "stage pools this backend serves: comma-separated asr,qa,imm, or all")
 	advertise := flag.String("advertise", "", "base URL peers reach this server at (default: derived from -addr)")
+	batch := flag.Bool("batch", false, "coalesce concurrent requests' acoustic scoring into shared batched calls")
+	batchSize := flag.Int("batch-size", 0, "max requests per scoring batch (0 = default)")
+	batchWait := flag.Duration("batch-wait", 0, "max time the first request in a batch waits for company (0 = default)")
+	cache := flag.Int("cache", 0, "query result cache capacity in entries (0 = disabled)")
 	flag.Parse()
 
 	cfg := sirius.DefaultConfig()
@@ -79,6 +90,9 @@ func main() {
 	if _, err := cluster.ParseKinds(*kinds); err != nil {
 		log.Fatal(err)
 	}
+	cfg.BatchScoring = *batch
+	cfg.BatchMaxSize = *batchSize
+	cfg.BatchMaxWait = *batchWait
 
 	log.Printf("training models and building indexes (engine=%s)...", cfg.Engine)
 	start := time.Now()
@@ -87,8 +101,13 @@ func main() {
 		log.Fatalf("pipeline: %v", err)
 	}
 	log.Printf("pipeline ready in %v; listening on %s", time.Since(start), *addr)
+	defer p.Close()
 
 	s := sirius.NewServer(p)
+	if *cache > 0 {
+		s.EnableCache(*cache)
+		log.Printf("query result cache enabled (%d entries)", *cache)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: telemetry.AccessLog(os.Stderr, s),

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -47,9 +48,9 @@ func main() {
 		if rest, entity, ok := splitPhoto(line); ok {
 			scene := vision.GenerateScene(entity, vision.DefaultSceneConfig())
 			photo := vision.Warp(scene, vision.DefaultWarp(7))
-			resp = p.ProcessTextImage(rest, photo)
+			resp, _ = p.Process(context.Background(), sirius.Request{Text: rest, Image: photo})
 		} else {
-			resp = p.ProcessText(line)
+			resp, _ = p.Process(context.Background(), sirius.Request{Text: line})
 		}
 		switch resp.Kind {
 		case sirius.KindAction:

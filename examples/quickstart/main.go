@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := p.ProcessVoice(samples)
+	resp, err := p.Process(context.Background(), sirius.Request{Samples: samples})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err = p.ProcessVoice(samples)
+	resp, err = p.Process(context.Background(), sirius.Request{Samples: samples})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err = p.ProcessVoiceImage(samples, photo)
+	resp, err = p.Process(context.Background(), sirius.Request{Samples: samples, Image: photo})
 	if err != nil {
 		log.Fatal(err)
 	}

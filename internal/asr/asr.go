@@ -6,9 +6,11 @@
 package asr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -191,6 +193,20 @@ type gmmScorer struct{ bank *gmm.Bank }
 func (g gmmScorer) ScoreAll(dst, frame []float64) { g.bank.ScoreAll(dst, frame) }
 func (g gmmScorer) NumSenones() int               { return g.bank.States() }
 
+// ScoreAllBatch scores a frame batch through the bank's multicore path
+// (hmm.BatchScorer): each frame's senone sweep fans out across
+// ScoreAllParallel workers, so a cross-request batch keeps every core
+// busy the way the paper's CMP GMM port does (§4.3.1, Table 4).
+func (g gmmScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
+	workers := runtime.GOMAXPROCS(0)
+	out := make([][]float64, len(frames))
+	for i, f := range frames {
+		out[i] = make([]float64, g.bank.States())
+		g.bank.ScoreAllParallel(out[i], f, workers)
+	}
+	return out
+}
+
 // dnnScorer adapts a DNN to hmm.Scorer using the hybrid convention:
 // scaled likelihood = log p(s|x) − log p(s).
 type dnnScorer struct {
@@ -285,10 +301,48 @@ type Recognizer struct {
 	cfg    hmm.Config
 	lex    *hmm.Lexicon
 	vad    *audio.VADConfig
+	// base is the engine scorer in model senone order, built once at
+	// construction; it is stateless and shared by concurrent queries.
+	base hmm.Scorer
+	// remap translates model senone order to graph order (shared,
+	// read-only).
+	remap []int
+	// batcher, when set, routes whole-utterance scoring through a
+	// cross-request batch scheduler.
+	batcher Batcher
 	// Two-pass rescoring (nil = single pass).
 	rescoreTri    *hmm.Trigram
 	rescoreWeight float64
 	rescoreN      int
+}
+
+// Batcher coalesces scoring submissions from concurrent recognitions
+// into shared batched calls (implemented by internal/batch.Scheduler;
+// declared here so asr does not depend on the scheduler).
+type Batcher interface {
+	Submit(ctx context.Context, frames [][]float64) ([][]float64, error)
+}
+
+// SetBatcher routes this recognizer's batch scoring through a shared
+// cross-request scheduler. The scheduler's Score function must be this
+// recognizer's ScoreBatch (model senone order). Pass nil to disable.
+// Not safe to call concurrently with recognition.
+func (r *Recognizer) SetBatcher(b Batcher) { r.batcher = b }
+
+// ScoreBatch scores frames with the engine's native batch path in model
+// senone order — the Score function a batch.Scheduler wraps. Both
+// engines batch (DNN via one ForwardBatch GEMM, GMM via the multicore
+// bank sweep); an engine without a batch path falls back frame by frame.
+func (r *Recognizer) ScoreBatch(frames [][]float64) [][]float64 {
+	if bs, ok := r.base.(hmm.BatchScorer); ok {
+		return bs.ScoreAllBatch(frames)
+	}
+	out := make([][]float64, len(frames))
+	for i, f := range frames {
+		out[i] = make([]float64, r.base.NumSenones())
+		r.base.ScoreAll(out[i], f)
+	}
+	return out
 }
 
 // Lexicon returns the vocabulary the recognizer decodes over.
@@ -328,31 +382,63 @@ func NewRecognizer(models *Models, engine Engine, lex *hmm.Lexicon, lm *hmm.Bigr
 	if err != nil {
 		return nil, err
 	}
-	return &Recognizer{models: models, engine: engine, graph: graph, cfg: cfg, lex: lex}, nil
-}
-
-// scorerFor builds the graph-ordered scorer: the decoding graph numbers
-// senones by its own sorted phone set, so remap from the models' order.
-func (r *Recognizer) scorerFor() hmm.Scorer {
-	graphPhones := r.graph.Phones()
+	r := &Recognizer{models: models, engine: engine, graph: graph, cfg: cfg, lex: lex}
+	if engine == EngineDNN {
+		r.base = dnnScorer{net: models.Net, priors: models.LogPriors}
+	} else {
+		r.base = gmmScorer{bank: models.Bank}
+	}
+	graphPhones := graph.Phones()
 	modelIdx := map[string]int{}
-	for i, p := range r.models.Phones {
+	for i, p := range models.Phones {
 		modelIdx[p] = i
 	}
-	remap := make([]int, len(graphPhones)*hmm.StatesPerPhone)
+	r.remap = make([]int, len(graphPhones)*hmm.StatesPerPhone)
 	for gi, p := range graphPhones {
 		mi := modelIdx[p]
 		for s := 0; s < hmm.StatesPerPhone; s++ {
-			remap[gi*hmm.StatesPerPhone+s] = mi*hmm.StatesPerPhone + s
+			r.remap[gi*hmm.StatesPerPhone+s] = mi*hmm.StatesPerPhone + s
 		}
 	}
-	var base hmm.Scorer
-	if r.engine == EngineDNN {
-		base = dnnScorer{net: r.models.Net, priors: r.models.LogPriors}
-	} else {
-		base = gmmScorer{bank: r.models.Bank}
+	return r, nil
+}
+
+// scorerFor builds the graph-ordered scorer chain for one recognition:
+// the decoding graph numbers senones by its own sorted phone set, so
+// remap from the models' order. With a batcher attached, batch scoring
+// detours through the shared cross-request scheduler under ctx.
+func (r *Recognizer) scorerFor(ctx context.Context) hmm.Scorer {
+	base := r.base
+	if r.batcher != nil {
+		base = &submitScorer{ctx: ctx, sub: r.batcher, inner: base}
 	}
-	return &remapScorer{inner: base, remap: remap, buf: make([]float64, r.models.NumSenones())}
+	return &remapScorer{inner: base, remap: r.remap, buf: make([]float64, r.models.NumSenones())}
+}
+
+// submitScorer routes whole-utterance batch scoring through the shared
+// scheduler so concurrent requests coalesce into one GEMM. Per-frame
+// scoring (the decoder's fallback) stays local.
+type submitScorer struct {
+	ctx   context.Context
+	sub   Batcher
+	inner hmm.Scorer
+}
+
+func (s *submitScorer) ScoreAll(dst, frame []float64) { s.inner.ScoreAll(dst, frame) }
+func (s *submitScorer) NumSenones() int               { return s.inner.NumSenones() }
+
+// ScoreAllBatch submits to the scheduler; if the submission fails (the
+// request was canceled while queued, or the scheduler is shutting
+// down), it scores locally — the recognition still completes and the
+// HTTP layer discards the response of a gone client.
+func (s *submitScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
+	if out, err := s.sub.Submit(s.ctx, frames); err == nil {
+		return out
+	}
+	if bs, ok := s.inner.(hmm.BatchScorer); ok {
+		return bs.ScoreAllBatch(frames)
+	}
+	return nil
 }
 
 // remapScorer reorders senone scores from model order to graph order.
@@ -390,6 +476,14 @@ func (rs *remapScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
 
 // Recognize decodes raw 16 kHz samples into text.
 func (r *Recognizer) Recognize(samples []float64) (Result, error) {
+	return r.RecognizeContext(context.Background(), samples)
+}
+
+// RecognizeContext is Recognize with a request context: the context's
+// cancellation reaches the batch scheduler (a canceled query stops
+// waiting for its batch), and its telemetry trace picks up queue-wait
+// spans.
+func (r *Recognizer) RecognizeContext(ctx context.Context, samples []float64) (Result, error) {
 	var tm Timings
 	start := time.Now()
 	if r.vad != nil {
@@ -401,7 +495,7 @@ func (r *Recognizer) Recognize(samples []float64) (Result, error) {
 	if len(frames) == 0 {
 		return Result{Timings: tm}, fmt.Errorf("asr: audio too short (%d samples)", len(samples))
 	}
-	ts := &timedScorer{inner: r.scorerFor()}
+	ts := &timedScorer{inner: r.scorerFor(ctx)}
 	dec, err := hmm.NewDecoder(r.graph, ts, r.cfg)
 	if err != nil {
 		return Result{}, err

@@ -1,10 +1,14 @@
 package asr
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"sirius/internal/audio"
+	"sirius/internal/batch"
 	"sirius/internal/hmm"
 )
 
@@ -179,7 +183,7 @@ func TestDNNBatchScoringMatchesPerFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scorer := rec.scorerFor()
+	scorer := rec.scorerFor(context.Background())
 	bs, ok := scorer.(hmm.BatchScorer)
 	if !ok {
 		t.Fatal("DNN scorer chain must support batch scoring")
@@ -204,15 +208,27 @@ func TestDNNBatchScoringMatchesPerFrame(t *testing.T) {
 			}
 		}
 	}
-	// The GMM chain has no batch path and must report nil (decoder falls
-	// back to per-frame scoring).
+	// The GMM chain batches too (multicore bank sweep per frame) and
+	// must agree with its per-frame scores.
 	recG, err := NewRecognizer(models, EngineGMM, lex, lm, hmm.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gbs, ok := recG.scorerFor().(hmm.BatchScorer); ok {
-		if got := gbs.ScoreAllBatch(frames); got != nil {
-			t.Fatal("GMM chain must not produce batch scores")
+	gScorer := recG.scorerFor(context.Background())
+	gbs, ok := gScorer.(hmm.BatchScorer)
+	if !ok {
+		t.Fatal("GMM scorer chain must support batch scoring")
+	}
+	gBatch := gbs.ScoreAllBatch(frames)
+	if gBatch == nil {
+		t.Fatal("batch scoring returned nil for a GMM scorer")
+	}
+	for f := range frames {
+		gScorer.ScoreAll(perFrame, frames[f])
+		for s := range perFrame {
+			if diff := perFrame[s] - gBatch[f][s]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("gmm frame %d senone %d: %v != %v", f, s, perFrame[s], gBatch[f][s])
+			}
 		}
 	}
 }
@@ -247,5 +263,68 @@ func TestVADSpeedsUpPaddedAudio(t *testing.T) {
 	// The padded-and-trimmed decode should still find the word.
 	if !strings.Contains(trimmed.Text, "weather") {
 		t.Logf("note: trimmed decode %q (acceptable on hard seeds)", trimmed.Text)
+	}
+}
+
+// TestCrossRequestBatchCoalescing wires a recognizer to a shared batch
+// scheduler and runs concurrent recognitions: the scheduler must fold
+// at least two utterances' scoring into one batched call, and the
+// transcripts must match the unbatched decode exactly.
+func TestCrossRequestBatchCoalescing(t *testing.T) {
+	models, lex, lm := setup(t)
+	rec, err := NewRecognizer(models, EngineDNN, lex, lm, hmm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{"call time", "stop news", "weather", "go"}
+	samples := make([][]float64, len(texts))
+	baseline := make([]string, len(texts))
+	for i, txt := range texts {
+		samples[i], err = SynthesizeText(lex, txt, int64(40+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rec.Recognize(samples[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = res.Text
+	}
+
+	sched := batch.New(batch.Config{MaxBatch: 8, MaxWait: 50 * time.Millisecond, Score: rec.ScoreBatch})
+	defer sched.Close()
+	rec.SetBatcher(sched)
+	defer rec.SetBatcher(nil)
+
+	var wg sync.WaitGroup
+	got := make([]string, len(texts))
+	errs := make([]error, len(texts))
+	for i := range texts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := rec.RecognizeContext(context.Background(), samples[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = res.Text
+		}(i)
+	}
+	wg.Wait()
+	for i := range texts {
+		if errs[i] != nil {
+			t.Fatalf("recognize %d: %v", i, errs[i])
+		}
+		if got[i] != baseline[i] {
+			t.Fatalf("batched decode %d: %q, unbatched %q", i, got[i], baseline[i])
+		}
+	}
+	st := sched.Stats()
+	if st.Requests != uint64(len(texts)) {
+		t.Fatalf("scheduler saw %d requests, want %d", st.Requests, len(texts))
+	}
+	if st.Batches >= st.Requests {
+		t.Fatalf("no coalescing: %d batches for %d requests", st.Batches, st.Requests)
 	}
 }

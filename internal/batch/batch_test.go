@@ -1,0 +1,228 @@
+package batch
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sirius/internal/telemetry"
+)
+
+// frame builds a 1-dim frame carrying v, so results are attributable.
+func frame(v float64) []float64 { return []float64{v} }
+
+// echoScore returns each frame doubled and records per-call batch sizes.
+type echoScore struct {
+	mu    sync.Mutex
+	calls [][]int // row counts per call (single element: total rows)
+}
+
+func (e *echoScore) fn(frames [][]float64) [][]float64 {
+	e.mu.Lock()
+	e.calls = append(e.calls, []int{len(frames)})
+	e.mu.Unlock()
+	out := make([][]float64, len(frames))
+	for i, f := range frames {
+		out[i] = []float64{2 * f[0]}
+	}
+	return out
+}
+
+func (e *echoScore) numCalls() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.calls)
+}
+
+func TestSchedulerCoalescesConcurrentSubmits(t *testing.T) {
+	sc := &echoScore{}
+	s := New(Config{MaxBatch: 8, MaxWait: 50 * time.Millisecond, Score: sc.fn})
+	defer s.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	results := make([][][]float64, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Submit(context.Background(),
+				[][]float64{frame(float64(i)), frame(float64(i) + 0.5)})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		if len(results[i]) != 2 {
+			t.Fatalf("submit %d: %d rows", i, len(results[i]))
+		}
+		// Each caller gets its own rows back, in its own order.
+		if got, want := results[i][0][0], 2*float64(i); got != want {
+			t.Fatalf("submit %d row 0: %v want %v", i, got, want)
+		}
+		if got, want := results[i][1][0], 2*(float64(i)+0.5); got != want {
+			t.Fatalf("submit %d row 1: %v want %v", i, got, want)
+		}
+	}
+	st := s.Stats()
+	if st.Requests != n {
+		t.Fatalf("requests %d, want %d", st.Requests, n)
+	}
+	if st.Batches >= n {
+		t.Fatalf("batches %d for %d concurrent submits — nothing coalesced", st.Batches, n)
+	}
+	if st.Frames != 2*n {
+		t.Fatalf("frames %d, want %d", st.Frames, 2*n)
+	}
+	if st.CoalesceRatio() <= 1 {
+		t.Fatalf("coalesce ratio %v, want >1", st.CoalesceRatio())
+	}
+}
+
+func TestSchedulerFlushesFullBatchImmediately(t *testing.T) {
+	sc := &echoScore{}
+	// MaxWait far beyond the test deadline: only the MaxBatch trigger
+	// can flush in time.
+	s := New(Config{MaxBatch: 2, MaxWait: time.Hour, Score: sc.fn})
+	defer s.Close()
+
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := s.Submit(context.Background(), [][]float64{frame(float64(i))})
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("full batch did not flush before MaxWait")
+		}
+	}
+}
+
+func TestSchedulerCancellationDoesNotStallBatch(t *testing.T) {
+	sc := &echoScore{}
+	s := New(Config{MaxBatch: 8, MaxWait: 100 * time.Millisecond, Score: sc.fn})
+	defer s.Close()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancelErr := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(canceled, [][]float64{frame(1)})
+		cancelErr <- err
+	}()
+	// Let the canceled job reach the queue, then cancel it.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-cancelErr:
+		if err != context.Canceled {
+			t.Fatalf("canceled submit returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled submit did not return promptly")
+	}
+
+	// A live submission sharing the tick still completes.
+	out, err := s.Submit(context.Background(), [][]float64{frame(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0][0] != 6 {
+		t.Fatalf("live submit got %v", out)
+	}
+	if st := s.Stats(); st.Canceled == 0 {
+		t.Fatalf("canceled counter not incremented: %+v", st)
+	}
+}
+
+func TestSchedulerCloseFailsPending(t *testing.T) {
+	block := make(chan struct{})
+	s := New(Config{MaxBatch: 1, MaxWait: time.Millisecond, Score: func(frames [][]float64) [][]float64 {
+		<-block
+		out := make([][]float64, len(frames))
+		for i := range out {
+			out[i] = []float64{0}
+		}
+		return out
+	}})
+	// Occupy the worker, then close with a job queued behind it.
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), [][]float64{frame(1)})
+		first <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	second := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), [][]float64{frame(2)})
+		second <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	close(block)
+	if err := <-first; err != nil {
+		t.Fatalf("in-flight job failed: %v", err)
+	}
+	if err := <-second; err != ErrClosed {
+		t.Fatalf("queued job after close returned %v, want ErrClosed", err)
+	}
+	if _, err := s.Submit(context.Background(), [][]float64{frame(3)}); err != ErrClosed {
+		t.Fatalf("submit after close returned %v, want ErrClosed", err)
+	}
+}
+
+func TestSchedulerEmptySubmit(t *testing.T) {
+	var calls atomic.Int64
+	s := New(Config{Score: func(frames [][]float64) [][]float64 {
+		calls.Add(1)
+		return make([][]float64, len(frames))
+	}})
+	defer s.Close()
+	out, err := s.Submit(context.Background(), nil)
+	if out != nil || err != nil {
+		t.Fatalf("empty submit: %v, %v", out, err)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("empty submit reached the score function")
+	}
+}
+
+func TestSchedulerMetricsExposition(t *testing.T) {
+	sc := &echoScore{}
+	s := New(Config{MaxBatch: 4, MaxWait: time.Millisecond, Score: sc.fn})
+	defer s.Close()
+	reg := telemetry.NewRegistry()
+	s.RegisterMetrics(reg)
+
+	if _, err := s.Submit(context.Background(), [][]float64{frame(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sirius_batch_requests_total 1",
+		"sirius_batch_batches_total 1",
+		"sirius_batch_frames_total 1",
+		`sirius_batch_size_total{size="1"} 1`,
+		"sirius_batch_queue_wait_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

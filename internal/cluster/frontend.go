@@ -148,6 +148,7 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 		readyGauge:   m.NewGauge("cluster_backends_ready", "Backends currently ready for traffic."),
 	}
 	f.mux.HandleFunc("/query", f.handleQuery)
+	f.mux.HandleFunc("/v1/query", f.handleQuery)
 	f.mux.HandleFunc("/register", f.handleRegister)
 	f.mux.HandleFunc("/deregister", f.handleDeregister)
 	f.mux.HandleFunc("/backends", f.handleBackends)
@@ -227,13 +228,35 @@ func (f *Frontend) Stop() {
 // ServeHTTP implements http.Handler.
 func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) { f.mux.ServeHTTP(w, r) }
 
-// ClassifyQuery maps a /query body onto a stage pool by which multipart
-// fields it carries: a photo routes to the imm pool (the VIQ path), a
-// recording to asr, plain text to qa. Unparseable bodies fall back to
-// qa — the backend will reject them with a proper 400.
+// ClassifyQuery maps a /query body onto a stage pool by which fields it
+// carries: a photo routes to the imm pool (the VIQ path), a recording
+// to asr, plain text to qa. Both encodings are understood — multipart
+// field names and the JSON body's "audio"/"image" keys. Unparseable
+// bodies fall back to qa — the backend will reject them with a proper
+// error envelope.
 func ClassifyQuery(contentType string, body []byte) string {
 	mt, params, err := mime.ParseMediaType(contentType)
-	if err != nil || !strings.HasPrefix(mt, "multipart/") {
+	if err != nil {
+		return KindQA
+	}
+	if mt == "application/json" {
+		var q struct {
+			Audio json.RawMessage `json:"audio"`
+			Image json.RawMessage `json:"image"`
+		}
+		if json.Unmarshal(body, &q) != nil {
+			return KindQA
+		}
+		switch {
+		case jsonFieldPresent(q.Image):
+			return KindIMM
+		case jsonFieldPresent(q.Audio):
+			return KindASR
+		default:
+			return KindQA
+		}
+	}
+	if !strings.HasPrefix(mt, "multipart/") {
 		return KindQA
 	}
 	mr := multipart.NewReader(bytes.NewReader(body), params["boundary"])
@@ -252,6 +275,13 @@ func ClassifyQuery(contentType string, body []byte) string {
 		}
 		p.Close()
 	}
+}
+
+// jsonFieldPresent reports whether a decoded JSON field carries actual
+// content (present, not null, not an empty string).
+func jsonFieldPresent(raw json.RawMessage) bool {
+	s := strings.TrimSpace(string(raw))
+	return s != "" && s != "null" && s != `""`
 }
 
 // attemptResult carries one backend attempt's outcome.
@@ -276,7 +306,7 @@ func (r *attemptResult) ok() bool { return r.err == nil && r.status < 500 }
 // self-reported load header, and feeds the breaker — except when the
 // attempt lost a hedge race and was canceled, which says nothing about
 // backend health.
-func (f *Frontend) attempt(ctx context.Context, b *Backend, ctype string, body []byte, reqID string, hedged bool, results chan<- *attemptResult) {
+func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, body []byte, reqID string, hedged bool, results chan<- *attemptResult) {
 	name := "attempt " + b.ID
 	if hedged {
 		name = "hedge " + b.ID
@@ -288,7 +318,7 @@ func (f *Frontend) attempt(ctx context.Context, b *Backend, ctype string, body [
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 	res := &attemptResult{backend: b, hedged: hedged}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.URL+"/query", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.URL+path, bytes.NewReader(body))
 	if err != nil {
 		res.err = err
 		results <- res
@@ -370,7 +400,7 @@ func (f *Frontend) hedgeDelay(kind string) (time.Duration, bool) {
 // and at most one hedge once the hedge delay elapses with the primary
 // still in flight. The first successful attempt wins; losers are
 // canceled via ctx when dispatch returns.
-func (f *Frontend) dispatch(ctx context.Context, kind, ctype string, body []byte, reqID string) (*attemptResult, error) {
+func (f *Frontend) dispatch(ctx context.Context, kind, path, ctype string, body []byte, reqID string) (*attemptResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -384,7 +414,7 @@ func (f *Frontend) dispatch(ctx context.Context, kind, ctype string, body []byte
 		}
 		exclude[b.ID] = true
 		outstanding++
-		go f.attempt(ctx, b, ctype, body, reqID, hedged, results)
+		go f.attempt(ctx, b, path, ctype, body, reqID, hedged, results)
 		return nil
 	}
 	if err := launch(false); err != nil {
@@ -451,33 +481,49 @@ func (f *Frontend) dispatch(ctx context.Context, kind, ctype string, body []byte
 	}
 }
 
-// handleQuery is the frontend's /query: buffer, classify into a pool,
-// dispatch, relay. The body must be buffered — retries and hedges
-// replay it.
+// writeEnvelope sends the same structured JSON error body the backends
+// emit, for failures the frontend itself originates. Backend error
+// envelopes are relayed verbatim instead, so a client sees one error
+// shape regardless of which tier rejected the query.
+func writeEnvelope(w http.ResponseWriter, code int, reason, requestID, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Code      int    `json:"code"`
+		Reason    string `json:"reason"`
+		RequestID string `json:"request_id"`
+		Message   string `json:"message,omitempty"`
+	}{code, reason, requestID, msg})
+}
+
+// handleQuery is the frontend's /query and /v1/query: buffer, classify
+// into a pool, dispatch, relay. The backend path mirrors the one the
+// client hit, so both tiers version together. The body must be
+// buffered — retries and hedges replay it.
 func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
 		f.errsC.With("bad_method").Inc()
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		writeEnvelope(w, http.StatusMethodNotAllowed, "bad_method", reqID, "POST required")
 		return
 	}
 	start := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes))
 	if err != nil {
 		f.errsC.With("bad_body").Inc()
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		writeEnvelope(w, http.StatusBadRequest, "bad_body", reqID, "reading body: "+err.Error())
 		return
 	}
 	ctype := r.Header.Get("Content-Type")
 	kind := ClassifyQuery(ctype, body)
 
-	reqID := r.Header.Get("X-Request-Id")
-	if reqID == "" {
-		reqID = telemetry.NewRequestID()
-	}
-	w.Header().Set("X-Request-Id", reqID)
 	ctx := telemetry.ContextWithRequestID(r.Context(), reqID)
 	ctx, tr := telemetry.StartTrace(ctx, "frontend "+kind)
-	res, err := f.dispatch(ctx, kind, ctype, body, reqID)
+	res, err := f.dispatch(ctx, kind, r.URL.Path, ctype, body, reqID)
 	tr.Finish()
 	f.traces.Add(tr)
 	if err != nil {
@@ -486,14 +532,19 @@ func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
 			reason = "no_backends"
 		}
 		f.errsC.With(reason).Inc()
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeEnvelope(w, http.StatusServiceUnavailable, reason, reqID, err.Error())
 		return
 	}
 	if !res.ok() {
 		f.errsC.With("backend_failure").Inc()
 		if res.err != nil {
-			http.Error(w, "all backends failed: "+res.err.Error(), http.StatusBadGateway)
+			writeEnvelope(w, http.StatusBadGateway, "backend_failure", reqID, "all backends failed: "+res.err.Error())
 			return
+		}
+		// A backend-originated failure body (the error envelope included)
+		// relays verbatim, status and all.
+		if res.contentType != "" {
+			w.Header().Set("Content-Type", res.contentType)
 		}
 		w.Header().Set("X-Sirius-Backend", res.backend.ID)
 		w.WriteHeader(res.status)

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"sirius/internal/accel"
 	"sirius/internal/dcsim"
 	"sirius/internal/kb"
+	"sirius/internal/sirius"
 	"sirius/internal/suite"
 )
 
@@ -351,7 +353,7 @@ func (h *Harness) RunLiveQueueValidation(rho float64, n int) (LiveQueueValidatio
 		queries[i] = qs[i%len(qs)]
 	}
 	services := dcsim.MeasuredServices(func(i int) {
-		h.Pipeline.ProcessText(queries[i])
+		h.Pipeline.Process(context.Background(), sirius.Request{Text: queries[i]})
 	}, n)
 	var sum time.Duration
 	for _, s := range services {

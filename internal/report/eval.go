@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,7 +42,7 @@ func (h *Harness) RunEndToEndEval(seedBase int64) (EndToEndEval, error) {
 		if err != nil {
 			return ev, err
 		}
-		resp, err := h.Pipeline.ProcessVoice(samples)
+		resp, err := h.Pipeline.Process(context.Background(), sirius.Request{Samples: samples})
 		if err != nil {
 			return ev, err
 		}
@@ -53,7 +54,7 @@ func (h *Harness) RunEndToEndEval(seedBase int64) (EndToEndEval, error) {
 		werN++
 	}
 	for i, q := range kb.VoiceQueries {
-		resp := h.Pipeline.ProcessText(q.Text)
+		resp, _ := h.Pipeline.Process(context.Background(), sirius.Request{Text: q.Text})
 		ev.TextQATotal++
 		if resp.Answer == q.Want {
 			ev.TextQACorrect++
@@ -62,7 +63,7 @@ func (h *Harness) RunEndToEndEval(seedBase int64) (EndToEndEval, error) {
 		if err != nil {
 			return ev, err
 		}
-		vresp, err := h.Pipeline.ProcessVoice(samples)
+		vresp, err := h.Pipeline.Process(context.Background(), sirius.Request{Samples: samples})
 		if err != nil {
 			return ev, err
 		}
@@ -76,7 +77,7 @@ func (h *Harness) RunEndToEndEval(seedBase int64) (EndToEndEval, error) {
 	for i, q := range kb.VoiceImageQueries {
 		scene := vision.GenerateScene(q.ImageID, vision.DefaultSceneConfig())
 		photo := vision.Warp(scene, vision.DefaultWarp(seedBase+200+int64(i)))
-		resp := h.Pipeline.ProcessTextImage(q.Text, photo)
+		resp, _ := h.Pipeline.Process(context.Background(), sirius.Request{Text: q.Text, Image: photo})
 		ev.VIQTotal++
 		if resp.MatchedImage == q.ImageID && resp.Answer == q.Want {
 			ev.VIQCorrect++

@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -72,7 +73,7 @@ func (h *Harness) RunInputSet() error {
 			if err != nil {
 				return err
 			}
-			resp, err = h.Pipeline.ProcessVoice(samples)
+			resp, err = h.Pipeline.Process(context.Background(), sirius.Request{Samples: samples})
 			if err != nil {
 				return err
 			}
@@ -83,7 +84,7 @@ func (h *Harness) RunInputSet() error {
 			}
 			scene := vision.GenerateScene(q.ImageID, vision.DefaultSceneConfig())
 			photo := vision.Warp(scene, vision.DefaultWarp(int64(600+i)))
-			resp, err = h.Pipeline.ProcessVoiceImage(samples, photo)
+			resp, err = h.Pipeline.Process(context.Background(), sirius.Request{Samples: samples, Image: photo})
 			if err != nil {
 				return err
 			}
@@ -256,9 +257,9 @@ func (h *Harness) RunFig8bc() ([]QABreakdownRow, float64, error) {
 	for _, q := range kb.VoiceQueries {
 		// Take the fastest of five runs to suppress scheduler noise at
 		// the microsecond scale these queries run at in Go.
-		resp := h.Pipeline.ProcessText(q.Text)
+		resp, _ := h.Pipeline.Process(context.Background(), sirius.Request{Text: q.Text})
 		for rep := 0; rep < 4; rep++ {
-			if r := h.Pipeline.ProcessText(q.Text); r.Latency.QA < resp.Latency.QA {
+			if r, _ := h.Pipeline.Process(context.Background(), sirius.Request{Text: q.Text}); r.Latency.QA < resp.Latency.QA {
 				resp = r
 			}
 		}

@@ -1,6 +1,7 @@
 package sirius
 
 import (
+	"context"
 	"testing"
 
 	"sirius/internal/kb"
@@ -37,7 +38,10 @@ func TestParseActionOnFullCommandSet(t *testing.T) {
 	// non-empty object (commands are verb+object by construction).
 	p := pipeline(t)
 	for _, q := range kb.VoiceCommands {
-		resp := p.ProcessText(q.Text)
+		resp, err := p.Process(context.Background(), Request{Text: q.Text})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if resp.ActionDetail == nil {
 			t.Fatalf("%q: no parsed action", q.Text)
 		}

@@ -1,0 +1,148 @@
+package sirius
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"sync"
+
+	"sirius/internal/telemetry"
+	"sirius/internal/vision"
+)
+
+// queryCache is a bounded LRU over finished query Responses, keyed by
+// query content. The paper's input classes repeat heavily in a real
+// deployment (the same "what is the speed of light" arrives from many
+// phones), and a hit skips the whole pipeline — ASR, QA, and IMM.
+// The zero capacity means unbounded is never possible: callers size it
+// explicitly via Server.EnableCache.
+type queryCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recent
+	entries  map[string]*list.Element // key -> element whose Value is *cacheEntry
+
+	hits      telemetry.Counter
+	misses    telemetry.Counter
+	evictions telemetry.Counter
+}
+
+type cacheEntry struct {
+	key  string
+	resp Response
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &queryCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached response for key and whether it was present,
+// promoting the entry to most-recently-used.
+func (c *queryCache) get(key string) (Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return Response{}, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put inserts or refreshes key, evicting the least-recently-used entry
+// when the cache is full.
+func (c *queryCache) put(key string, resp Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+}
+
+// len reports the live entry count.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// registerMetrics attaches the cache's counters to a /metrics registry.
+func (c *queryCache) registerMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("sirius_cache_hits_total", "Queries answered from the result cache.", &c.hits)
+	reg.RegisterCounter("sirius_cache_misses_total", "Queries that missed the result cache.", &c.misses)
+	reg.RegisterCounter("sirius_cache_evictions_total", "Result-cache entries evicted by LRU pressure.", &c.evictions)
+}
+
+// cacheKey derives a stable key from the request content: normalized
+// text for the transcript paths, a hash of the raw samples for voice
+// (two recordings of the same words differ bit-for-bit, so only exact
+// replays hit — that is the safe contract), and a pixel hash for the
+// photo. Returns "" when the request is uncacheable (empty).
+func cacheKey(req Request) string {
+	var parts []string
+	if req.Samples != nil {
+		parts = append(parts, fmt.Sprintf("a:%016x", hashSamples(req.Samples)))
+	} else if req.Text != "" {
+		parts = append(parts, "t:"+normalizeQueryText(req.Text))
+	}
+	if req.Image != nil {
+		parts = append(parts, fmt.Sprintf("i:%016x", hashImage(req.Image)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, "|")
+}
+
+// normalizeQueryText folds the trivial variations of a typed query —
+// case, surrounding space, and terminal punctuation — so "What time is
+// it?" and "what time is it" share one cache slot. This mirrors the
+// normalization the QA front applies before retrieval, so two queries
+// sharing a key would get the same answer anyway.
+func normalizeQueryText(text string) string {
+	t := strings.ToLower(strings.TrimSpace(strings.Trim(text, "?!. ")))
+	return strings.Join(strings.Fields(t), " ")
+}
+
+func hashSamples(samples []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, s := range samples {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func hashImage(im *vision.Image) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(im.W)<<32|uint64(uint32(im.H)))
+	h.Write(buf[:])
+	for _, p := range im.Pix {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

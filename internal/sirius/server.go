@@ -3,10 +3,12 @@ package sirius
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"image"
 	"image/png"
 	"io"
+	"mime"
 	"mime/multipart"
 	"net/http"
 	"net/http/pprof"
@@ -30,6 +32,7 @@ type Server struct {
 	pipeline *Pipeline
 	mux      *http.ServeMux
 	stats    *stats
+	cache    *queryCache // nil until EnableCache
 
 	// ready gates /readyz: true while the server accepts new work,
 	// false during graceful drain — the frontend's health checks stop
@@ -67,7 +70,11 @@ func NewServer(p *Pipeline) *Server {
 		stageLat: reg.NewHistogramVec("sirius_stage_latency_seconds", "Pipeline stage latency (asr/qa/imm and their components).", "stage"),
 	}
 	s.ready.Store(true)
+	// /v1/query is the versioned endpoint; /query stays as an alias so
+	// existing clients keep working. Both run the same handler and emit
+	// byte-identical payloads.
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/stats", s.stats.handler)
 	// Liveness vs readiness: /healthz answers "is the process up",
 	// /readyz answers "may the router send new work" — they diverge
@@ -95,7 +102,32 @@ func NewServer(p *Pipeline) *Server {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// A pipeline built with BatchScoring exposes its coalescing stats on
+	// this server's /metrics alongside the query series.
+	if b := p.Batcher(); b != nil {
+		b.RegisterMetrics(reg)
+	}
 	return s
+}
+
+// EnableCache attaches a bounded LRU result cache of the given capacity
+// to the query path and exposes its hit/miss/eviction counters on
+// /metrics. Responses served from the cache carry X-Sirius-Cache: hit
+// and skip the pipeline entirely.
+func (s *Server) EnableCache(capacity int) {
+	if capacity <= 0 || s.cache != nil {
+		return
+	}
+	s.cache = newQueryCache(capacity)
+	s.cache.registerMetrics(s.registry)
+}
+
+// CacheLen reports the live result-cache entry count (0 when disabled).
+func (s *Server) CacheLen() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.len()
 }
 
 // Registry exposes the server's metrics registry (for embedding hosts
@@ -124,23 +156,126 @@ type tracedResponse struct {
 	Trace *telemetry.Trace `json:"trace"`
 }
 
-// badRequest records a client error in stats and metrics and replies 400.
-func (s *Server) badRequest(w http.ResponseWriter, reason, msg string) {
-	s.stats.recordError()
-	s.errors.With(reason).Inc()
-	http.Error(w, msg, http.StatusBadRequest)
+// ErrorEnvelope is the structured error body every query-path failure
+// returns: a stable machine-readable reason (the same strings the
+// sirius_query_errors_total{reason} metric uses), the HTTP status code,
+// and the request id so a client report can be joined against
+// /debug/traces on either tier. The frontend relays it verbatim.
+type ErrorEnvelope struct {
+	Code      int    `json:"code"`
+	Reason    string `json:"reason"`
+	RequestID string `json:"request_id"`
+	Message   string `json:"message,omitempty"`
 }
 
-// handleQuery accepts multipart form data with any of:
-//   - "audio": a 16 kHz mono 16-bit WAV recording
-//   - "image": a PNG photo accompanying the query
-//   - "text":  a pre-transcribed query (skips ASR)
+// WriteErrorEnvelope sends a JSON error envelope with the given status.
+func WriteErrorEnvelope(w http.ResponseWriter, code int, reason, requestID, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Code: code, Reason: reason, RequestID: requestID, Message: msg})
+}
+
+// queryError records a failed query in stats and metrics and replies
+// with the error envelope.
+func (s *Server) queryError(w http.ResponseWriter, code int, reason, requestID, msg string) {
+	s.stats.recordError()
+	s.errors.With(reason).Inc()
+	WriteErrorEnvelope(w, code, reason, requestID, msg)
+}
+
+// jsonQuery is the application/json request body for /v1/query: any of
+// a typed query, a base64 16-bit WAV recording, and a base64 PNG photo.
+type jsonQuery struct {
+	Text  string `json:"text,omitempty"`
+	Audio []byte `json:"audio,omitempty"` // WAV bytes, base64 in JSON
+	Image []byte `json:"image,omitempty"` // PNG bytes, base64 in JSON
+}
+
+// parseQuery decodes either request encoding into a pipeline Request:
+// multipart/form-data with "audio"/"image"/"text" parts (the classic
+// mobile upload) or application/json with base64 payloads (the v1
+// structured form). A non-empty reason means the request was rejected.
+func (s *Server) parseQuery(r *http.Request) (req Request, reason, msg string) {
+	mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mt == "application/json" {
+		var q jsonQuery
+		if err := json.NewDecoder(io.LimitReader(r.Body, 32<<20)).Decode(&q); err != nil {
+			return req, "bad_json", "bad json body: " + err.Error()
+		}
+		req.Text = q.Text
+		if len(q.Audio) > 0 {
+			samples, sr, err := audio.ReadWAV(bytes.NewReader(q.Audio))
+			if err != nil {
+				return req, "bad_audio", "bad audio: " + err.Error()
+			}
+			req.Samples = resampleTo16k(samples, sr)
+		}
+		if len(q.Image) > 0 {
+			img, err := DecodePNG(bytes.NewReader(q.Image))
+			if err != nil {
+				return req, "bad_image", "bad image: " + err.Error()
+			}
+			req.Image = img
+		}
+		return req, "", ""
+	}
+	if err := r.ParseMultipartForm(32 << 20); err != nil {
+		return req, "bad_multipart", "bad multipart form: " + err.Error()
+	}
+	if f, _, err := r.FormFile("audio"); err == nil {
+		defer f.Close()
+		samples, sr, err := audio.ReadWAV(f)
+		if err != nil {
+			return req, "bad_audio", "bad audio: " + err.Error()
+		}
+		req.Samples = resampleTo16k(samples, sr)
+	}
+	if f, _, err := r.FormFile("image"); err == nil {
+		defer f.Close()
+		img, err := DecodePNG(f)
+		if err != nil {
+			return req, "bad_image", "bad image: " + err.Error()
+		}
+		req.Image = img
+	}
+	req.Text = r.FormValue("text")
+	return req, "", ""
+}
+
+// resampleTo16k converts a recording to the acoustic front-end's rate.
+// Phones record at many rates; 16 kHz passes through untouched.
+func resampleTo16k(samples []float64, sr int) []float64 {
+	if sr != 16000 {
+		samples = audio.Resample(samples, sr, 16000)
+	}
+	return samples
+}
+
+// handleQuery serves /query and /v1/query. Both accept multipart form
+// data ("audio": 16 kHz mono 16-bit WAV, "image": PNG, "text": a
+// pre-transcribed query) and, on the JSON content type, the jsonQuery
+// body with base64 payloads. Responses are identical across the two
+// paths and encodings.
 //
 // Append ?trace=1 to get the per-stage span tree back with the answer.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// The request id comes first so even parse failures carry it: adopt
+	// the caller's X-Request-Id (the frontend mints one per client query
+	// and forwards it, making /debug/traces correlate across tiers) or
+	// mint one for direct clients.
+	ctx := r.Context()
+	reqID := telemetry.RequestIDFromContext(ctx)
+	if reqID == "" {
+		reqID = r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = telemetry.NewRequestID()
+		}
+		ctx = telemetry.ContextWithRequestID(ctx, reqID)
+	}
+	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
 		s.errors.With("bad_method").Inc()
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		WriteErrorEnvelope(w, http.StatusMethodNotAllowed, "bad_method", reqID, "POST required")
 		return
 	}
 	s.inflight.Inc()
@@ -148,79 +283,57 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Report instantaneous load to the caller: the cluster frontend
 	// reads this header to steer least-loaded (P2C) routing.
 	w.Header().Set("X-Sirius-Inflight", strconv.FormatInt(s.inflight.Value(), 10))
-	if err := r.ParseMultipartForm(32 << 20); err != nil {
-		s.badRequest(w, "bad_multipart", "bad multipart form: "+err.Error())
+
+	req, reason, msg := s.parseQuery(r)
+	if reason != "" {
+		s.queryError(w, http.StatusBadRequest, reason, reqID, msg)
 		return
 	}
-	var samples []float64
-	if f, _, err := r.FormFile("audio"); err == nil {
-		defer f.Close()
-		var sr int
-		samples, sr, err = audio.ReadWAV(f)
-		if err != nil {
-			s.badRequest(w, "bad_audio", "bad audio: "+err.Error())
-			return
-		}
-		if sr != 16000 {
-			// Phones record at many rates; resample to the front-end's.
-			samples = audio.Resample(samples, sr, 16000)
-		}
-	}
-	var img *vision.Image
-	if f, _, err := r.FormFile("image"); err == nil {
-		defer f.Close()
-		img, err = DecodePNG(f)
-		if err != nil {
-			s.badRequest(w, "bad_image", "bad image: "+err.Error())
-			return
+
+	// Cache lookup before any pipeline work. Trace requests bypass the
+	// cache: a cached response has no fresh span tree to attach.
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	var key string
+	if s.cache != nil && !wantTrace {
+		key = cacheKey(req)
+		if key != "" {
+			if resp, ok := s.cache.get(key); ok {
+				w.Header().Set("X-Sirius-Cache", "hit")
+				s.stats.record(resp)
+				s.queries.With(string(resp.Kind)).Inc()
+				w.Header().Set("Content-Type", "application/json")
+				if err := json.NewEncoder(w).Encode(resp); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+				return
+			}
+			w.Header().Set("X-Sirius-Cache", "miss")
 		}
 	}
-	text := r.FormValue("text")
 
 	// Every query runs under a trace; the ring buffer keeps recent ones
 	// for /debug/traces whether or not this client asked for the dump.
-	// The trace adopts the caller's X-Request-Id (the frontend mints one
-	// per client query and forwards it), so /debug/traces on the
-	// frontend and on this backend correlate the same query by the same
-	// id across the process boundary.
-	ctx := r.Context()
-	if telemetry.RequestIDFromContext(ctx) == "" {
-		if id := r.Header.Get("X-Request-Id"); id != "" {
-			ctx = telemetry.ContextWithRequestID(ctx, id)
-			w.Header().Set("X-Request-Id", id)
-		}
-	}
 	ctx, tr := telemetry.StartTrace(ctx, "query")
-
-	var resp Response
-	var err error
-	switch {
-	case samples != nil && img != nil:
-		resp, err = s.pipeline.ProcessVoiceImageContext(ctx, samples, img)
-	case samples != nil:
-		resp, err = s.pipeline.ProcessVoiceContext(ctx, samples)
-	case text != "" && img != nil:
-		resp = s.pipeline.ProcessTextImageContext(ctx, text, img)
-	case text != "":
-		resp = s.pipeline.ProcessTextContext(ctx, text)
-	default:
-		s.badRequest(w, "empty_query", "provide audio, text, or text+image")
-		return
-	}
+	resp, err := s.pipeline.Process(ctx, req)
 	tr.Finish()
 	s.traces.Add(tr)
 	if err != nil {
-		s.stats.recordError()
-		s.errors.With("pipeline").Inc()
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		if errors.Is(err, ErrEmptyQuery) {
+			s.queryError(w, http.StatusBadRequest, "empty_query", reqID, "provide audio, text, or text+image")
+			return
+		}
+		s.queryError(w, http.StatusUnprocessableEntity, "pipeline", reqID, err.Error())
 		return
 	}
 	s.stats.record(resp)
 	s.observe(resp)
+	if key != "" {
+		s.cache.put(key, resp)
+	}
 
 	w.Header().Set("Content-Type", "application/json")
 	var body any = resp
-	if r.URL.Query().Get("trace") == "1" {
+	if wantTrace {
 		body = tracedResponse{Response: resp, Trace: tr}
 	}
 	if err := json.NewEncoder(w).Encode(body); err != nil {
@@ -292,6 +405,32 @@ func DecodePNG(r io.Reader) (*vision.Image, error) {
 		}
 	}
 	return im, nil
+}
+
+// BuildJSONQuery assembles the application/json body a client POSTs to
+// /v1/query. Any of samples, img, text may be zero-valued.
+func BuildJSONQuery(samples []float64, img *vision.Image, text string) (body *bytes.Buffer, contentType string, err error) {
+	var q jsonQuery
+	q.Text = text
+	if samples != nil {
+		var wav bytes.Buffer
+		if err := audio.WriteWAV(&wav, samples, 16000); err != nil {
+			return nil, "", err
+		}
+		q.Audio = wav.Bytes()
+	}
+	if img != nil {
+		var png bytes.Buffer
+		if err := EncodePNG(&png, img); err != nil {
+			return nil, "", err
+		}
+		q.Image = png.Bytes()
+	}
+	body = &bytes.Buffer{}
+	if err := json.NewEncoder(body).Encode(q); err != nil {
+		return nil, "", err
+	}
+	return body, "application/json", nil
 }
 
 // BuildMultipartQuery assembles the multipart body a client POSTs to

@@ -8,11 +8,13 @@ package sirius
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"sirius/internal/asr"
+	"sirius/internal/batch"
 	"sirius/internal/hmm"
 	"sirius/internal/imm"
 	"sirius/internal/kb"
@@ -87,6 +89,15 @@ type Config struct {
 	// something outside the database) and the query is answered from
 	// speech alone.
 	MinMatchVotes int
+	// BatchScoring coalesces concurrent requests' acoustic scoring into
+	// shared GEMMs through a cross-request batch scheduler (Deep Speech
+	// 2-style batch dispatch). Off by default: single-query embedders
+	// gain nothing from the coalescing tick.
+	BatchScoring bool
+	// BatchMaxSize and BatchMaxWait tune the scheduler (0 = defaults:
+	// 8 requests, 2ms tick).
+	BatchMaxSize int
+	BatchMaxWait time.Duration
 }
 
 // DefaultConfig mirrors the benchmark setup.
@@ -118,6 +129,7 @@ type Pipeline struct {
 	immCfg        imm.MatchConfig
 	commandRe     *regex.Regexp
 	thisRe        *regex.Regexp
+	batcher       *batch.Scheduler // nil unless Config.BatchScoring
 }
 
 // commandVerbs start device actions; the query classifier routes
@@ -172,7 +184,28 @@ func New(cfg Config) (*Pipeline, error) {
 
 	p.commandRe = regex.MustCompile("^(" + strings.Join(commandVerbs, "|") + ")( |$)")
 	p.thisRe = regex.MustCompile(`this (\w+)`)
+
+	if cfg.BatchScoring {
+		p.batcher = batch.New(batch.Config{
+			MaxBatch: cfg.BatchMaxSize,
+			MaxWait:  cfg.BatchMaxWait,
+			Score:    p.recognizer.ScoreBatch,
+		})
+		p.recognizer.SetBatcher(p.batcher)
+	}
 	return p, nil
+}
+
+// Batcher exposes the cross-request batch scheduler (nil when batching
+// is disabled) so a serving host can publish its metrics.
+func (p *Pipeline) Batcher() *batch.Scheduler { return p.batcher }
+
+// Close releases background resources (the batch scheduler's worker).
+// Safe on a pipeline without batching and safe to call more than once.
+func (p *Pipeline) Close() {
+	if p.batcher != nil {
+		p.batcher.Close()
+	}
 }
 
 // Lexicon exposes the ASR vocabulary (for synthesizing test queries).
@@ -191,17 +224,61 @@ func (p *Pipeline) ClassifyText(text string) Kind {
 	return KindAnswer
 }
 
-// ProcessText runs the pipeline on an already-transcribed query: QC then
-// QA. Used directly by tests, and by ProcessVoice after ASR.
-func (p *Pipeline) ProcessText(text string) Response {
-	return p.ProcessTextContext(context.Background(), text)
+// ErrEmptyQuery is returned by Process for a Request with no text,
+// audio, or image — there is no pathway to select.
+var ErrEmptyQuery = errors.New("sirius: empty query: provide audio, text, or text+image")
+
+// Request is one query in the unified API: the populated fields select
+// the pathway (Figure 2's VC/VQ/VIQ split).
+//
+//	Samples + Image -> ASR + IMM + QA (VIQ)
+//	Samples         -> ASR + QC, then action or QA (VC/VQ)
+//	Text + Image    -> IMM + QA (text-input VIQ)
+//	Text            -> QC, then action or QA
+type Request struct {
+	Text    string        // pre-transcribed query (skips ASR)
+	Samples []float64     // 16 kHz mono recording
+	Image   *vision.Image // photo accompanying the query
 }
 
-// ProcessTextContext is ProcessText with an observability context: when
-// ctx carries a telemetry trace (see telemetry.StartTrace), the QA or
-// action stage is recorded as a span with its component timings as
-// children. With a plain context the span calls are no-ops.
+// Process runs one query end to end, selecting the pathway from the
+// request's populated fields. It is the single entry point the serving
+// stack uses; the ProcessText/ProcessVoice/... variants are deprecated
+// wrappers around it. When ctx carries a telemetry trace (see
+// telemetry.StartTrace) every stage is recorded as a span with its
+// component timings as children; ctx cancellation also reaches the
+// cross-request batch scheduler when batching is enabled.
+func (p *Pipeline) Process(ctx context.Context, req Request) (Response, error) {
+	switch {
+	case req.Samples != nil && req.Image != nil:
+		return p.processVoiceImage(ctx, req.Samples, req.Image)
+	case req.Samples != nil:
+		return p.processVoice(ctx, req.Samples)
+	case req.Text != "" && req.Image != nil:
+		return p.processTextImage(ctx, req.Text, req.Image), nil
+	case req.Text != "":
+		return p.processText(ctx, req.Text), nil
+	default:
+		return Response{}, ErrEmptyQuery
+	}
+}
+
+// ProcessText runs the pipeline on an already-transcribed query.
+//
+// Deprecated: use Process(ctx, Request{Text: text}).
+func (p *Pipeline) ProcessText(text string) Response {
+	return p.processText(context.Background(), text)
+}
+
+// ProcessTextContext is ProcessText with an observability context.
+//
+// Deprecated: use Process(ctx, Request{Text: text}).
 func (p *Pipeline) ProcessTextContext(ctx context.Context, text string) Response {
+	return p.processText(ctx, text)
+}
+
+// processText runs QC then the action path or QA on transcribed text.
+func (p *Pipeline) processText(ctx context.Context, text string) Response {
 	start := time.Now()
 	resp := Response{Transcript: text}
 	if p.ClassifyText(text) == KindAction {
@@ -235,10 +312,12 @@ func (p *Pipeline) ProcessTextContext(ctx context.Context, text string) Response
 	return resp
 }
 
-// recognize runs ASR under an "asr" span with component children.
+// recognize runs ASR under an "asr" span with component children. The
+// context flows through to the batch scheduler (queue-wait spans,
+// cancellation) when batching is enabled.
 func (p *Pipeline) recognize(ctx context.Context, samples []float64) (asr.Result, error) {
-	_, sp := telemetry.StartSpan(ctx, "asr")
-	rec, err := p.recognizer.Recognize(samples)
+	spanCtx, sp := telemetry.StartSpan(ctx, "asr")
+	rec, err := p.recognizer.RecognizeContext(spanCtx, samples)
 	sp.End()
 	if err != nil {
 		return rec, err
@@ -251,19 +330,26 @@ func (p *Pipeline) recognize(ctx context.Context, samples []float64) (asr.Result
 
 // ProcessVoice runs the full voice path: ASR, QC, then either the action
 // path or QA (the VC and VQ pathways of Figure 2).
+//
+// Deprecated: use Process(ctx, Request{Samples: samples}).
 func (p *Pipeline) ProcessVoice(samples []float64) (Response, error) {
-	return p.ProcessVoiceContext(context.Background(), samples)
+	return p.processVoice(context.Background(), samples)
 }
 
-// ProcessVoiceContext is ProcessVoice with an observability context
-// (see ProcessTextContext).
+// ProcessVoiceContext is ProcessVoice with an observability context.
+//
+// Deprecated: use Process(ctx, Request{Samples: samples}).
 func (p *Pipeline) ProcessVoiceContext(ctx context.Context, samples []float64) (Response, error) {
+	return p.processVoice(ctx, samples)
+}
+
+func (p *Pipeline) processVoice(ctx context.Context, samples []float64) (Response, error) {
 	start := time.Now()
 	rec, err := p.recognize(ctx, samples)
 	if err != nil {
 		return Response{}, fmt.Errorf("sirius: asr: %w", err)
 	}
-	resp := p.ProcessTextContext(ctx, rec.Text)
+	resp := p.processText(ctx, rec.Text)
 	resp.Transcript = rec.Text
 	resp.Latency.ASRFeature = rec.Timings.FeatureExtraction
 	resp.Latency.ASRScoring = rec.Timings.Scoring
@@ -276,13 +362,21 @@ func (p *Pipeline) ProcessVoiceContext(ctx context.Context, samples []float64) (
 // ProcessVoiceImage runs the VIQ pathway: ASR and IMM, then the question
 // is rewritten with the matched entity ("this restaurant" -> "luigis
 // restaurant") and answered by QA.
+//
+// Deprecated: use Process(ctx, Request{Samples: samples, Image: img}).
 func (p *Pipeline) ProcessVoiceImage(samples []float64, img *vision.Image) (Response, error) {
-	return p.ProcessVoiceImageContext(context.Background(), samples, img)
+	return p.processVoiceImage(context.Background(), samples, img)
 }
 
 // ProcessVoiceImageContext is ProcessVoiceImage with an observability
-// context (see ProcessTextContext).
+// context.
+//
+// Deprecated: use Process(ctx, Request{Samples: samples, Image: img}).
 func (p *Pipeline) ProcessVoiceImageContext(ctx context.Context, samples []float64, img *vision.Image) (Response, error) {
+	return p.processVoiceImage(ctx, samples, img)
+}
+
+func (p *Pipeline) processVoiceImage(ctx context.Context, samples []float64, img *vision.Image) (Response, error) {
 	start := time.Now()
 	rec, err := p.recognize(ctx, samples)
 	if err != nil {
@@ -299,12 +393,16 @@ func (p *Pipeline) ProcessVoiceImageContext(ctx context.Context, samples []float
 }
 
 // ProcessTextImage is the text-input variant of the VIQ pathway.
+//
+// Deprecated: use Process(ctx, Request{Text: text, Image: img}).
 func (p *Pipeline) ProcessTextImage(text string, img *vision.Image) Response {
 	return p.processTextImage(context.Background(), text, img)
 }
 
 // ProcessTextImageContext is ProcessTextImage with an observability
-// context (see ProcessTextContext).
+// context.
+//
+// Deprecated: use Process(ctx, Request{Text: text, Image: img}).
 func (p *Pipeline) ProcessTextImageContext(ctx context.Context, text string, img *vision.Image) Response {
 	return p.processTextImage(ctx, text, img)
 }
@@ -322,7 +420,7 @@ func (p *Pipeline) processTextImage(ctx context.Context, text string, img *visio
 	if matched {
 		rewritten = p.rewriteWithEntity(text, match.Label)
 	}
-	resp := p.ProcessTextContext(ctx, rewritten)
+	resp := p.processText(ctx, rewritten)
 	resp.Transcript = text
 	if matched {
 		resp.MatchedImage = match.Label

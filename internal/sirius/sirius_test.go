@@ -2,6 +2,7 @@ package sirius
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"mime/multipart"
@@ -50,7 +51,13 @@ func TestClassifier(t *testing.T) {
 
 func TestProcessTextCommands(t *testing.T) {
 	p := pipeline(t)
+	// Deliberately exercises the deprecated wrapper: it must keep
+	// matching the unified Process path.
 	resp := p.ProcessText("set my alarm for eight")
+	uresp, err := p.Process(context.Background(), Request{Text: "set my alarm for eight"})
+	if err != nil || uresp.Kind != resp.Kind || uresp.Action != resp.Action {
+		t.Fatalf("Process disagrees with deprecated ProcessText: %+v vs %+v (%v)", uresp, resp, err)
+	}
 	if resp.Kind != KindAction || resp.Action != "set" {
 		t.Fatalf("command response: %+v", resp)
 	}
@@ -63,7 +70,10 @@ func TestProcessTextQuestions(t *testing.T) {
 	p := pipeline(t)
 	correct := 0
 	for _, q := range kb.VoiceQueries {
-		resp := p.ProcessText(q.Text)
+		resp, err := p.Process(context.Background(), Request{Text: q.Text})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if resp.Kind != KindAnswer {
 			t.Fatalf("%q not routed to QA", q.Text)
 		}
@@ -82,7 +92,10 @@ func TestProcessTextImageVIQ(t *testing.T) {
 	for i, q := range kb.VoiceImageQueries {
 		scene := vision.GenerateScene(q.ImageID, vision.DefaultSceneConfig())
 		photo := vision.Warp(scene, vision.DefaultWarp(int64(500+i)))
-		resp := p.ProcessTextImage(q.Text, photo)
+		resp, err := p.Process(context.Background(), Request{Text: q.Text, Image: photo})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if resp.MatchedImage == q.ImageID && resp.Answer == q.Want {
 			correct++
 		} else {
@@ -105,7 +118,7 @@ func TestProcessVoiceCommand(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := p.ProcessVoice(samples)
+		resp, err := p.Process(context.Background(), Request{Samples: samples})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +146,7 @@ func TestProcessVoiceQueryEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := p.ProcessVoice(samples)
+		resp, err := p.Process(context.Background(), Request{Samples: samples})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -377,7 +390,7 @@ func TestConcurrentQueries(t *testing.T) {
 				switch w % 3 {
 				case 0:
 					q := kb.VoiceQueries[(w+i)%len(kb.VoiceQueries)]
-					if resp := p.ProcessText(q.Text); resp.Kind != KindAnswer {
+					if resp, _ := p.Process(context.Background(), Request{Text: q.Text}); resp.Kind != KindAnswer {
 						errs <- fmt.Errorf("text query misrouted")
 					}
 				case 1:
@@ -387,14 +400,14 @@ func TestConcurrentQueries(t *testing.T) {
 						errs <- err
 						continue
 					}
-					if _, err := p.ProcessVoice(samples); err != nil {
+					if _, err := p.Process(context.Background(), Request{Samples: samples}); err != nil {
 						errs <- err
 					}
 				default:
 					q := kb.VoiceImageQueries[(w+i)%len(kb.VoiceImageQueries)]
 					scene := vision.GenerateScene(q.ImageID, vision.DefaultSceneConfig())
 					photo := vision.Warp(scene, vision.DefaultWarp(int64(w*10+i)))
-					p.ProcessTextImage(q.Text, photo)
+					p.Process(context.Background(), Request{Text: q.Text, Image: photo})
 				}
 			}
 		}(w)
@@ -424,7 +437,7 @@ func TestRescoringImprovesVoiceQA(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			resp, err := p.ProcessVoice(samples)
+			resp, err := p.Process(context.Background(), Request{Samples: samples})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -450,13 +463,13 @@ func TestUnknownImageNotMatched(t *testing.T) {
 	// resolved to a database entity.
 	p := pipeline(t)
 	unknown := vision.GenerateScene("completely unknown storefront", vision.DefaultSceneConfig())
-	resp := p.ProcessTextImage("when does this restaurant close", unknown)
+	resp, _ := p.Process(context.Background(), Request{Text: "when does this restaurant close", Image: unknown})
 	if resp.MatchedImage != "" {
 		t.Fatalf("unknown photo matched %q", resp.MatchedImage)
 	}
 	// Known photos still match.
 	known := vision.Warp(vision.GenerateScene("sun cafe", vision.DefaultSceneConfig()), vision.DefaultWarp(123))
-	resp = p.ProcessTextImage("when does this cafe close", known)
+	resp, _ = p.Process(context.Background(), Request{Text: "when does this cafe close", Image: known})
 	if resp.MatchedImage != "sun cafe" {
 		t.Fatalf("known photo matched %q", resp.MatchedImage)
 	}

@@ -145,15 +145,36 @@ func (v *HistogramVec) Summaries() map[string]Summary {
 // NewCounter registers and returns a counter.
 func (r *Registry) NewCounter(name, help string) *Counter {
 	c := &Counter{}
+	r.RegisterCounter(name, help, c)
+	return c
+}
+
+// RegisterCounter exposes an already-allocated counter under name. The
+// zero Counter is ready to use, so components that must work without a
+// registry (the batch scheduler, library users) allocate their metrics
+// up front and attach them to a registry only when one exists.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
 	r.register(name, help, "counter", func(w io.Writer, n string) {
 		fmt.Fprintf(w, "%s %d\n", n, c.Value())
 	})
-	return c
 }
 
 // NewCounterVec registers and returns a labeled counter family.
 func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
-	v := &CounterVec{newLabeledVec[Counter](labelNames)}
+	v := NewCounterVec(labelNames...)
+	r.RegisterCounterVec(name, help, v)
+	return v
+}
+
+// NewCounterVec (package-level) allocates a detached labeled counter
+// family, usable immediately and attachable to a registry later via
+// RegisterCounterVec.
+func NewCounterVec(labelNames ...string) *CounterVec {
+	return &CounterVec{newLabeledVec[Counter](labelNames)}
+}
+
+// RegisterCounterVec exposes an already-allocated counter family.
+func (r *Registry) RegisterCounterVec(name, help string, v *CounterVec) {
 	r.register(name, help, "counter", func(w io.Writer, n string) {
 		v.mu.Lock()
 		defer v.mu.Unlock()
@@ -161,7 +182,6 @@ func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *Count
 			fmt.Fprintf(w, "%s%s %d\n", n, labelString(v.labelNames, v.labelSets[key], "", 0), v.children[key].Value())
 		}
 	})
-	return v
 }
 
 // NewGauge registers and returns a gauge.
@@ -177,10 +197,16 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 // exposed in seconds (the Prometheus base unit for time).
 func (r *Registry) NewHistogram(name, help string) *Histogram {
 	h := &Histogram{}
+	r.RegisterHistogram(name, help, h)
+	return h
+}
+
+// RegisterHistogram exposes an already-allocated histogram (the zero
+// Histogram is ready to use) under name.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
 	r.register(name, help, "histogram", func(w io.Writer, n string) {
 		writeHistogram(w, n, nil, nil, h)
 	})
-	return h
 }
 
 // NewHistogramVec registers and returns a labeled histogram family,
