@@ -8,6 +8,13 @@
 //	sirius-bench -experiment fig14,tab8   # a subset
 //	sirius-bench -measured                # use service times measured on this machine
 //	sirius-bench -list                    # list experiment ids
+//	sirius-bench -bench-json out.json     # kernel ns/op + allocs/op sweep, then exit
+//
+// -bench-json runs the kernel micro-benchmarks (GEMM serial vs pool,
+// DNN forward paths, GMM bank sweep, Viterbi decode, k-d search) and
+// writes machine-readable JSON without building the full harness.
+// -bench-time bounds each kernel's timed loop; -bench-large adds the
+// 512x2048x2048 acceptance GEMM.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"sirius/internal/kernelbench"
 	"sirius/internal/report"
 	"sirius/internal/suite"
 )
@@ -35,10 +43,32 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "dump the model-derived experiments as tidy CSV and exit")
 	minTime := flag.Duration("mintime", 100*time.Millisecond, "per-kernel measurement time (tab5)")
+	benchJSON := flag.String("bench-json", "", "write a kernel ns/op + allocs/op sweep to this file and exit")
+	benchTime := flag.Duration("bench-time", 50*time.Millisecond, "per-kernel timed-loop bound for -bench-json")
+	benchLarge := flag.Bool("bench-large", false, "include the 512x2048x2048 acceptance GEMM in -bench-json")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experimentOrder, "\n"))
+		return
+	}
+	if *benchJSON != "" {
+		log.Printf("running kernel sweep (bench-time=%v large=%v)...", *benchTime, *benchLarge)
+		rep, err := kernelbench.Run(*benchTime, *benchLarge)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := kernelbench.WriteJSON(f, rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d kernel results to %s", len(rep.Results), *benchJSON)
 		return
 	}
 	want := map[string]bool{}

@@ -22,7 +22,11 @@
 //
 //	sirius-server [-addr :8080] [-engine gmm|dnn] [-drain 30s]
 //	    [-frontend http://lb:8090] [-kinds asr,qa,imm] [-advertise http://me:8080]
-//	    [-batch] [-batch-size 8] [-batch-wait 2ms] [-cache 256]
+//	    [-batch] [-batch-size 8] [-batch-wait 2ms] [-cache 256] [-workers N]
+//
+// -workers sets the shared kernel worker-pool width used by every
+// parallel kernel (GEMM, GMM bank sweep, image FE/FD/vote); 0 (the
+// default) sizes the pool to runtime.NumCPU().
 //
 // Queries are served on POST /v1/query (and its legacy alias /query) in
 // either encoding: multipart form data or application/json with base64
@@ -75,6 +79,7 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "max requests per scoring batch (0 = default)")
 	batchWait := flag.Duration("batch-wait", 0, "max time the first request in a batch waits for company (0 = default)")
 	cache := flag.Int("cache", 0, "query result cache capacity in entries (0 = disabled)")
+	workers := flag.Int("workers", 0, "kernel worker-pool width (0 = runtime.NumCPU())")
 	flag.Parse()
 
 	cfg := sirius.DefaultConfig()
@@ -93,6 +98,10 @@ func main() {
 	cfg.BatchScoring = *batch
 	cfg.BatchMaxSize = *batchSize
 	cfg.BatchMaxWait = *batchWait
+	// The server runs the image pipeline at the pool's width by default;
+	// DefaultConfig keeps IMMWorkers=1 for the library's serial baseline.
+	cfg.Workers = *workers
+	cfg.IMMWorkers = *workers
 
 	log.Printf("training models and building indexes (engine=%s)...", cfg.Engine)
 	start := time.Now()

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"strings"
 	"time"
 
@@ -198,23 +197,33 @@ func (g gmmScorer) NumSenones() int               { return g.bank.States() }
 // ScoreAllParallel workers, so a cross-request batch keeps every core
 // busy the way the paper's CMP GMM port does (§4.3.1, Table 4).
 func (g gmmScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
-	workers := runtime.GOMAXPROCS(0)
 	out := make([][]float64, len(frames))
 	for i, f := range frames {
 		out[i] = make([]float64, g.bank.States())
-		g.bank.ScoreAllParallel(out[i], f, workers)
+		// workers <= 0 defers to the shared mat pool's configured width.
+		g.bank.ScoreAllParallel(out[i], f, 0)
 	}
 	return out
 }
 
 // dnnScorer adapts a DNN to hmm.Scorer using the hybrid convention:
-// scaled likelihood = log p(s|x) − log p(s).
+// scaled likelihood = log p(s|x) − log p(s). With a scratch attached
+// (scorerFor gives each recognition its own), per-frame scoring is
+// allocation-free; the zero-value scorer falls back to Forward.
 type dnnScorer struct {
-	net    *dnn.Network
-	priors []float64
+	net     *dnn.Network
+	priors  []float64
+	scratch *dnn.Scratch
 }
 
 func (d dnnScorer) ScoreAll(dst, frame []float64) {
+	if d.scratch != nil {
+		d.net.ForwardInto(dst, frame, d.scratch)
+		for i := range dst {
+			dst[i] -= d.priors[i]
+		}
+		return
+	}
 	post := d.net.Forward(frame)
 	for i := range dst {
 		dst[i] = post[i] - d.priors[i]
@@ -409,6 +418,12 @@ func NewRecognizer(models *Models, engine Engine, lex *hmm.Lexicon, lm *hmm.Bigr
 // detours through the shared cross-request scheduler under ctx.
 func (r *Recognizer) scorerFor(ctx context.Context) hmm.Scorer {
 	base := r.base
+	if ds, ok := base.(dnnScorer); ok {
+		// r.base is shared across concurrent recognitions, so the
+		// zero-alloc scratch must be private to this one.
+		ds.scratch = ds.net.NewScratch()
+		base = ds
+	}
 	if r.batcher != nil {
 		base = &submitScorer{ctx: ctx, sub: r.batcher, inner: base}
 	}

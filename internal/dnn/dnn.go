@@ -11,9 +11,14 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"time"
 
 	"sirius/internal/mat"
 )
+
+// forwardBatchTime records batched-forward wall time on the shared
+// kernel histogram (sirius_kernel_seconds{kernel="dnn_forward_batch"}).
+var forwardBatchTime = mat.KernelTimer("dnn_forward_batch")
 
 // Activation selects a layer nonlinearity.
 type Activation int
@@ -93,42 +98,90 @@ func applyAct(act Activation, v []float64) {
 	}
 }
 
-// Forward runs one vector through the network and returns the
-// log-posterior over output classes (log-softmax).
-func (n *Network) Forward(x []float64) []float64 {
-	cur := x
+// Scratch holds a network's reusable activation buffers so repeated
+// forward passes allocate nothing (see ForwardInto). One Scratch serves
+// one goroutine; concurrent scorers must each own one.
+type Scratch struct {
+	a, b []float64
+}
+
+// NewScratch sizes a Scratch for the network's widest layer.
+func (n *Network) NewScratch() *Scratch {
+	w := 0
 	for _, l := range n.Layers {
-		next := make([]float64, l.Out)
+		if l.Out > w {
+			w = l.Out
+		}
+	}
+	return &Scratch{a: make([]float64, w), b: make([]float64, w)}
+}
+
+// Forward runs one vector through the network and returns the
+// log-posterior over output classes (log-softmax). It allocates its
+// result and scratch; steady-state scorers use ForwardInto instead.
+func (n *Network) Forward(x []float64) []float64 {
+	out := make([]float64, n.OutputDim())
+	n.ForwardInto(out, x, n.NewScratch())
+	return out
+}
+
+// ForwardInto runs one vector through the network, writing the
+// log-posterior over output classes into dst (length OutputDim). The
+// layers ping-pong between the Scratch's two buffers, so with a warm
+// Scratch the call performs zero heap allocations — per-frame DNN
+// scoring stays off the garbage collector entirely.
+func (n *Network) ForwardInto(dst, x []float64, s *Scratch) {
+	if len(dst) != n.OutputDim() {
+		panic(fmt.Sprintf("dnn: ForwardInto dst length %d, want %d", len(dst), n.OutputDim()))
+	}
+	cur := x
+	buf, spare := s.a, s.b
+	for _, l := range n.Layers {
+		next := buf[:l.Out]
 		mat.MulVec(next, l.W, cur)
 		for i := range next {
 			next[i] += l.B[i]
 		}
 		applyAct(l.Act, next)
 		cur = next
+		buf, spare = spare, buf
 	}
 	lse := mat.LogSumExp(cur)
-	out := make([]float64, len(cur))
 	for i, v := range cur {
-		out[i] = v - lse
+		dst[i] = v - lse
 	}
-	return out
 }
 
 // ForwardBatch scores a batch of row vectors at once using GEMM — the
-// layout the Suite DNN kernel exercises. Returns log-posteriors, one row
-// per input row.
+// layout the Suite DNN kernel exercises — with the multiplies row-panel
+// sharded across the shared worker pool (mat.MulParallel) and every
+// intermediate drawn from the mat scratch pools. Returns
+// log-posteriors, one row per input row.
 func (n *Network) ForwardBatch(batch *mat.Dense) *mat.Dense {
+	start := time.Now()
 	cur := batch
-	for _, l := range n.Layers {
-		wt := l.W.T()
-		next := mat.NewDense(cur.Rows, l.Out)
-		mat.Mul(next, cur, wt)
+	for li, l := range n.Layers {
+		// Train mutates W in place, so the transpose cannot be cached
+		// on the layer; it is rebuilt into pooled scratch each pass.
+		wt := mat.GetDense(l.In, l.Out)
+		mat.TransposeInto(wt, l.W)
+		var next *mat.Dense
+		if li == len(n.Layers)-1 {
+			next = mat.NewDense(cur.Rows, l.Out) // escapes to the caller
+		} else {
+			next = mat.GetDense(cur.Rows, l.Out)
+		}
+		mat.MulParallel(next, cur, wt)
+		mat.PutDense(wt)
 		for r := 0; r < next.Rows; r++ {
 			row := next.Row(r)
 			for i := range row {
 				row[i] += l.B[i]
 			}
 			applyAct(l.Act, row)
+		}
+		if cur != batch {
+			mat.PutDense(cur)
 		}
 		cur = next
 	}
@@ -139,6 +192,7 @@ func (n *Network) ForwardBatch(batch *mat.Dense) *mat.Dense {
 			row[i] -= lse
 		}
 	}
+	forwardBatchTime.Observe(time.Since(start))
 	return cur
 }
 

@@ -194,3 +194,52 @@ func BenchmarkForwardBatch(b *testing.B) {
 		n.ForwardBatch(batch)
 	}
 }
+
+func TestForwardIntoMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := New(rng, Sigmoid, 12, 20, 16, 6)
+	s := n.NewScratch()
+	dst := make([]float64, n.OutputDim())
+	for trial := 0; trial < 5; trial++ {
+		x := make([]float64, 12)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := n.Forward(x)
+		n.ForwardInto(dst, x, s)
+		for i := range want {
+			if math.Abs(want[i]-dst[i]) > 1e-12 {
+				t.Fatalf("trial %d: output %d differs: %v vs %v", trial, i, want[i], dst[i])
+			}
+		}
+	}
+}
+
+func TestForwardIntoBadDstPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := New(rng, Sigmoid, 4, 8, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong dst length")
+		}
+	}()
+	n.ForwardInto(make([]float64, 2), make([]float64, 4), n.NewScratch())
+}
+
+// TestForwardIntoZeroAlloc pins the steady-state contract: with a warm
+// Scratch, per-frame DNN scoring performs no heap allocations at all.
+func TestForwardIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := New(rng, Sigmoid, 39, 64, 64, 48)
+	s := n.NewScratch()
+	x := make([]float64, 39)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, n.OutputDim())
+	n.ForwardInto(dst, x, s) // warm
+	allocs := testing.AllocsPerRun(100, func() { n.ForwardInto(dst, x, s) })
+	if allocs != 0 {
+		t.Fatalf("ForwardInto allocates %v per op, want 0", allocs)
+	}
+}

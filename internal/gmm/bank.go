@@ -1,9 +1,14 @@
 package gmm
 
 import (
-	"runtime"
-	"sync"
+	"time"
+
+	"sirius/internal/mat"
 )
+
+// bankTime records bank-sweep wall time on the shared kernel histogram
+// (sirius_kernel_seconds{kernel="gmm_score_bank"}).
+var bankTime = mat.KernelTimer("gmm_score_bank")
 
 // Bank is a set of mixtures, one per HMM emitting state (senone). Scoring a
 // frame against the whole bank is the unit of work the Sirius Suite GMM
@@ -26,36 +31,30 @@ func (b *Bank) ScoreAll(dst []float64, x []float64) {
 	}
 }
 
+// scoreGrain is the smallest senone range worth dispatching to a pool
+// worker: mixture likelihoods are ~µs each, so a handful amortizes the
+// dispatch.
+const scoreGrain = 4
+
 // ScoreAllParallel is the multicore (CMP) port: senones are divided into
-// contiguous ranges, one goroutine per worker, synchronizing only at the
-// end — mirroring the paper's Pthread methodology (§4.3.1).
+// contiguous ranges that run on the shared mat worker pool,
+// synchronizing only at the end — mirroring the paper's Pthread
+// methodology (§4.3.1) without per-call goroutine spawns. workers <= 0
+// uses the pool's configured width (runtime.NumCPU() by default);
+// workers == 1 is the serial baseline.
 func (b *Bank) ScoreAllParallel(dst []float64, x []float64, workers int) {
+	if workers <= 0 {
+		workers = mat.Workers()
+	}
+	start := time.Now()
 	if workers <= 1 || len(b.Models) < 2*workers {
 		b.ScoreAll(dst, x)
-		return
-	}
-	if workers > runtime.GOMAXPROCS(0)*4 {
-		workers = runtime.GOMAXPROCS(0) * 4
-	}
-	var wg sync.WaitGroup
-	n := len(b.Models)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+	} else {
+		mat.ParallelWidth(workers, len(b.Models), scoreGrain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				dst[i] = b.Models[i].LogLikelihood(x)
 			}
-		}(lo, hi)
+		})
 	}
-	wg.Wait()
+	bankTime.Observe(time.Since(start))
 }

@@ -187,7 +187,8 @@ func TestBankParallelMatchesSerial(t *testing.T) {
 	serial := make([]float64, bank.States())
 	parallel := make([]float64, bank.States())
 	bank.ScoreAll(serial, x)
-	for _, workers := range []int{1, 2, 4, 7, 100} {
+	// 0 and -1 defer to the shared mat pool's width; the rest pin it.
+	for _, workers := range []int{-1, 0, 1, 2, 4, 7, 100} {
 		bank.ScoreAllParallel(parallel, x, workers)
 		for i := range serial {
 			if serial[i] != parallel[i] {

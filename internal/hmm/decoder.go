@@ -3,7 +3,14 @@ package hmm
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"sirius/internal/mat"
 )
+
+// decodeTime records per-utterance Viterbi wall time on the shared
+// kernel histogram (sirius_kernel_seconds{kernel="viterbi_decode"}).
+var decodeTime = mat.KernelTimer("viterbi_decode")
 
 // Scorer produces per-senone acoustic log-likelihoods for one feature
 // frame. The GMM bank and the DNN both implement it (via adapters in
@@ -59,11 +66,19 @@ type Config struct {
 	Beam        float64 // log-domain beam width; <=0 means no pruning
 	WordPenalty float64 // word insertion penalty (log, typically negative)
 	LMWeight    float64 // language model scale factor
+	// MaxActive, when > 0, layers histogram pruning over the beam: if
+	// more than MaxActive states survive the beam in a frame, the
+	// threshold is tightened to keep roughly the best MaxActive
+	// (Sphinx-style max-active pruning), bounding per-frame work on
+	// large graphs independent of how flat the score distribution is.
+	MaxActive int
 }
 
-// DefaultConfig returns decoding parameters tuned for the synthetic task.
+// DefaultConfig returns decoding parameters tuned for the synthetic
+// task. MaxActive is generous: on this repo's graphs it only engages
+// when the beam degenerates, so results match pure beam search.
 func DefaultConfig() Config {
-	return Config{Beam: 200, WordPenalty: -2, LMWeight: 2}
+	return Config{Beam: 200, WordPenalty: -2, LMWeight: 2, MaxActive: 2048}
 }
 
 // CompileGraph builds the decoding network from a lexicon and LM.
@@ -147,11 +162,82 @@ type Result struct {
 	RunnerUp   string
 }
 
-// Decoder runs Viterbi beam search over a compiled graph.
+// histSlabSize is the node count of one arena slab.
+const histSlabSize = 1024
+
+// histArena bump-allocates histNodes from reusable slabs so the frame
+// loop's word-boundary backpointers cost no heap allocations in steady
+// state. reset recycles every node while keeping the slabs, so nodes
+// must not be referenced across a reset (Decode extracts its word
+// sequence before returning).
+type histArena struct {
+	slabs [][]histNode
+	slab  int // slab currently allocating from
+	used  int // nodes handed out of that slab
+}
+
+func (a *histArena) reset() { a.slab, a.used = 0, 0 }
+
+func (a *histArena) alloc(word int32, prev *histNode) *histNode {
+	if a.slab < len(a.slabs) && a.used == histSlabSize {
+		a.slab++
+		a.used = 0
+	}
+	if a.slab >= len(a.slabs) {
+		a.slabs = append(a.slabs, make([]histNode, histSlabSize))
+	}
+	n := &a.slabs[a.slab][a.used]
+	a.used++
+	n.word, n.prev = word, prev
+	return n
+}
+
+// histBins is the resolution of the histogram-pruning score buckets.
+const histBins = 128
+
+// decodeScratch is the decoder-owned reusable state of Decode: token
+// score and history arrays (swapped, not reallocated, across frames and
+// utterances), the emission buffer, the pruning histogram, and the
+// backpointer arena.
+type decodeScratch struct {
+	cur, next         []float64
+	curHist, nextHist []*histNode
+	emit              []float64
+	bins              []int
+	arena             histArena
+}
+
+// prepare sizes the scratch for a graph and recycles the arena.
+func (sc *decodeScratch) prepare(states, senones int) {
+	if cap(sc.cur) < states {
+		sc.cur = make([]float64, states)
+		sc.next = make([]float64, states)
+		sc.curHist = make([]*histNode, states)
+		sc.nextHist = make([]*histNode, states)
+	}
+	sc.cur = sc.cur[:states]
+	sc.next = sc.next[:states]
+	sc.curHist = sc.curHist[:states]
+	sc.nextHist = sc.nextHist[:states]
+	if cap(sc.emit) < senones {
+		sc.emit = make([]float64, senones)
+	}
+	sc.emit = sc.emit[:senones]
+	if sc.bins == nil {
+		sc.bins = make([]int, histBins)
+	}
+	sc.arena.reset()
+}
+
+// Decoder runs Viterbi beam search over a compiled graph. A Decoder
+// owns reusable decoding scratch and is NOT safe for concurrent use;
+// concurrent recognitions each build their own (they are cheap — the
+// scratch is allocated lazily on first Decode and reused after).
 type Decoder struct {
 	graph  *Graph
 	scorer Scorer
 	cfg    Config
+	sc     decodeScratch
 }
 
 // NewDecoder pairs a graph with an acoustic scorer.
@@ -164,20 +250,21 @@ func NewDecoder(g *Graph, scorer Scorer, cfg Config) (*Decoder, error) {
 }
 
 // Decode runs the full Viterbi search over a feature-frame sequence and
-// returns the best word sequence.
+// returns the best word sequence. Steady state it is allocation-free:
+// token arrays, the emission buffer, and word-history nodes all come
+// from decoder-owned scratch reused across frames and utterances.
 func (d *Decoder) Decode(frames [][]float64) Result {
-	g := d.graph
-	n := g.NumStates()
-	cur := make([]float64, n)
-	next := make([]float64, n)
-	curHist := make([]*histNode, n)
-	nextHist := make([]*histNode, n)
-	emit := make([]float64, d.scorer.NumSenones())
-	for i := range cur {
-		cur[i] = math.Inf(-1)
-	}
 	if len(frames) == 0 {
 		return Result{}
+	}
+	start := time.Now()
+	g := d.graph
+	n := g.NumStates()
+	sc := &d.sc
+	sc.prepare(n, d.scorer.NumSenones())
+	for i := range sc.cur {
+		sc.cur[i] = math.Inf(-1)
+		sc.curHist[i] = nil
 	}
 	// Batch-capable scorers compute every frame's senone scores up front.
 	var batch [][]float64
@@ -186,61 +273,22 @@ func (d *Decoder) Decode(frames [][]float64) Result {
 	}
 	score := func(f int) {
 		if batch != nil {
-			copy(emit, batch[f])
+			copy(sc.emit, batch[f])
 			return
 		}
-		d.scorer.ScoreAll(emit, frames[f])
+		d.scorer.ScoreAll(sc.emit, frames[f])
 	}
 	// Frame 0: enter each word start.
 	score(0)
 	for wi, s := range g.wordStart {
-		cur[s] = g.startProbs[wi] + emit[g.senones[s]]
+		sc.cur[s] = g.startProbs[wi] + sc.emit[g.senones[s]]
 	}
-	var totalActive int
-	totalActive += countActive(cur)
+	totalActive := countActive(sc.cur)
 	for f := 1; f < len(frames); f++ {
 		score(f)
-		for i := range next {
-			next[i] = math.Inf(-1)
-			nextHist[i] = nil
-		}
-		best := math.Inf(-1)
-		for _, v := range cur {
-			if v > best {
-				best = v
-			}
-		}
-		threshold := math.Inf(-1)
-		if d.cfg.Beam > 0 {
-			threshold = best - d.cfg.Beam
-		}
-		for s := 0; s < n; s++ {
-			tokenScore := cur[s]
-			if tokenScore < threshold || math.IsInf(tokenScore, -1) {
-				continue
-			}
-			h := curHist[s]
-			for _, a := range g.arcs[s] {
-				cand := tokenScore + a.weight
-				if cand > next[a.to] {
-					next[a.to] = cand
-					if a.wordLabel >= 0 {
-						nextHist[a.to] = &histNode{word: a.wordLabel, prev: h}
-					} else {
-						nextHist[a.to] = h
-					}
-				}
-			}
-		}
-		for s := 0; s < n; s++ {
-			if !math.IsInf(next[s], -1) {
-				next[s] += emit[g.senones[s]]
-			}
-		}
-		cur, next = next, cur
-		curHist, nextHist = nextHist, curHist
-		totalActive += countActive(cur)
+		totalActive += d.step(sc.emit)
 	}
+	cur, curHist := sc.cur, sc.curHist
 	// Pick the best word-final token; fall back to the global best. The
 	// runner-up ending in a different word supplies the confidence margin.
 	bestScore := math.Inf(-1)
@@ -264,7 +312,7 @@ func (d *Decoder) Decode(frames [][]float64) Result {
 	}
 	var hist *histNode
 	if bestState >= 0 {
-		hist = &histNode{word: g.wordEnd[bestState], prev: curHist[bestState]}
+		hist = sc.arena.alloc(g.wordEnd[bestState], curHist[bestState])
 	} else {
 		for s := 0; s < n; s++ {
 			if cur[s] > bestScore {
@@ -294,7 +342,126 @@ func (d *Decoder) Decode(frames [][]float64) Result {
 		res.Confidence = (bestScore - secondScore) / float64(len(frames))
 		res.RunnerUp = g.lex.Words()[g.wordEnd[secondState]]
 	}
+	decodeTime.Observe(time.Since(start))
 	return res
+}
+
+// step relaxes every arc for one frame against the emission scores in
+// emit and advances the token buffers. It allocates nothing in steady
+// state: scores and histories live on the decoder scratch and
+// word-boundary backpointers come from the slab arena. Returns the
+// number of active states after the frame.
+func (d *Decoder) step(emit []float64) int {
+	sc := &d.sc
+	g := d.graph
+	cur, next := sc.cur, sc.next
+	curHist, nextHist := sc.curHist, sc.nextHist
+	n := len(cur)
+	for i := range next {
+		next[i] = math.Inf(-1)
+		nextHist[i] = nil
+	}
+	best := math.Inf(-1)
+	for _, v := range cur {
+		if v > best {
+			best = v
+		}
+	}
+	threshold := math.Inf(-1)
+	if d.cfg.Beam > 0 {
+		threshold = best - d.cfg.Beam
+	}
+	if d.cfg.MaxActive > 0 {
+		if ht := histogramThreshold(cur, best, d.cfg.Beam, d.cfg.MaxActive, sc.bins); ht > threshold {
+			threshold = ht
+		}
+	}
+	for s := 0; s < n; s++ {
+		tokenScore := cur[s]
+		if tokenScore < threshold || math.IsInf(tokenScore, -1) {
+			continue
+		}
+		h := curHist[s]
+		for _, a := range g.arcs[s] {
+			cand := tokenScore + a.weight
+			if cand > next[a.to] {
+				next[a.to] = cand
+				if a.wordLabel >= 0 {
+					nextHist[a.to] = sc.arena.alloc(a.wordLabel, h)
+				} else {
+					nextHist[a.to] = h
+				}
+			}
+		}
+	}
+	active := 0
+	for s := 0; s < n; s++ {
+		if !math.IsInf(next[s], -1) {
+			next[s] += emit[g.senones[s]]
+			active++
+		}
+	}
+	sc.cur, sc.next = next, cur
+	sc.curHist, sc.nextHist = nextHist, curHist
+	return active
+}
+
+// histogramThreshold implements Sphinx-style max-active pruning: active
+// scores are bucketed by depth below the frame's best, and the depth
+// that keeps roughly maxActive states becomes the pruning threshold.
+// Buckets span the active set's score range (clamped to the beam when
+// one is set — anything deeper is pruned by the beam regardless), so
+// the resolution tracks the scores actually present. Returns -Inf when
+// the active count is already within budget.
+func histogramThreshold(cur []float64, best, beam float64, maxActive int, bins []int) float64 {
+	if math.IsInf(best, -1) {
+		return math.Inf(-1)
+	}
+	worst := best
+	for _, v := range cur {
+		if !math.IsInf(v, -1) && v < worst {
+			worst = v
+		}
+	}
+	width := best - worst
+	if beam > 0 && beam < width {
+		width = beam
+	}
+	if width <= 0 {
+		return math.Inf(-1)
+	}
+	for i := range bins {
+		bins[i] = 0
+	}
+	nb := len(bins)
+	scale := float64(nb) / width
+	active := 0
+	for _, v := range cur {
+		if math.IsInf(v, -1) {
+			continue
+		}
+		active++
+		idx := int((best - v) * scale)
+		if idx >= nb {
+			idx = nb - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		bins[idx]++
+	}
+	if active <= maxActive {
+		return math.Inf(-1)
+	}
+	kept := 0
+	for i := 0; i < nb; i++ {
+		kept += bins[i]
+		if kept >= maxActive {
+			// Keep every state at least this close to best.
+			return best - float64(i+1)/scale
+		}
+	}
+	return math.Inf(-1)
 }
 
 func countActive(scores []float64) int {

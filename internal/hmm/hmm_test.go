@@ -410,3 +410,130 @@ func TestGraphInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStepZeroAllocSteadyState pins the decoder's frame-step contract:
+// after one warm decode, relaxing a frame through the beam (token
+// arrays, histogram bins, and the backpointer arena all reused)
+// performs zero heap allocations.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	lex, lm := buildToy(t)
+	cfg := DefaultConfig()
+	g, err := CompileGraph(lex, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, frames := synthEmissions(g, []string{"s", "t", "aa", "p"}, 3)
+	nSen := len(g.Phones()) * StatesPerPhone
+	d, err := NewDecoder(g, &tableScorer{table: table, nSenones: nSen}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Decode(frames) // warm scratch, bins, and arena slabs
+	emit := make([]float64, nSen)
+	for i := range emit {
+		emit[i] = -2
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		// Reset the arena so repeated steps bump-allocate from the
+		// already-grown slabs instead of appending new ones; step never
+		// dereferences old nodes, only Decode's traceback does.
+		d.sc.arena.reset()
+		d.step(emit)
+	})
+	if allocs != 0 {
+		t.Fatalf("frame step allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestMaxActivePruningCapsActiveStates: a tiny MaxActive must bound the
+// per-frame active set even with the beam wide open, and on strongly
+// peaked emissions still recover the word sequence.
+func TestMaxActivePruningCapsActiveStates(t *testing.T) {
+	lex, lm := buildToy(t)
+	cfg := DefaultConfig()
+	cfg.Beam = 1e9 // beam alone prunes nothing
+	g, err := CompileGraph(lex, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, frames := synthEmissions(g, []string{"s", "t", "aa", "p", "k", "ow"}, 3)
+	nSen := len(g.Phones()) * StatesPerPhone
+
+	cfg.MaxActive = 0
+	dOpen, err := NewDecoder(g, &tableScorer{table: table, nSenones: nSen}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := dOpen.Decode(frames)
+
+	cfg.MaxActive = 4
+	dCap, err := NewDecoder(g, &tableScorer{table: table, nSenones: nSen}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := dCap.Decode(frames)
+
+	if capped.AvgActive >= open.AvgActive {
+		t.Fatalf("MaxActive=4 avg active %.1f, not below unpruned %.1f", capped.AvgActive, open.AvgActive)
+	}
+	if strings.Join(capped.Words, " ") != "stop go" {
+		t.Fatalf("capped decode = %q, want \"stop go\"", strings.Join(capped.Words, " "))
+	}
+}
+
+// TestGenerousMaxActiveMatchesPureBeam: the default histogram cap is far
+// above this graph's state count, so results must be identical to beam-
+// only pruning.
+func TestGenerousMaxActiveMatchesPureBeam(t *testing.T) {
+	lex, lm := buildToy(t)
+	cfg := DefaultConfig()
+	g, err := CompileGraph(lex, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, frames := synthEmissions(g, []string{"k", "ow", "s", "t", "aa", "p"}, 3)
+	nSen := len(g.Phones()) * StatesPerPhone
+
+	beamOnly := cfg
+	beamOnly.MaxActive = 0
+	dBeam, err := NewDecoder(g, &tableScorer{table: table, nSenones: nSen}, beamOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dHist, err := NewDecoder(g, &tableScorer{table: table, nSenones: nSen}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBeam := dBeam.Decode(frames)
+	rHist := dHist.Decode(frames)
+	if strings.Join(rBeam.Words, " ") != strings.Join(rHist.Words, " ") {
+		t.Fatalf("histogram cap changed the result: %v vs %v", rHist.Words, rBeam.Words)
+	}
+	if rBeam.Score != rHist.Score {
+		t.Fatalf("histogram cap changed the score: %v vs %v", rHist.Score, rBeam.Score)
+	}
+}
+
+// TestDecoderScratchReuseAcrossDecodes: back-to-back decodes on one
+// decoder must give identical results (the scratch fully resets).
+func TestDecoderScratchReuseAcrossDecodes(t *testing.T) {
+	lex, lm := buildToy(t)
+	cfg := DefaultConfig()
+	g, err := CompileGraph(lex, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, frames := synthEmissions(g, []string{"s", "t", "aa", "p"}, 3)
+	nSen := len(g.Phones()) * StatesPerPhone
+	d, err := NewDecoder(g, &tableScorer{table: table, nSenones: nSen}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := d.Decode(frames)
+	for i := 0; i < 3; i++ {
+		again := d.Decode(frames)
+		if strings.Join(again.Words, " ") != strings.Join(first.Words, " ") || again.Score != first.Score {
+			t.Fatalf("decode %d diverged: %v (%v) vs %v (%v)", i, again.Words, again.Score, first.Words, first.Score)
+		}
+	}
+}

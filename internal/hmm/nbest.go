@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 )
 
 // token is one hypothesis in a state's N-best list.
@@ -47,6 +48,7 @@ func (d *Decoder) DecodeNBest(frames [][]float64, n int) []Result {
 	if len(frames) == 0 {
 		return nil
 	}
+	start := time.Now()
 	var batch [][]float64
 	if bs, ok := d.scorer.(BatchScorer); ok {
 		batch = bs.ScoreAllBatch(frames)
@@ -149,6 +151,7 @@ func (d *Decoder) DecodeNBest(frames [][]float64, n int) []Result {
 			}
 		}
 	}
+	decodeTime.Observe(time.Since(start))
 	return out
 }
 

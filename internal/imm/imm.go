@@ -6,8 +6,13 @@ import (
 	"sync"
 	"time"
 
+	"sirius/internal/mat"
 	"sirius/internal/vision"
 )
+
+// voteTime records ANN vote-accumulation wall time on the shared kernel
+// histogram (sirius_kernel_seconds{kernel="imm_vote"}).
+var voteTime = mat.KernelTimer("imm_vote")
 
 // Database is the pre-processed image collection: every database image's
 // SURF descriptors, indexed in one k-d tree keyed by owning image.
@@ -86,7 +91,9 @@ type MatchConfig struct {
 	// RatioTest rejects matches whose best/second distance ratio is above
 	// this value (Lowe's test); <=0 disables.
 	RatioTest float64
-	// Workers parallelizes FE/FD (the CMP port); <=1 is the serial baseline.
+	// Workers parallelizes FE/FD/vote (the CMP port) on the shared mat
+	// worker pool. <=0 uses the pool's configured width
+	// (runtime.NumCPU() by default); 1 is the serial baseline.
 	Workers int
 	// GeometricVerify re-ranks the top candidates by RANSAC-verified
 	// inlier count (votes must agree on one similarity transform).
@@ -104,14 +111,22 @@ func DefaultMatchConfig() MatchConfig {
 		VerifyTopN: 3, RANSACIters: 128, InlierTolPx: 6}
 }
 
+// voteGrain is the smallest descriptor range worth dispatching to a
+// pool worker for ANN voting.
+const voteGrain = 8
+
 // Match runs the full query pipeline: detect, describe, ANN-vote.
 func (db *Database) Match(query *vision.Image, cfg MatchConfig) MatchResult {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = mat.Workers()
+	}
 	var res MatchResult
 	start := time.Now()
 	ii := vision.NewIntegral(query)
 	var kps []vision.Keypoint
-	if cfg.Workers > 1 {
-		kps = vision.DetectKeypointsTiled(query, db.detector, cfg.Workers, 50)
+	if workers > 1 {
+		kps = vision.DetectKeypointsTiled(query, db.detector, workers, 50)
 	} else {
 		kps = vision.DetectKeypoints(query, db.detector)
 	}
@@ -120,8 +135,8 @@ func (db *Database) Match(query *vision.Image, cfg MatchConfig) MatchResult {
 
 	start = time.Now()
 	var descs []vision.Descriptor
-	if cfg.Workers > 1 {
-		descs = vision.DescribeAllParallel(ii, kps, cfg.Workers)
+	if workers > 1 {
+		descs = vision.DescribeAllParallel(ii, kps, workers)
 	} else {
 		descs = vision.DescribeAll(ii, kps)
 	}
@@ -140,40 +155,28 @@ func (db *Database) Match(query *vision.Image, cfg MatchConfig) MatchResult {
 			})
 		}
 	}
-	if cfg.Workers > 1 {
+	if workers > 1 && len(descs) >= 2*voteGrain {
+		// Each pool range accumulates into a local tally (tree search
+		// touches disjoint matches[i] slots), merged under one lock.
 		var mu sync.Mutex
-		var wg sync.WaitGroup
-		chunk := (len(descs) + cfg.Workers - 1) / cfg.Workers
-		for w := 0; w < cfg.Workers; w++ {
-			lo := w * chunk
-			if lo >= len(descs) {
-				break
+		mat.ParallelWidth(workers, len(descs), voteGrain, func(lo, hi int) {
+			local := make([]int, len(db.Labels))
+			for i := lo; i < hi; i++ {
+				voteOne(i, local)
 			}
-			hi := lo + chunk
-			if hi > len(descs) {
-				hi = len(descs)
+			mu.Lock()
+			for i, v := range local {
+				votes[i] += v
 			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				local := make([]int, len(db.Labels))
-				for i := lo; i < hi; i++ {
-					voteOne(i, local)
-				}
-				mu.Lock()
-				for i, v := range local {
-					votes[i] += v
-				}
-				mu.Unlock()
-			}(lo, hi)
-		}
-		wg.Wait()
+			mu.Unlock()
+		})
 	} else {
 		for i := range descs {
 			voteOne(i, votes)
 		}
 	}
 	res.Search = time.Since(start)
+	voteTime.Observe(res.Search)
 
 	res.Ranked = make([]ImageVotes, len(db.Labels))
 	for i, v := range votes {

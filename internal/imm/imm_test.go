@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"sirius/internal/kb"
+	"sirius/internal/mat"
 	"sirius/internal/vision"
 )
 
@@ -219,6 +220,31 @@ func TestMatchParallelAgreesWithSerial(t *testing.T) {
 	b := db.Match(query, parCfg)
 	if a.Label != b.Label || a.Votes != b.Votes {
 		t.Fatalf("parallel result differs: %v/%d vs %v/%d", a.Label, a.Votes, b.Label, b.Votes)
+	}
+}
+
+// TestMatchPoolWorkersAgreesWithSerial: Workers <= 0 defers to the
+// shared mat pool's width; pin the pool wide so the pool path runs even
+// on a single-core box, and check the full ranking is unchanged.
+func TestMatchPoolWorkersAgreesWithSerial(t *testing.T) {
+	defer mat.SetWorkers(0)
+	mat.SetWorkers(4)
+	db := buildTestDB(t)
+	query := vision.Warp(vision.GenerateScene(db.Labels[2], vision.DefaultSceneConfig()), vision.DefaultWarp(13))
+	serialCfg := DefaultMatchConfig()
+	for _, workers := range []int{0, -1} {
+		poolCfg := DefaultMatchConfig()
+		poolCfg.Workers = workers
+		a := db.Match(query, serialCfg)
+		b := db.Match(query, poolCfg)
+		if a.Label != b.Label || a.Votes != b.Votes {
+			t.Fatalf("workers=%d result differs: %v/%d vs %v/%d", workers, a.Label, a.Votes, b.Label, b.Votes)
+		}
+		for i := range a.Ranked {
+			if a.Ranked[i] != b.Ranked[i] {
+				t.Fatalf("workers=%d ranking differs at %d: %+v vs %+v", workers, i, b.Ranked[i], a.Ranked[i])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,236 @@
+// Package kernelbench measures the repo's Sirius Suite kernel ports —
+// GEMM (DNN), GMM bank scoring, Viterbi search, and k-d tree matching
+// (the Table 4 workloads) — outside `go test`, so the numbers can be
+// emitted as machine-readable JSON from cmd/sirius-bench and checked
+// into benchmark reports. Each kernel is timed serial vs pool-parallel
+// where both paths exist, and allocations per op are recorded to pin
+// the zero-alloc steady-state contracts.
+package kernelbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"sirius/internal/dnn"
+	"sirius/internal/gmm"
+	"sirius/internal/hmm"
+	"sirius/internal/imm"
+	"sirius/internal/mat"
+	"sirius/internal/vision"
+)
+
+// Result is one kernel measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Workers is the parallel width the kernel ran at (1 = serial).
+	Workers int `json:"workers"`
+}
+
+// Report is the full kernel sweep plus the machine shape that produced
+// it — speedups are meaningless without the core count.
+type Report struct {
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"numcpu"`
+	Results    []Result `json:"results"`
+}
+
+// measure times op until minTime has elapsed (after one warm-up call)
+// and counts its steady-state allocations.
+func measure(name string, workers int, minTime time.Duration, op func()) Result {
+	op() // warm caches, pools, and scratch
+	var iters int
+	start := time.Now()
+	for time.Since(start) < minTime {
+		op()
+		iters++
+	}
+	elapsed := time.Since(start)
+	allocs := testing.AllocsPerRun(1, op)
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: allocs,
+		Workers:     workers,
+	}
+}
+
+// mulResults benchmarks the three GEMM variants at n x n x n.
+func mulResults(rng *rand.Rand, n int, tag string, minTime time.Duration) []Result {
+	a := mat.NewDense(n, n)
+	b := mat.NewDense(n, n)
+	dst := mat.NewDense(n, n)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	return []Result{
+		measure("mul_naive_"+tag, 1, minTime, func() { mat.Mul(dst, a, b) }),
+		measure("mul_blocked_"+tag, 1, minTime, func() { mat.MulBlocked(dst, a, b) }),
+		measure("mul_parallel_"+tag, mat.Workers(), minTime, func() { mat.MulParallel(dst, a, b) }),
+	}
+}
+
+// mulLargeResults is the acceptance-size multiply: (512x2048)x(2048x2048),
+// the shape where row-panel sharding must beat serial on a multicore box.
+func mulLargeResults(rng *rand.Rand, minTime time.Duration) []Result {
+	a := mat.NewDense(512, 2048)
+	b := mat.NewDense(2048, 2048)
+	dst := mat.NewDense(512, 2048)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	return []Result{
+		measure("mul_naive_512x2048x2048", 1, minTime, func() { mat.Mul(dst, a, b) }),
+		measure("mul_blocked_512x2048x2048", 1, minTime, func() { mat.MulBlocked(dst, a, b) }),
+		measure("mul_parallel_512x2048x2048", mat.Workers(), minTime, func() { mat.MulParallel(dst, a, b) }),
+	}
+}
+
+func dnnResults(rng *rand.Rand, minTime time.Duration) []Result {
+	net := dnn.New(rng, dnn.Sigmoid, 39, 256, 256, 144)
+	x := make([]float64, 39)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	dst := make([]float64, net.OutputDim())
+	scratch := net.NewScratch()
+	const batchRows = 32
+	batch := mat.NewDense(batchRows, 39)
+	batch.Randomize(rng, 1)
+	return []Result{
+		measure("dnn_forward", 1, minTime, func() { _ = net.Forward(x) }),
+		measure("dnn_forward_into", 1, minTime, func() { net.ForwardInto(dst, x, scratch) }),
+		measure(fmt.Sprintf("dnn_forward_batch_%d", batchRows), mat.Workers(), minTime, func() { _ = net.ForwardBatch(batch) }),
+	}
+}
+
+func gmmResults(rng *rand.Rand, minTime time.Duration) []Result {
+	const (
+		senones = 128
+		mix     = 8
+		dim     = 39
+	)
+	models := make([]*gmm.Model, senones)
+	for i := range models {
+		m := gmm.NewModel(mix, dim)
+		for k := range m.Means {
+			for d := range m.Means[k] {
+				m.Means[k][d] = rng.NormFloat64()
+			}
+		}
+		models[i] = m
+	}
+	bank := gmm.NewBank(models)
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, bank.States())
+	return []Result{
+		measure("gmm_bank_serial", 1, minTime, func() { bank.ScoreAll(dst, x) }),
+		measure("gmm_bank_pool", mat.Workers(), minTime, func() { bank.ScoreAllParallel(dst, x, 0) }),
+	}
+}
+
+// tableScorer serves fixed per-frame senone scores: frame f (identified
+// by its first element) scores senone s as table[f][s].
+type tableScorer struct {
+	table    [][]float64
+	nSenones int
+}
+
+func (ts *tableScorer) ScoreAll(dst, frame []float64) { copy(dst, ts.table[int(frame[0])]) }
+func (ts *tableScorer) NumSenones() int               { return ts.nSenones }
+
+func viterbiResults(minTime time.Duration) ([]Result, error) {
+	lex := hmm.NewLexicon()
+	lex.Add("go", []string{"k", "ow"})
+	lex.Add("stop", []string{"s", "t", "aa", "p"})
+	lm := hmm.NewBigram(lex)
+	lm.Observe("go stop go")
+	cfg := hmm.DefaultConfig()
+	g, err := hmm.CompileGraph(lex, lm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	phoneIdx := map[string]int{}
+	for i, p := range g.Phones() {
+		phoneIdx[p] = i
+	}
+	nSen := len(g.Phones()) * hmm.StatesPerPhone
+	var table, frames [][]float64
+	fi := 0
+	for _, ph := range []string{"s", "t", "aa", "p", "k", "ow"} { // "stop go"
+		for s := 0; s < hmm.StatesPerPhone; s++ {
+			for r := 0; r < 3; r++ {
+				row := make([]float64, nSen)
+				for i := range row {
+					row[i] = -20
+				}
+				row[phoneIdx[ph]*hmm.StatesPerPhone+s] = -1
+				table = append(table, row)
+				frames = append(frames, []float64{float64(fi)})
+				fi++
+			}
+		}
+	}
+	d, err := hmm.NewDecoder(g, &tableScorer{table: table, nSenones: nSen}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []Result{
+		measure("viterbi_decode", 1, minTime, func() { _ = d.Decode(frames) }),
+	}, nil
+}
+
+func kdResults(rng *rand.Rand, minTime time.Duration) []Result {
+	const points = 4096
+	vecs := make([][vision.DescriptorSize]float64, points)
+	owners := make([]int32, points)
+	for i := range vecs {
+		for d := range vecs[i] {
+			vecs[i][d] = rng.Float64()
+		}
+		owners[i] = int32(i % 16)
+	}
+	tree := imm.BuildKDTree(vecs, owners)
+	var q [vision.DescriptorSize]float64
+	for d := range q {
+		q[d] = rng.Float64()
+	}
+	return []Result{
+		measure("kd_search2nn", 1, minTime, func() { _, _ = tree.Search2NN(&q, 200) }),
+	}
+}
+
+// Run sweeps every kernel. minTime bounds each measurement's timed loop;
+// large additionally runs the 512x2048x2048 acceptance GEMM (minutes of
+// CPU on a small box, so it is opt-in).
+func Run(minTime time.Duration, large bool) (Report, error) {
+	rng := rand.New(rand.NewSource(42))
+	rep := Report{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	rep.Results = append(rep.Results, mulResults(rng, 128, "128", minTime)...)
+	if large {
+		rep.Results = append(rep.Results, mulLargeResults(rng, minTime)...)
+	}
+	rep.Results = append(rep.Results, dnnResults(rng, minTime)...)
+	rep.Results = append(rep.Results, gmmResults(rng, minTime)...)
+	vit, err := viterbiResults(minTime)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, vit...)
+	rep.Results = append(rep.Results, kdResults(rng, minTime)...)
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Dense is a row-major dense matrix.
@@ -73,13 +74,24 @@ func (m *Dense) Randomize(rng *rand.Rand, scale float64) {
 // T returns the transpose of m as a new matrix.
 func (m *Dense) T() *Dense {
 	t := NewDense(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+	TransposeInto(t, m)
+	return t
+}
+
+// TransposeInto writes src's transpose into dst (src.Cols x src.Rows),
+// overwriting every element. It lets hot paths transpose into pooled
+// scratch (GetDense) instead of allocating per pass.
+func TransposeInto(dst, src *Dense) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic(fmt.Sprintf("mat: TransposeInto dims %dx%d -> %dx%d",
+			src.Rows, src.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < src.Rows; i++ {
+		row := src.Row(i)
 		for j, v := range row {
-			t.Data[j*t.Cols+i] = v
+			dst.Data[j*dst.Cols+i] = v
 		}
 	}
-	return t
 }
 
 // Mul computes dst = a * b. dst must not alias a or b; it is resized via
@@ -212,10 +224,14 @@ func LogAdd(a, b float64) float64 {
 	return a + math.Log1p(math.Exp(b-a))
 }
 
-// Softmax writes the softmax of src into dst (they may alias).
+// Softmax writes the softmax of src into dst (they may alias). Empty
+// input is a no-op, consistent with LogSumExp and MaxIdx.
 func Softmax(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("mat: Softmax length mismatch")
+	}
+	if len(src) == 0 {
+		return
 	}
 	m := src[0]
 	for _, v := range src[1:] {
@@ -248,8 +264,18 @@ func MulBlocked(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulBlocked dims %dx%d * %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for i := range dst.Data {
-		dst.Data[i] = 0
+	mulPanel(dst, a, b, 0, a.Rows)
+}
+
+// mulPanel computes the dst row panel [r0, r1) of a * b with cache
+// tiling, zeroing the panel first. Panels are disjoint row ranges of
+// dst, so MulParallel can run panels concurrently with no locking.
+func mulPanel(dst, a, b *Dense, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		row := dst.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
 	}
 	for kk := 0; kk < a.Cols; kk += mulBlockSize {
 		kMax := kk + mulBlockSize
@@ -261,7 +287,7 @@ func MulBlocked(dst, a, b *Dense) {
 			if jMax > b.Cols {
 				jMax = b.Cols
 			}
-			for i := 0; i < a.Rows; i++ {
+			for i := r0; i < r1; i++ {
 				arow := a.Row(i)
 				drow := dst.Row(i)
 				for k := kk; k < kMax; k++ {
@@ -277,4 +303,34 @@ func MulBlocked(dst, a, b *Dense) {
 			}
 		}
 	}
+}
+
+// mulRowGrain is the smallest dst row panel MulParallel hands a worker;
+// a quarter tile keeps dispatch overhead small relative to panel work.
+const mulRowGrain = 16
+
+// minParallelFlops gates MulParallel's fan-out: below roughly this many
+// multiply-adds the dispatch overhead beats the speedup and the tiled
+// serial kernel wins (see BenchmarkMulVariants for the crossover).
+const minParallelFlops = 1 << 18
+
+// MulParallel computes dst = a * b by sharding dst rows into panels
+// across the shared worker pool, each panel running the MulBlocked
+// tiling. It matches Mul exactly (panels touch disjoint dst rows and
+// float addition order within a row is unchanged). Small products and
+// width-1 pools fall back to MulBlocked.
+func MulParallel(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulParallel dims %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	if Workers() <= 1 || a.Rows < 2*mulRowGrain || a.Rows*a.Cols*b.Cols < minParallelFlops {
+		mulPanel(dst, a, b, 0, a.Rows)
+		return
+	}
+	start := time.Now()
+	Parallel(a.Rows, mulRowGrain, func(lo, hi int) {
+		mulPanel(dst, a, b, lo, hi)
+	})
+	mulParallelTime.Observe(time.Since(start))
 }

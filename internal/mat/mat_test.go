@@ -228,6 +228,13 @@ func TestSoftmax(t *testing.T) {
 	}
 }
 
+func TestSoftmaxEmpty(t *testing.T) {
+	// Must be a no-op, consistent with LogSumExp(nil) and MaxIdx(nil)
+	// rather than panicking on MaxIdx's -1.
+	Softmax(nil, nil)
+	Softmax([]float64{}, []float64{})
+}
+
 func TestLogSumExpMatchesSoftmaxNormalizer(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -286,14 +293,59 @@ func TestMulBlockedMatchesMul(t *testing.T) {
 	MulBlocked(NewDense(2, 2), NewDense(2, 3), NewDense(2, 2))
 }
 
-func BenchmarkMulVariants(b *testing.B) {
+func TestTransposeInto(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	dst := NewDense(3, 2)
+	TransposeInto(dst, m)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != dst.At(j, i) {
+				t.Fatalf("TransposeInto mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dim panic")
+		}
+	}()
+	TransposeInto(NewDense(2, 2), NewDense(2, 3))
+}
+
+func TestMulParallelMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Odd shapes, shapes below the parallel gate, and shapes wide enough
+	// to shard across several row panels.
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {31, 17, 5}, {64, 64, 64}, {65, 130, 67}, {200, 150, 90}} {
+		a := NewDense(dims[0], dims[1])
+		b := NewDense(dims[1], dims[2])
+		a.Randomize(rng, 1)
+		b.Randomize(rng, 1)
+		want := NewDense(dims[0], dims[2])
+		got := NewDense(dims[0], dims[2])
+		Mul(want, a, b)
+		MulParallel(got, a, b)
+		for i := range want.Data {
+			if math.Abs(want.Data[i]-got.Data[i]) > 1e-9 {
+				t.Fatalf("dims %v: element %d differs: %v vs %v", dims, i, want.Data[i], got.Data[i])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dim panic")
+		}
+	}()
+	MulParallel(NewDense(2, 2), NewDense(2, 3), NewDense(2, 2))
+}
+
+func benchMulSet(b *testing.B, rows, inner, cols int) {
 	rng := rand.New(rand.NewSource(1))
-	const n = 256
-	x := NewDense(n, n)
-	y := NewDense(n, n)
+	x := NewDense(rows, inner)
+	y := NewDense(inner, cols)
 	x.Randomize(rng, 1)
 	y.Randomize(rng, 1)
-	dst := NewDense(n, n)
+	dst := NewDense(rows, cols)
 	b.Run("naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			Mul(dst, x, y)
@@ -304,4 +356,16 @@ func BenchmarkMulVariants(b *testing.B) {
 			MulBlocked(dst, x, y)
 		}
 	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MulParallel(dst, x, y)
+		}
+	})
+}
+
+func BenchmarkMulVariants(b *testing.B) {
+	b.Run("256x256x256", func(b *testing.B) { benchMulSet(b, 256, 256, 256) })
+	// The acceptance shape: with >= 4 cores MulParallel must show >= 2x
+	// over serial Mul here (one core runs it ~1x — the panels serialize).
+	b.Run("512x2048x2048", func(b *testing.B) { benchMulSet(b, 512, 2048, 2048) })
 }

@@ -1,0 +1,26 @@
+package mat
+
+import "sirius/internal/telemetry"
+
+// kernelTimes aggregates wall time of the shared multicore kernels
+// (batched GEMM, DNN forward, GMM bank sweep, Viterbi decode, k-d
+// voting) across the whole process. It is detached so library code can
+// observe without a registry; a serving host attaches it to /metrics
+// via RegisterKernelMetrics.
+var kernelTimes = telemetry.NewHistogramVec("kernel")
+
+// KernelTimer returns the timing histogram for one named kernel.
+// Resolve once at package init and reuse the child: With builds a map
+// key per call, which would put an allocation on every observation.
+func KernelTimer(name string) *telemetry.Histogram { return kernelTimes.With(name) }
+
+// mulParallelTime is resolved once; MulParallel observes per call.
+var mulParallelTime = KernelTimer("mul_parallel")
+
+// RegisterKernelMetrics exposes the per-kernel timing histograms on a
+// /metrics registry as sirius_kernel_seconds{kernel=...}.
+func RegisterKernelMetrics(reg *telemetry.Registry) {
+	reg.RegisterHistogramVec("sirius_kernel_seconds",
+		"Wall time of shared multicore kernels (parallel GEMM, DNN forward, GMM bank sweep, Viterbi decode, k-d voting).",
+		kernelTimes)
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sirius/internal/audio"
+	"sirius/internal/mat"
 	"sirius/internal/telemetry"
 	"sirius/internal/vision"
 )
@@ -95,6 +96,9 @@ func NewServer(p *Pipeline) *Server {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	// Per-kernel timings (sirius_kernel_seconds{kernel=...}) from the
+	// mat worker-pool layer surface on the same scrape.
+	mat.RegisterKernelMetrics(reg)
 	s.mux.Handle("/metrics", reg.Handler())
 	s.mux.Handle("/debug/traces", s.traces.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -18,6 +18,7 @@ import (
 	"sirius/internal/hmm"
 	"sirius/internal/imm"
 	"sirius/internal/kb"
+	"sirius/internal/mat"
 	"sirius/internal/nlp/crf"
 	"sirius/internal/nlp/regex"
 	"sirius/internal/qa"
@@ -79,7 +80,12 @@ type Config struct {
 	Corpus     kb.CorpusConfig // knowledge corpus scale
 	CRFSamples int             // CRF training sentences
 	TrainASR   asr.TrainConfig
-	IMMWorkers int    // image pipeline workers (1 = serial baseline)
+	// Workers sets the process-wide mat worker-pool width used by every
+	// parallel kernel (GEMM, GMM bank, FE/FD/vote). 0 keeps the default
+	// (runtime.NumCPU()); the pool is package-level, so this applies to
+	// all pipelines in the process.
+	Workers    int
+	IMMWorkers int    // image pipeline workers (0 = pool width, 1 = serial baseline)
 	ModelCache string // path for cached acoustic models ("" = train fresh)
 	// Rescoring enables the two-pass decoder (N-best + trigram), which
 	// absorbs the decoder's near-homophone confusions.
@@ -143,6 +149,9 @@ var commandVerbs = []string{
 // speech substrate, trains the CRF tagger, builds the corpus, and indexes
 // the image database.
 func New(cfg Config) (*Pipeline, error) {
+	if cfg.Workers > 0 {
+		mat.SetWorkers(cfg.Workers)
+	}
 	p := &Pipeline{}
 	p.lex, p.lm = kb.BuildLexicon()
 

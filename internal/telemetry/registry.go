@@ -212,7 +212,22 @@ func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
 // NewHistogramVec registers and returns a labeled histogram family,
 // exposed in seconds.
 func (r *Registry) NewHistogramVec(name, help string, labelNames ...string) *HistogramVec {
-	v := &HistogramVec{newLabeledVec[Histogram](labelNames)}
+	v := NewHistogramVec(labelNames...)
+	r.RegisterHistogramVec(name, help, v)
+	return v
+}
+
+// NewHistogramVec (package-level) allocates a detached labeled
+// histogram family, usable immediately and attachable to a registry
+// later via RegisterHistogramVec — the arrangement library code (the
+// mat kernel timers) uses to observe without owning a registry.
+func NewHistogramVec(labelNames ...string) *HistogramVec {
+	return &HistogramVec{newLabeledVec[Histogram](labelNames)}
+}
+
+// RegisterHistogramVec exposes an already-allocated histogram family
+// under name.
+func (r *Registry) RegisterHistogramVec(name, help string, v *HistogramVec) {
 	r.register(name, help, "histogram", func(w io.Writer, n string) {
 		v.mu.Lock()
 		defer v.mu.Unlock()
@@ -220,7 +235,6 @@ func (r *Registry) NewHistogramVec(name, help string, labelNames ...string) *His
 			writeHistogram(w, n, v.labelNames, v.labelSets[key], v.children[key])
 		}
 	})
-	return v
 }
 
 // labelString renders {a="x",b="y"}; extraName/extraLe append the le

@@ -2,7 +2,8 @@ package vision
 
 import (
 	"math"
-	"sync"
+
+	"sirius/internal/mat"
 )
 
 // DescriptorSize is the SURF-64 descriptor dimensionality: a 4x4 grid of
@@ -140,30 +141,23 @@ func DescribeAll(ii *Integral, kps []Keypoint) []Descriptor {
 	return out
 }
 
-// DescribeAllParallel is the multicore FD port: one goroutine per worker
-// over contiguous keypoint ranges ("for each keypoint", Table 4).
+// DescribeAllParallel is the multicore FD port: contiguous keypoint
+// ranges run on the shared mat worker pool ("for each keypoint",
+// Table 4). workers <= 0 uses the pool's configured width; workers == 1
+// is the serial baseline.
 func DescribeAllParallel(ii *Integral, kps []Keypoint, workers int) []Descriptor {
+	if workers <= 0 {
+		workers = mat.Workers()
+	}
 	if workers <= 1 || len(kps) < 2*workers {
 		return DescribeAll(ii, kps)
 	}
 	out := make([]Descriptor, len(kps))
-	var wg sync.WaitGroup
-	chunk := (len(kps) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(kps) {
-			break
+	mat.ParallelWidth(workers, len(kps), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Describe(ii, kps[i])
 		}
-		hi := minInt(lo+chunk, len(kps))
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = Describe(ii, kps[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 

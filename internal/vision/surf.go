@@ -2,7 +2,8 @@ package vision
 
 import (
 	"sort"
-	"sync"
+
+	"sirius/internal/mat"
 )
 
 // Keypoint is one detected interest point.
@@ -82,30 +83,27 @@ func DetectKeypoints(im *Image, cfg DetectorConfig) []Keypoint {
 	return detectInTile(ii, cfg, full, full)
 }
 
-// DetectKeypointsTiled is the multicore port: the image is tiled and each
-// tile's scale stack and non-max suppression run on its own goroutine
-// (paper §4.3.1). Results match the serial version because suppression
-// reads responses computed over a tile border margin.
+// DetectKeypointsTiled is the multicore port: the image is tiled and
+// the tiles' scale stacks and non-max suppression run on the shared mat
+// worker pool (paper §4.3.1). Results match the serial version because
+// suppression reads responses computed over a tile border margin.
+// workers <= 0 uses the pool's configured width.
 func DetectKeypointsTiled(im *Image, cfg DetectorConfig, workers, minTile int) []Keypoint {
 	tiles := Tiles(im.W, im.H, minTile)
+	if workers <= 0 {
+		workers = mat.Workers()
+	}
 	if workers <= 1 || len(tiles) == 1 {
 		return DetectKeypoints(im, cfg)
 	}
 	ii := NewIntegral(im)
 	full := Tile{X0: 0, Y0: 0, X1: im.W, Y1: im.H}
 	results := make([][]Keypoint, len(tiles))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, t := range tiles {
-		wg.Add(1)
-		go func(i int, t Tile) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = detectInTile(ii, cfg, t, full)
-		}(i, t)
-	}
-	wg.Wait()
+	mat.ParallelWidth(workers, len(tiles), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i] = detectInTile(ii, cfg, tiles[i], full)
+		}
+	})
 	var all []Keypoint
 	for _, r := range results {
 		all = append(all, r...)

@@ -24,6 +24,15 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== kernel bench smoke =="
+# A fast sweep of the kernel micro-benchmarks: proves the -bench-json
+# path stays wired and every kernel (GEMM, DNN, GMM, Viterbi, k-d) still
+# runs outside `go test`. Full numbers are regenerated with
+#   go run ./cmd/sirius-bench -bench-json BENCH_PR4.json -bench-large
+benchout=$(mktemp)
+go run ./cmd/sirius-bench -bench-json "$benchout" -bench-time 5ms
+rm -f "$benchout"
+
 echo "== cluster smoke (1 frontend + 2 backends) =="
 bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT
