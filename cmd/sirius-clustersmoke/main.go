@@ -4,7 +4,13 @@
 // issues text queries through the frontend (multipart /query and JSON
 // /v1/query), asserts that an empty query relays the backend's
 // structured error envelope, and asserts that /metrics shows both
-// backends serving. Everything runs under a hard deadline —
+// backends serving. Backend 2 runs under -max-inflight 1, and the
+// smoke then exercises the request-lifecycle machinery against it
+// directly: a voice query with a 1 ms X-Sirius-Timeout-Ms must come
+// back as the 503 "timeout" envelope, a concurrent voice burst must
+// shed with the 429 "overloaded" envelope plus Retry-After, and its
+// /metrics must show sirius_timeouts_total and sirius_shed_total
+// advancing. Everything runs under a hard deadline —
 // on timeout the processes are killed and the gate fails rather than
 // hangs. verify.sh runs this after the unit tests.
 //
@@ -25,11 +31,14 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"sirius/internal/asr"
+	"sirius/internal/kb"
 	"sirius/internal/sirius"
 )
 
@@ -159,10 +168,16 @@ func run() (err error) {
 	}
 	for i, p := range []*proc{back1, back2} {
 		port := []int{b1Port, b2Port}[i]
-		if err := p.start(ctx, *serverBin,
+		args := []string{
 			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
 			"-frontend", frontURL,
-		); err != nil {
+		}
+		// Backend 2 doubles as the admission-control fixture: one slot,
+		// so the shed/timeout smoke below can saturate it on demand.
+		if p == back2 {
+			args = append(args, "-max-inflight", "1")
+		}
+		if err := p.start(ctx, *serverBin, args...); err != nil {
 			return fmt.Errorf("start %s: %w", p.name, err)
 		}
 	}
@@ -287,8 +302,142 @@ func run() (err error) {
 			return fmt.Errorf("frontend /metrics missing %q — backend :%d never served;\n--- metrics ---\n%s", want, port, metrics)
 		}
 	}
-	log.Printf("both backends served traffic; cluster smoke OK")
+	log.Printf("both backends served traffic")
+
+	// --- Request-lifecycle smoke against backend 2 (-max-inflight 1) ---
+	// Voice queries are the slow path (a full Viterbi decode), which
+	// makes both checks deterministic: a 1 ms budget cannot possibly
+	// cover a decode, and a concurrent burst is guaranteed to overlap in
+	// the single admission slot.
+	b2URL := fmt.Sprintf("http://127.0.0.1:%d", b2Port)
+	lex, _ := kb.BuildLexicon()
+	samples, err := asr.SynthesizeText(lex, "what is the capital of france", 7)
+	if err != nil {
+		return err
+	}
+	postVoice := func(timeoutMs string) (int, []byte, http.Header, error) {
+		body, ctype, err := sirius.BuildMultipartQuery(samples, nil, "")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b2URL+"/query", body)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		req.Header.Set("Content-Type", ctype)
+		if timeoutMs != "" {
+			req.Header.Set("X-Sirius-Timeout-Ms", timeoutMs)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, payload, resp.Header, nil
+	}
+
+	// A voice query carrying a 1 ms budget must be aborted mid-pipeline
+	// and answered with the 503 "timeout" envelope.
+	{
+		status, payload, _, err := postVoice("1")
+		if err != nil {
+			return fmt.Errorf("deadline query: %w", err)
+		}
+		if status != http.StatusServiceUnavailable {
+			return fmt.Errorf("deadline query: status %d, want 503; body %s", status, payload)
+		}
+		var env sirius.ErrorEnvelope
+		if err := json.Unmarshal(payload, &env); err != nil {
+			return fmt.Errorf("deadline query: not an error envelope %q: %w", payload, err)
+		}
+		if env.Code != http.StatusServiceUnavailable || env.Reason != "timeout" {
+			return fmt.Errorf("deadline query: bad envelope %+v", env)
+		}
+		log.Printf("1 ms deadline aborted the decode with the 503 timeout envelope")
+	}
+
+	// Saturate the single admission slot: of a concurrent voice burst at
+	// most one request is admitted, so at least one sibling must be shed
+	// with the 429 "overloaded" envelope and a Retry-After hint. Retried
+	// a few times in case scheduling staggers the burst enough for the
+	// admitted decode to finish between arrivals.
+	shedSeen := false
+	for attempt := 0; attempt < 5 && !shedSeen; attempt++ {
+		const burst = 4
+		type reply struct {
+			status     int
+			payload    []byte
+			retryAfter string
+			err        error
+		}
+		replies := make(chan reply, burst)
+		for i := 0; i < burst; i++ {
+			go func() {
+				status, payload, hdr, err := postVoice("")
+				if err != nil {
+					replies <- reply{err: err}
+					return
+				}
+				replies <- reply{status: status, payload: payload, retryAfter: hdr.Get("Retry-After")}
+			}()
+		}
+		for i := 0; i < burst; i++ {
+			r := <-replies
+			if r.err != nil {
+				return fmt.Errorf("shed burst: %w", r.err)
+			}
+			if r.status != http.StatusTooManyRequests {
+				continue
+			}
+			var env sirius.ErrorEnvelope
+			if err := json.Unmarshal(r.payload, &env); err != nil {
+				return fmt.Errorf("shed burst: 429 without an envelope %q: %w", r.payload, err)
+			}
+			if env.Code != http.StatusTooManyRequests || env.Reason != "overloaded" {
+				return fmt.Errorf("shed burst: bad envelope %+v", env)
+			}
+			if r.retryAfter == "" {
+				return fmt.Errorf("shed burst: 429 reply missing Retry-After")
+			}
+			shedSeen = true
+		}
+	}
+	if !shedSeen {
+		return fmt.Errorf("shed smoke: no 429 from backend2 across 5 concurrent voice bursts")
+	}
+	log.Printf("admission control shed the burst with the 429 overloaded envelope")
+
+	// Both lifecycle counters must have advanced on backend 2.
+	resp, err = client.Get(b2URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	b2Metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"sirius_timeouts_total", "sirius_shed_total"} {
+		if !metricPositive(string(b2Metrics), name) {
+			return fmt.Errorf("backend2 /metrics: %s not positive;\n--- metrics ---\n%s", name, b2Metrics)
+		}
+	}
+	log.Printf("sirius_timeouts_total and sirius_shed_total advanced; cluster smoke OK")
 	return nil
+}
+
+// metricPositive reports whether the Prometheus text exposition
+// contains the named sample with a value greater than zero.
+func metricPositive(metrics, name string) bool {
+	for _, line := range strings.Split(metrics, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			return err == nil && v > 0
+		}
+	}
+	return false
 }
 
 func main() {

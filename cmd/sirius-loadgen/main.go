@@ -22,6 +22,12 @@
 // batcher); -json switches to the versioned JSON encoding on
 // /v1/query. When the target serves from its result cache, the hit
 // count (X-Sirius-Cache: hit responses) is reported after the run.
+//
+// Against a server running admission control (-max-inflight) or
+// deadlines (-timeout), shed (429 overloaded) and timed-out (503
+// timeout) replies are counted separately from hard errors and the
+// shed/timeout rates are reported after the run. -deadline attaches an
+// X-Sirius-Timeout-Ms header so each query carries its own budget.
 package main
 
 import (
@@ -61,6 +67,7 @@ func main() {
 	commands := flag.Bool("commands", true, "mix device commands (action path) into the stream")
 	voice := flag.Float64("voice", 0, "fraction of queries sent as synthesized WAV recordings (0..1)")
 	jsonBody := flag.Bool("json", false, "POST application/json to /v1/query instead of multipart to /query")
+	deadline := flag.Duration("deadline", 0, "per-query X-Sirius-Timeout-Ms deadline the server enforces (0 = none)")
 	flag.Parse()
 	if *server != "" {
 		addrs = append(addrs, strings.TrimRight(*server, "/"))
@@ -113,7 +120,7 @@ func main() {
 		path = "/v1/query"
 		build = sirius.BuildJSONQuery
 	}
-	var cacheHits atomic.Int64
+	var cacheHits, sheds, timeouts atomic.Int64
 	client := &http.Client{Timeout: *timeout}
 	send := func(i int) (string, string, error) {
 		q := queries[i%len(queries)]
@@ -122,7 +129,15 @@ func main() {
 		if err != nil {
 			return q.kind, target, err
 		}
-		resp, err := client.Post(target+path, ctype, body)
+		req, err := http.NewRequest(http.MethodPost, target+path, body)
+		if err != nil {
+			return q.kind, target, err
+		}
+		req.Header.Set("Content-Type", ctype)
+		if *deadline > 0 {
+			req.Header.Set("X-Sirius-Timeout-Ms", fmt.Sprintf("%d", deadline.Milliseconds()))
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			return q.kind, target, err
 		}
@@ -132,6 +147,14 @@ func main() {
 		}
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 			return q.kind, target, err
+		}
+		// Shed and deadline rejections are a provisioning signal, not a
+		// serving bug: tally them apart from hard errors.
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			sheds.Add(1)
+		case http.StatusServiceUnavailable:
+			timeouts.Add(1)
 		}
 		if resp.StatusCode != http.StatusOK {
 			return q.kind, target, fmt.Errorf("status %s", resp.Status)
@@ -147,6 +170,14 @@ func main() {
 	fmt.Println(res)
 	if hits := cacheHits.Load(); hits > 0 {
 		fmt.Printf("\nresult-cache hits: %d/%d (responses carrying X-Sirius-Cache: hit)\n", hits, *n)
+	}
+	if shed := sheds.Load(); shed > 0 {
+		fmt.Printf("\nshed by admission control: %d/%d (%.1f%% of queries got 429 overloaded)\n",
+			shed, *n, 100*float64(shed)/float64(*n))
+	}
+	if to := timeouts.Load(); to > 0 {
+		fmt.Printf("\ndeadline-expired: %d/%d (%.1f%% of queries got 503 timeout)\n",
+			to, *n, 100*float64(to)/float64(*n))
 	}
 	fmt.Printf("\n(compare with the M/M/1 prediction: R = 1/(mu - lambda) with mu = 1/mean service time)\n")
 }

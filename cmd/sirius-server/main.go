@@ -23,6 +23,15 @@
 //	sirius-server [-addr :8080] [-engine gmm|dnn] [-drain 30s]
 //	    [-frontend http://lb:8090] [-kinds asr,qa,imm] [-advertise http://me:8080]
 //	    [-batch] [-batch-size 8] [-batch-wait 2ms] [-cache 256] [-workers N]
+//	    [-max-inflight N] [-timeout 10s]
+//
+// -max-inflight installs admission control: past N concurrent queries
+// the server sheds load with a 429 "overloaded" envelope and a
+// Retry-After header (the cluster frontend retries sheds on another
+// backend). -timeout bounds each query's processing; one that expires
+// is aborted mid-stage and answered with a 503 "timeout" envelope.
+// Clients can tighten (never extend) the deadline per request with an
+// X-Sirius-Timeout-Ms header.
 //
 // -workers sets the shared kernel worker-pool width used by every
 // parallel kernel (GEMM, GMM bank sweep, image FE/FD/vote); 0 (the
@@ -80,6 +89,8 @@ func main() {
 	batchWait := flag.Duration("batch-wait", 0, "max time the first request in a batch waits for company (0 = default)")
 	cache := flag.Int("cache", 0, "query result cache capacity in entries (0 = disabled)")
 	workers := flag.Int("workers", 0, "kernel worker-pool width (0 = runtime.NumCPU())")
+	maxInflight := flag.Int("max-inflight", 0, "admission gate: max concurrent queries before shedding with 429 (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline; expired queries abort mid-stage with a 503 timeout envelope (0 = none)")
 	flag.Parse()
 
 	cfg := sirius.DefaultConfig()
@@ -116,6 +127,14 @@ func main() {
 	if *cache > 0 {
 		s.EnableCache(*cache)
 		log.Printf("query result cache enabled (%d entries)", *cache)
+	}
+	if *maxInflight > 0 {
+		s.SetMaxInflight(*maxInflight)
+		log.Printf("admission control enabled (max %d in-flight queries)", *maxInflight)
+	}
+	if *timeout > 0 {
+		s.SetTimeout(*timeout)
+		log.Printf("per-query deadline enabled (%v)", *timeout)
 	}
 	srv := &http.Server{
 		Addr:    *addr,

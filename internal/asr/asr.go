@@ -442,13 +442,17 @@ type submitScorer struct {
 func (s *submitScorer) ScoreAll(dst, frame []float64) { s.inner.ScoreAll(dst, frame) }
 func (s *submitScorer) NumSenones() int               { return s.inner.NumSenones() }
 
-// ScoreAllBatch submits to the scheduler; if the submission fails (the
-// request was canceled while queued, or the scheduler is shutting
-// down), it scores locally — the recognition still completes and the
-// HTTP layer discards the response of a gone client.
+// ScoreAllBatch submits to the scheduler. On failure it distinguishes
+// why: a canceled/expired request returns nil without scoring — there is
+// no client left to read the transcript, and the decoder's ctx check
+// aborts right after — while a scheduler shutdown (request still live)
+// falls back to scoring locally so the recognition completes.
 func (s *submitScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
 	if out, err := s.sub.Submit(s.ctx, frames); err == nil {
 		return out
+	}
+	if s.ctx.Err() != nil {
+		return nil
 	}
 	if bs, ok := s.inner.(hmm.BatchScorer); ok {
 		return bs.ScoreAllBatch(frames)
@@ -518,13 +522,19 @@ func (r *Recognizer) RecognizeContext(ctx context.Context, samples []float64) (R
 	searchStart := time.Now()
 	var res hmm.Result
 	if r.rescoreTri != nil {
-		hyps := dec.DecodeNBest(frames, r.rescoreN)
+		hyps, err := dec.DecodeNBestContext(ctx, frames, r.rescoreN)
+		if err != nil {
+			return Result{Timings: tm}, err
+		}
 		if len(hyps) == 0 {
 			return Result{Timings: tm}, fmt.Errorf("asr: no hypotheses")
 		}
 		res = hyps[r.rescoreTri.Rescore(hyps, r.rescoreWeight)]
 	} else {
-		res = dec.Decode(frames)
+		res, err = dec.DecodeContext(ctx, frames)
+		if err != nil {
+			return Result{Timings: tm}, err
+		}
 	}
 	total := time.Since(searchStart)
 	tm.Scoring = ts.elapsed

@@ -1,0 +1,123 @@
+package asr
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sirius/internal/batch"
+	"sirius/internal/hmm"
+)
+
+// fakeBatcher is a Batcher returning a canned result or error.
+type fakeBatcher struct {
+	out   [][]float64
+	err   error
+	calls int
+}
+
+func (f *fakeBatcher) Submit(ctx context.Context, frames [][]float64) ([][]float64, error) {
+	f.calls++
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.out, nil
+}
+
+// localScorer is a batch-capable inner scorer that records whether the
+// local fallback path ran.
+type localScorer struct {
+	n          int
+	batchCalls int
+}
+
+func (l *localScorer) ScoreAll(dst, frame []float64) {}
+func (l *localScorer) NumSenones() int               { return l.n }
+func (l *localScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
+	l.batchCalls++
+	out := make([][]float64, len(frames))
+	for i := range out {
+		out[i] = make([]float64, l.n)
+	}
+	return out
+}
+
+// TestSubmitScorerCanceledVsClosed pins the failure-mode split in
+// submitScorer.ScoreAllBatch: a scheduler shutdown (request still live)
+// falls back to local scoring so the recognition completes, while a
+// canceled request returns nil WITHOUT scoring — the decoder's context
+// check aborts right after, and burning a local batch pass for a client
+// that already hung up would defeat deadline propagation.
+func TestSubmitScorerCanceledVsClosed(t *testing.T) {
+	frames := [][]float64{{1}, {2}}
+
+	// Scheduler success: the scheduler's rows come back, no local work.
+	inner := &localScorer{n: 3}
+	want := [][]float64{{9, 9, 9}, {8, 8, 8}}
+	ss := &submitScorer{ctx: context.Background(), sub: &fakeBatcher{out: want}, inner: inner}
+	if got := ss.ScoreAllBatch(frames); len(got) != 2 || got[0][0] != 9 {
+		t.Fatalf("scheduler rows not returned: %v", got)
+	}
+	if inner.batchCalls != 0 {
+		t.Fatal("local scoring ran despite scheduler success")
+	}
+
+	// Scheduler closed, request live: local fallback must score.
+	inner = &localScorer{n: 3}
+	ss = &submitScorer{ctx: context.Background(), sub: &fakeBatcher{err: batch.ErrClosed}, inner: inner}
+	if got := ss.ScoreAllBatch(frames); got == nil {
+		t.Fatal("closed scheduler must fall back to local scoring")
+	}
+	if inner.batchCalls != 1 {
+		t.Fatalf("local fallback ran %d times, want 1", inner.batchCalls)
+	}
+
+	// Request canceled: no result, and crucially NO local scoring.
+	inner = &localScorer{n: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ss = &submitScorer{ctx: ctx, sub: &fakeBatcher{err: ctx.Err()}, inner: inner}
+	if got := ss.ScoreAllBatch(frames); got != nil {
+		t.Fatalf("canceled submission returned rows: %v", got)
+	}
+	if inner.batchCalls != 0 {
+		t.Fatal("canceled submission fell back to local scoring")
+	}
+}
+
+// TestRecognizeContextCanceledAborts runs the full recognizer with a
+// batcher attached and an already-expired context: the recognition must
+// surface the context error instead of a transcript, and must not leave
+// the scheduler wedged for later requests.
+func TestRecognizeContextCanceledAborts(t *testing.T) {
+	models, lex, lm := setup(t)
+	rec, err := NewRecognizer(models, EngineDNN, lex, lm, hmm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := batch.New(batch.Config{MaxBatch: 8, MaxWait: time.Millisecond, Score: rec.ScoreBatch})
+	defer sched.Close()
+	rec.SetBatcher(sched)
+	defer rec.SetBatcher(nil)
+
+	samples, err := SynthesizeText(lex, "call time", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := rec.RecognizeContext(ctx, samples)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Text != "" {
+		t.Fatalf("canceled recognition produced transcript %q", res.Text)
+	}
+
+	// The scheduler still serves live requests after the aborted one.
+	live, err := rec.RecognizeContext(context.Background(), samples)
+	if err != nil || live.Text == "" {
+		t.Fatalf("recognition after abort: %q, %v", live.Text, err)
+	}
+}

@@ -226,3 +226,38 @@ func TestSchedulerMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// A Score function returning the wrong row count must fail every
+// submission in the batch AND leave the throughput counters untouched:
+// counting the batch would inflate the coalesce ratio with scoring work
+// nobody received.
+func TestSchedulerWrongRowCountFailsWithoutCounting(t *testing.T) {
+	s := New(Config{MaxBatch: 4, MaxWait: time.Millisecond, Score: func(frames [][]float64) [][]float64 {
+		return make([][]float64, len(frames)+1)
+	}})
+	defer s.Close()
+	reg := telemetry.NewRegistry()
+	s.RegisterMetrics(reg)
+
+	if _, err := s.Submit(context.Background(), [][]float64{frame(1), frame(2)}); err == nil {
+		t.Fatal("wrong row count must fail the submission")
+	}
+	st := s.Stats()
+	if st.Batches != 0 || st.Requests != 0 || st.Frames != 0 {
+		t.Fatalf("failed batch counted: %+v", st)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sirius_batch_requests_total 0",
+		"sirius_batch_batches_total 0",
+		"sirius_batch_frames_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q after failed batch:\n%s", want, out)
+		}
+	}
+}

@@ -280,10 +280,6 @@ func (s *Scheduler) flush(pending []job) {
 		s.queueWait.Observe(now.Sub(j.enqueued))
 	}
 	scores := s.cfg.Score(all)
-	s.batches.Inc()
-	s.requests.Add(uint64(len(live)))
-	s.frames.Add(uint64(total))
-	s.sizes.With(strconv.Itoa(len(live))).Inc()
 	if len(scores) != total {
 		err := errors.New("batch: score function returned wrong row count")
 		for _, j := range live {
@@ -291,6 +287,12 @@ func (s *Scheduler) flush(pending []job) {
 		}
 		return
 	}
+	// Count the batch only after validation: a misbehaving Score function
+	// must not inflate the coalesce ratio with work nobody received.
+	s.batches.Inc()
+	s.requests.Add(uint64(len(live)))
+	s.frames.Add(uint64(total))
+	s.sizes.With(strconv.Itoa(len(live))).Inc()
 	off := 0
 	for _, j := range live {
 		j.out <- jobResult{scores: scores[off : off+len(j.frames) : off+len(j.frames)]}

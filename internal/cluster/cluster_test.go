@@ -23,6 +23,7 @@ type stubBackend struct {
 	name    string
 	srv     *httptest.Server
 	fail    atomic.Bool
+	shed    atomic.Bool // answer 429 overloaded (admission gate full)
 	drain   atomic.Bool
 	delay   atomic.Int64 // nanoseconds added to each /query
 	loadRep atomic.Int64 // X-Sirius-Inflight figure /readyz reports
@@ -59,6 +60,13 @@ func newStubBackend(t *testing.T, name string) *stubBackend {
 		}
 		if s.fail.Load() {
 			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		if s.shed.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"code":429,"reason":"overloaded","request_id":%q}`, id)
 			return
 		}
 		fmt.Fprintf(w, "answer from %s", name)
@@ -603,5 +611,73 @@ func TestFrontendKindPools(t *testing.T) {
 	}
 	if qaOnly.queries.Load() != 0 {
 		t.Fatal("image query leaked into the qa pool")
+	}
+}
+
+// A backend at its admission limit answers 429: the frontend must treat
+// the shed as retryable — the query lands on the other replica without
+// the client noticing — while the shedding backend's breaker stays
+// closed (it is alive and explicitly pushing load away, not failing).
+func TestFrontendRetriesShedWithoutBreakerPenalty(t *testing.T) {
+	full := newStubBackend(t, "full")
+	healthy := newStubBackend(t, "healthy")
+	full.shed.Store(true)
+	cfg := DefaultFrontendConfig()
+	cfg.BreakerThreshold = 2 // a couple of miscounted sheds would trip it
+	_, srv := newTestFrontend(t, cfg, full, healthy)
+
+	for i := 0; i < 10; i++ {
+		resp := postQuery(t, srv.URL, "overflow", nil)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("query %d: status %d (%s) — a shed leaked to the client", i, resp.StatusCode, body)
+		}
+	}
+	if healthy.queries.Load() != 10 {
+		t.Fatalf("healthy backend served %d of 10", healthy.queries.Load())
+	}
+	out := metricsText(t, srv.URL)
+	if full.queries.Load() > 0 && !strings.Contains(out, `cluster_backend_requests_total{backend="`+b2ID(full)+`",outcome="shed"}`) {
+		t.Fatalf("shed attempts not recorded under outcome=shed:\n%s", out)
+	}
+	if strings.Contains(out, `cluster_breaker_transitions_total{backend="`+b2ID(full)+`",to="open"}`) {
+		t.Fatalf("admission sheds opened the shedding backend's breaker:\n%s", out)
+	}
+}
+
+// When every live backend sheds, the frontend relays the last 429
+// envelope verbatim and counts the query as overload, not backend
+// failure — the fleet is healthy, just out of capacity.
+func TestFrontendAllBackendsShedRelays429(t *testing.T) {
+	full := newStubBackend(t, "full")
+	full.shed.Store(true)
+	cfg := DefaultFrontendConfig()
+	cfg.MaxRetries = 1
+	_, srv := newTestFrontend(t, cfg, full)
+
+	resp := postQuery(t, srv.URL, "overflow", map[string]string{"X-Request-Id": "shed-relay-1"})
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	var env struct {
+		Code      int    `json:"code"`
+		Reason    string `json:"reason"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("relayed body not an envelope: %s (%v)", body, err)
+	}
+	if env.Code != http.StatusTooManyRequests || env.Reason != "overloaded" || env.RequestID != "shed-relay-1" {
+		t.Fatalf("relayed envelope %+v", env)
+	}
+	out := metricsText(t, srv.URL)
+	if !strings.Contains(out, `cluster_query_errors_total{reason="overloaded"} 1`) {
+		t.Fatalf("all-shed query not counted as overloaded:\n%s", out)
+	}
+	if strings.Contains(out, `cluster_query_errors_total{reason="backend_failure"}`) {
+		t.Fatalf("all-shed query miscounted as backend_failure:\n%s", out)
 	}
 }

@@ -142,7 +142,7 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 		hedges:       m.NewCounter("cluster_hedges_total", "Hedged (duplicate) attempts launched to cut the tail."),
 		hedgeWins:    m.NewCounter("cluster_hedge_wins_total", "Requests won by the hedged attempt."),
 		breakerTrans: m.NewCounterVec("cluster_breaker_transitions_total", "Circuit breaker state transitions, by backend and new state.", "backend", "to"),
-		backendReqs:  m.NewCounterVec("cluster_backend_requests_total", "Attempts per backend, by outcome (ok/5xx/error/canceled).", "backend", "outcome"),
+		backendReqs:  m.NewCounterVec("cluster_backend_requests_total", "Attempts per backend, by outcome (ok/5xx/shed/error/canceled).", "backend", "outcome"),
 		backendLat:   m.NewHistogramVec("cluster_backend_latency_seconds", "Frontend-observed per-backend attempt latency (network included).", "backend"),
 		queryLat:     m.NewHistogramVec("cluster_query_latency_seconds", "End-to-end frontend query latency, by stage pool.", "kind"),
 		readyGauge:   m.NewGauge("cluster_backends_ready", "Backends currently ready for traffic."),
@@ -296,9 +296,13 @@ type attemptResult struct {
 }
 
 // ok means the client can be answered from this attempt: the backend
-// responded and did not fail server-side (4xx relays as-is — the
-// request itself is bad and retrying elsewhere cannot fix it).
-func (r *attemptResult) ok() bool { return r.err == nil && r.status < 500 }
+// responded and did not fail server-side. 5xx (a backend's deadline
+// 503 included) and 429 admission sheds are retryable on another
+// backend; other 4xx relays as-is — the request itself is bad and
+// retrying elsewhere cannot fix it.
+func (r *attemptResult) ok() bool {
+	return r.err == nil && r.status < 500 && r.status != http.StatusTooManyRequests
+}
 
 // attempt forwards the buffered query to one backend and reports on
 // results. It propagates X-Request-Id across the process boundary (so
@@ -306,7 +310,7 @@ func (r *attemptResult) ok() bool { return r.err == nil && r.status < 500 }
 // self-reported load header, and feeds the breaker — except when the
 // attempt lost a hedge race and was canceled, which says nothing about
 // backend health.
-func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, body []byte, reqID string, hedged bool, results chan<- *attemptResult) {
+func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, body []byte, reqID, timeoutMs string, hedged bool, results chan<- *attemptResult) {
 	name := "attempt " + b.ID
 	if hedged {
 		name = "hedge " + b.ID
@@ -326,6 +330,11 @@ func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, 
 	}
 	req.Header.Set("Content-Type", ctype)
 	req.Header.Set("X-Request-Id", reqID)
+	if timeoutMs != "" {
+		// The client's per-query deadline rides along so the backend can
+		// stop pipeline work, not just have the socket closed on it.
+		req.Header.Set("X-Sirius-Timeout-Ms", timeoutMs)
+	}
 	if hedged {
 		req.Header.Set("X-Sirius-Hedge", "1")
 	}
@@ -350,6 +359,8 @@ func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, 
 		outcome = "canceled"
 	case res.err != nil:
 		outcome = "error"
+	case res.status == http.StatusTooManyRequests:
+		outcome = "shed"
 	case res.status >= 500:
 		outcome = "5xx"
 	}
@@ -358,7 +369,10 @@ func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, 
 		// probe slot it must give it back or the breaker wedges.
 		b.breaker.CancelProbe()
 	} else {
-		b.breaker.Record(res.ok())
+		// A 429 shed is retried elsewhere (not ok()) but is not a health
+		// verdict: the backend is alive and explicitly pushing load away,
+		// so it must not drive the breaker toward open.
+		b.breaker.Record(res.err == nil && res.status < 500)
 		b.latency.Observe(res.latency)
 		f.backendLat.With(b.ID).Observe(res.latency)
 	}
@@ -400,7 +414,7 @@ func (f *Frontend) hedgeDelay(kind string) (time.Duration, bool) {
 // and at most one hedge once the hedge delay elapses with the primary
 // still in flight. The first successful attempt wins; losers are
 // canceled via ctx when dispatch returns.
-func (f *Frontend) dispatch(ctx context.Context, kind, path, ctype string, body []byte, reqID string) (*attemptResult, error) {
+func (f *Frontend) dispatch(ctx context.Context, kind, path, ctype string, body []byte, reqID, timeoutMs string) (*attemptResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -414,7 +428,7 @@ func (f *Frontend) dispatch(ctx context.Context, kind, path, ctype string, body 
 		}
 		exclude[b.ID] = true
 		outstanding++
-		go f.attempt(ctx, b, path, ctype, body, reqID, hedged, results)
+		go f.attempt(ctx, b, path, ctype, body, reqID, timeoutMs, hedged, results)
 		return nil
 	}
 	if err := launch(false); err != nil {
@@ -523,7 +537,7 @@ func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx := telemetry.ContextWithRequestID(r.Context(), reqID)
 	ctx, tr := telemetry.StartTrace(ctx, "frontend "+kind)
-	res, err := f.dispatch(ctx, kind, r.URL.Path, ctype, body, reqID)
+	res, err := f.dispatch(ctx, kind, r.URL.Path, ctype, body, reqID, r.Header.Get("X-Sirius-Timeout-Ms"))
 	tr.Finish()
 	f.traces.Add(tr)
 	if err != nil {
@@ -536,7 +550,13 @@ func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !res.ok() {
-		f.errsC.With("backend_failure").Inc()
+		// Every live backend shed this query (each 429 attempt was
+		// retried on another): count it as overload, not backend failure.
+		if res.err == nil && res.status == http.StatusTooManyRequests {
+			f.errsC.With("overloaded").Inc()
+		} else {
+			f.errsC.With("backend_failure").Inc()
+		}
 		if res.err != nil {
 			writeEnvelope(w, http.StatusBadGateway, "backend_failure", reqID, "all backends failed: "+res.err.Error())
 			return

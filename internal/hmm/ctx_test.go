@@ -1,0 +1,151 @@
+package hmm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// cancelingScorer wraps tableScorer and cancels the decode's context
+// after a fixed number of per-frame scoring calls, simulating a deadline
+// firing mid-utterance without any wall-clock dependence.
+type cancelingScorer struct {
+	inner       *tableScorer
+	calls       int
+	cancelAfter int
+	cancel      context.CancelFunc
+}
+
+func (cs *cancelingScorer) ScoreAll(dst, frame []float64) {
+	cs.calls++
+	if cs.calls == cs.cancelAfter {
+		cs.cancel()
+	}
+	cs.inner.ScoreAll(dst, frame)
+}
+func (cs *cancelingScorer) NumSenones() int { return cs.inner.NumSenones() }
+
+// longToyUtterance compiles the toy graph and synthesizes a long
+// utterance ("stop go" repeated) so a mid-decode abort has plenty of
+// frames left to skip.
+func longToyUtterance(t *testing.T, cfg Config) (*Graph, [][]float64, [][]float64) {
+	t.Helper()
+	lex, lm := buildToy(t)
+	g, err := CompileGraph(lex, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phones []string
+	for i := 0; i < 20; i++ {
+		phones = append(phones, "s", "t", "aa", "p", "k", "ow")
+	}
+	table, frames := synthEmissions(g, phones, 3)
+	return g, table, frames
+}
+
+func TestDecodeContextAbortsMidUtterance(t *testing.T) {
+	cfg := DefaultConfig()
+	g, table, frames := longToyUtterance(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cs := &cancelingScorer{
+		inner:       &tableScorer{table: table, nSenones: len(g.Phones()) * StatesPerPhone},
+		cancelAfter: 40,
+		cancel:      cancel,
+	}
+	dec, err := NewDecoder(g, cs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dec.DecodeContext(ctx, frames)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Words) != 0 || res.Frames != 0 {
+		t.Fatalf("aborted decode must return a zero Result, got %+v", res)
+	}
+	// The abort must land within one check interval of the cancellation:
+	// the remaining ~1000 frames of the utterance are never scored.
+	if max := cs.cancelAfter + ctxCheckInterval; cs.calls > max {
+		t.Fatalf("scored %d frames after cancellation at call %d (check interval %d, utterance %d frames)",
+			cs.calls, cs.cancelAfter, ctxCheckInterval, len(frames))
+	}
+	// The decoder must still be usable after an abort: a fresh decode on
+	// the same scratch recovers the word sequence.
+	dec2, err := NewDecoder(g, &tableScorer{table: table, nSenones: len(g.Phones()) * StatesPerPhone}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := dec2.Decode(frames)
+	if len(full.Words) == 0 || full.Words[0] != "stop" {
+		t.Fatalf("full decode after abort broken: %+v", full)
+	}
+}
+
+func TestDecodeContextPreCanceled(t *testing.T) {
+	cfg := DefaultConfig()
+	g, table, frames := longToyUtterance(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cs := &cancelingScorer{
+		inner:  &tableScorer{table: table, nSenones: len(g.Phones()) * StatesPerPhone},
+		cancel: func() {},
+	}
+	dec, err := NewDecoder(g, cs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeContext(ctx, frames); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if cs.calls != 0 {
+		t.Fatalf("pre-canceled decode scored %d frames, want 0", cs.calls)
+	}
+}
+
+func TestDecodeNBestContextAbortsMidUtterance(t *testing.T) {
+	cfg := DefaultConfig()
+	g, table, frames := longToyUtterance(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cs := &cancelingScorer{
+		inner:       &tableScorer{table: table, nSenones: len(g.Phones()) * StatesPerPhone},
+		cancelAfter: 40,
+		cancel:      cancel,
+	}
+	dec, err := NewDecoder(g, cs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyps, err := dec.DecodeNBestContext(ctx, frames, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if hyps != nil {
+		t.Fatalf("aborted n-best must return no hypotheses, got %d", len(hyps))
+	}
+	if max := cs.cancelAfter + ctxCheckInterval; cs.calls > max {
+		t.Fatalf("scored %d frames after cancellation at call %d", cs.calls, cs.cancelAfter)
+	}
+}
+
+func TestDecodeContextLiveMatchesDecode(t *testing.T) {
+	cfg := DefaultConfig()
+	g, table, frames := longToyUtterance(t, cfg)
+	mk := func() *Decoder {
+		dec, err := NewDecoder(g, &tableScorer{table: table, nSenones: len(g.Phones()) * StatesPerPhone}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dec
+	}
+	plain := mk().Decode(frames)
+	withCtx, err := mk().DecodeContext(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(plain.Words, " ") != strings.Join(withCtx.Words, " ") || plain.Score != withCtx.Score {
+		t.Fatalf("DecodeContext diverged from Decode: %+v vs %+v", withCtx, plain)
+	}
+}

@@ -1,6 +1,7 @@
 package hmm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -249,13 +250,32 @@ func NewDecoder(g *Graph, scorer Scorer, cfg Config) (*Decoder, error) {
 	return &Decoder{graph: g, scorer: scorer, cfg: cfg}, nil
 }
 
+// ctxCheckInterval is how many frames the decode loops advance between
+// context checks: frequent enough that an expired deadline releases the
+// core within a handful of frames' work, rare enough that the check is
+// invisible next to arc relaxation.
+const ctxCheckInterval = 8
+
 // Decode runs the full Viterbi search over a feature-frame sequence and
 // returns the best word sequence. Steady state it is allocation-free:
 // token arrays, the emission buffer, and word-history nodes all come
 // from decoder-owned scratch reused across frames and utterances.
 func (d *Decoder) Decode(frames [][]float64) Result {
+	res, _ := d.DecodeContext(context.Background(), frames)
+	return res
+}
+
+// DecodeContext is Decode with cancellation: the frame loop checks ctx
+// every ctxCheckInterval frames (and immediately after batched acoustic
+// scoring, which a canceled batch submission cuts short) and returns
+// ctx.Err() with a zero Result, so an expired or canceled query releases
+// its core mid-utterance instead of decoding to the end.
+func (d *Decoder) DecodeContext(ctx context.Context, frames [][]float64) (Result, error) {
 	if len(frames) == 0 {
-		return Result{}
+		return Result{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	start := time.Now()
 	g := d.graph
@@ -271,6 +291,11 @@ func (d *Decoder) Decode(frames [][]float64) Result {
 	if bs, ok := d.scorer.(BatchScorer); ok {
 		batch = bs.ScoreAllBatch(frames)
 	}
+	// A canceled request's batch submission returns nil; catch it here
+	// before falling back to frame-by-frame local scoring.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	score := func(f int) {
 		if batch != nil {
 			copy(sc.emit, batch[f])
@@ -285,6 +310,11 @@ func (d *Decoder) Decode(frames [][]float64) Result {
 	}
 	totalActive := countActive(sc.cur)
 	for f := 1; f < len(frames); f++ {
+		if f%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		score(f)
 		totalActive += d.step(sc.emit)
 	}
@@ -343,7 +373,7 @@ func (d *Decoder) Decode(frames [][]float64) Result {
 		res.RunnerUp = g.lex.Words()[g.wordEnd[secondState]]
 	}
 	decodeTime.Observe(time.Since(start))
-	return res
+	return res, nil
 }
 
 // step relaxes every arc for one frame against the emission scores in

@@ -1,6 +1,7 @@
 package hmm
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
@@ -33,6 +34,15 @@ func insertToken(list []token, t token, k int) []token {
 // it agrees with Decode. The extra hypotheses feed trigram rescoring
 // (Trigram.Rescore), the classic two-pass decoder arrangement.
 func (d *Decoder) DecodeNBest(frames [][]float64, n int) []Result {
+	res, _ := d.DecodeNBestContext(context.Background(), frames, n)
+	return res
+}
+
+// DecodeNBestContext is DecodeNBest with cancellation: like
+// DecodeContext it checks ctx every ctxCheckInterval frames and after
+// batched scoring, returning ctx.Err() with no hypotheses so a dead
+// request stops burning cores mid-search.
+func (d *Decoder) DecodeNBestContext(ctx context.Context, frames [][]float64, n int) ([]Result, error) {
 	if n < 1 {
 		n = 1
 	}
@@ -46,12 +56,18 @@ func (d *Decoder) DecodeNBest(frames [][]float64, n int) []Result {
 	next := make([][]token, nStates)
 	emit := make([]float64, d.scorer.NumSenones())
 	if len(frames) == 0 {
-		return nil
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	var batch [][]float64
 	if bs, ok := d.scorer.(BatchScorer); ok {
 		batch = bs.ScoreAllBatch(frames)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	score := func(f int) {
 		if batch != nil {
@@ -65,6 +81,11 @@ func (d *Decoder) DecodeNBest(frames [][]float64, n int) []Result {
 		cur[s] = insertToken(cur[s], token{score: g.startProbs[wi] + emit[g.senones[s]]}, k)
 	}
 	for f := 1; f < len(frames); f++ {
+		if f%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		score(f)
 		for i := range next {
 			next[i] = next[i][:0]
@@ -152,7 +173,7 @@ func (d *Decoder) DecodeNBest(frames [][]float64, n int) []Result {
 		}
 	}
 	decodeTime.Observe(time.Since(start))
-	return out
+	return out, nil
 }
 
 // historyWords materializes a backpointer chain in utterance order.

@@ -1,9 +1,11 @@
 package imm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sirius/internal/mat"
@@ -76,6 +78,10 @@ type MatchResult struct {
 	FeatureDescription time.Duration // description (FD kernel)
 	Search             time.Duration // ANN vote accumulation
 	Keypoints          int
+	// Truncated reports that the stage budget or request deadline expired
+	// mid-match: the ranking covers only the descriptors voted so far and
+	// geometric verification is skipped (graceful degradation).
+	Truncated bool
 }
 
 // ImageVotes is a (label, votes) pair.
@@ -117,6 +123,15 @@ const voteGrain = 8
 
 // Match runs the full query pipeline: detect, describe, ANN-vote.
 func (db *Database) Match(query *vision.Image, cfg MatchConfig) MatchResult {
+	return db.MatchContext(context.Background(), query, cfg)
+}
+
+// MatchContext is Match with cancellation checkpoints between the FE,
+// FD, and voting phases and every voteGrain descriptors inside the vote
+// loop (per chunk on the parallel path). An expired ctx stops the match
+// where it stands: the result ranks the votes accumulated so far,
+// skips geometric verification, and is marked Truncated.
+func (db *Database) MatchContext(ctx context.Context, query *vision.Image, cfg MatchConfig) MatchResult {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = mat.Workers()
@@ -132,6 +147,10 @@ func (db *Database) Match(query *vision.Image, cfg MatchConfig) MatchResult {
 	}
 	res.FeatureExtraction = time.Since(start)
 	res.Keypoints = len(kps)
+	if ctx.Err() != nil {
+		res.Truncated = true
+		return res
+	}
 
 	start = time.Now()
 	var descs []vision.Descriptor
@@ -141,8 +160,13 @@ func (db *Database) Match(query *vision.Image, cfg MatchConfig) MatchResult {
 		descs = vision.DescribeAll(ii, kps)
 	}
 	res.FeatureDescription = time.Since(start)
+	if ctx.Err() != nil {
+		res.Truncated = true
+		return res
+	}
 
 	start = time.Now()
+	var truncated atomic.Bool
 	votes := make([]int, len(db.Labels))
 	matches := make([][]correspondence, len(descs))
 	voteOne := func(i int, local []int) {
@@ -157,9 +181,14 @@ func (db *Database) Match(query *vision.Image, cfg MatchConfig) MatchResult {
 	}
 	if workers > 1 && len(descs) >= 2*voteGrain {
 		// Each pool range accumulates into a local tally (tree search
-		// touches disjoint matches[i] slots), merged under one lock.
+		// touches disjoint matches[i] slots), merged under one lock. A
+		// range observing an expired ctx returns without voting.
 		var mu sync.Mutex
 		mat.ParallelWidth(workers, len(descs), voteGrain, func(lo, hi int) {
+			if ctx.Err() != nil {
+				truncated.Store(true)
+				return
+			}
 			local := make([]int, len(db.Labels))
 			for i := lo; i < hi; i++ {
 				voteOne(i, local)
@@ -172,18 +201,23 @@ func (db *Database) Match(query *vision.Image, cfg MatchConfig) MatchResult {
 		})
 	} else {
 		for i := range descs {
+			if i%voteGrain == 0 && ctx.Err() != nil {
+				truncated.Store(true)
+				break
+			}
 			voteOne(i, votes)
 		}
 	}
 	res.Search = time.Since(start)
 	voteTime.Observe(res.Search)
+	res.Truncated = truncated.Load()
 
 	res.Ranked = make([]ImageVotes, len(db.Labels))
 	for i, v := range votes {
 		res.Ranked[i] = ImageVotes{Label: db.Labels[i], Votes: v}
 	}
 	sort.SliceStable(res.Ranked, func(i, j int) bool { return res.Ranked[i].Votes > res.Ranked[j].Votes })
-	if cfg.GeometricVerify {
+	if cfg.GeometricVerify && !res.Truncated {
 		var all []correspondence
 		for _, m := range matches {
 			all = append(all, m...)

@@ -10,6 +10,7 @@
 package qa
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"time"
@@ -50,7 +51,11 @@ type Answer struct {
 	// cost that FilterHits drives (Fig 8c y-axis).
 	FilterTime time.Duration
 	DocsSeen   int // retrieved documents examined
-	Timings    Timings
+	// Truncated reports that the stage budget or request deadline expired
+	// mid-retrieval: the answer aggregates only the documents filtered so
+	// far (graceful degradation rather than a hard failure).
+	Truncated bool
+	Timings   Timings
 }
 
 // questionPattern maps a question regex to a relation whose answer
@@ -254,18 +259,31 @@ func (e *Engine) analyze(question string, tm *Timings) analysis {
 
 // Ask answers a natural-language question against the corpus.
 func (e *Engine) Ask(question string) Answer {
+	return e.AskContext(context.Background(), question)
+}
+
+// AskContext is Ask with a cancellation checkpoint between retrieved
+// documents: when ctx expires mid-filtering, the loop stops and the
+// answer is aggregated from the documents examined so far, marked
+// Truncated — the filter battery is the QA cycle sink (Fig 9), so
+// per-document is the granularity that releases cores promptly.
+func (e *Engine) AskContext(ctx context.Context, question string) Answer {
 	var ans Answer
 	a := e.analyze(question, &ans.Timings)
 
 	start := time.Now()
 	results := e.index.Search(question, e.topK)
 	ans.Timings.Retrieval = time.Since(start)
-	ans.DocsSeen = len(results)
 
 	scores := map[string]float64{}
 	evidence := map[string]string{}
 	evidenceScore := map[string]float64{}
 	for rank, r := range results {
+		if ctx.Err() != nil {
+			ans.Truncated = true
+			break
+		}
+		ans.DocsSeen++
 		docWeight := 1.0 / float64(rank+1)
 		for _, sent := range e.docSentences(r.Doc.ID, r.Doc.Body, &ans.Timings) {
 			sentence := sent.text

@@ -1,0 +1,411 @@
+package sirius
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sirius/internal/asr"
+)
+
+// decodeEnvelope asserts the response is a well-formed error envelope
+// and returns it.
+func decodeEnvelope(t *testing.T, resp *http.Response, raw []byte) ErrorEnvelope {
+	t.Helper()
+	var env ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("not an error envelope: %s (%v)", raw, err)
+	}
+	if env.RequestID == "" || env.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Fatalf("request id mismatch: envelope %q header %q", env.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+	return env
+}
+
+// longVoiceQuery synthesizes a many-word utterance so its decode holds
+// an admission slot (and blows a millisecond deadline) reliably.
+func longVoiceQuery(t *testing.T, p *Pipeline) []float64 {
+	t.Helper()
+	text := strings.TrimSpace(strings.Repeat("what is the capital of france ", 6))
+	samples, err := asr.SynthesizeText(p.Lexicon(), text, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestProcessPropagatesCancellation pins the tentpole contract at the
+// library level: a dead context aborts Process before (and during)
+// pipeline work instead of being ignored.
+func TestProcessPropagatesCancellation(t *testing.T) {
+	p := pipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Process(ctx, Request{Text: "what is the capital of france"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("text: err %v, want context.Canceled", err)
+	}
+	if _, err := p.Process(ctx, Request{Samples: longVoiceQuery(t, p)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("voice: err %v, want context.Canceled", err)
+	}
+
+	// A QA stage fed a dead context degrades to a truncated partial
+	// rather than erroring: the answer marks itself incomplete.
+	ans := p.qaEngine.AskContext(ctx, "what is the capital of france")
+	if !ans.Truncated {
+		t.Fatal("QA under a dead context must mark the answer truncated")
+	}
+	if ans.DocsSeen != 0 {
+		t.Fatalf("QA under a dead context examined %d docs", ans.DocsSeen)
+	}
+}
+
+// TestServerDeadlineEnvelope drives the full HTTP path: a voice query
+// carrying a 1 ms X-Sirius-Timeout-Ms budget must abort mid-decode and
+// come back as the 503 "timeout" envelope in a small fraction of the
+// time the full pipeline needs, and sirius_timeouts_total must count it.
+func TestServerDeadlineEnvelope(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+	samples := longVoiceQuery(t, p)
+
+	post := func(timeoutMs string) (*http.Response, []byte, time.Duration) {
+		t.Helper()
+		body, ctype, err := BuildMultipartQuery(samples, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/query", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ctype)
+		if timeoutMs != "" {
+			req.Header.Set("X-Sirius-Timeout-Ms", timeoutMs)
+		}
+		start := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, raw, time.Since(start)
+	}
+
+	// Baseline: the same utterance without a deadline runs to completion.
+	resp, raw, full := post("")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline voice query: status %d: %s", resp.StatusCode, raw)
+	}
+
+	resp, raw, aborted := post("1")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline query: status %d, want 503: %s", resp.StatusCode, raw)
+	}
+	env := decodeEnvelope(t, resp, raw)
+	if env.Code != http.StatusServiceUnavailable || env.Reason != "timeout" {
+		t.Fatalf("deadline envelope %+v", env)
+	}
+	// The abort must release the core long before a full decode's worth
+	// of work; half the baseline is a loose bound (in practice it is
+	// orders of magnitude smaller).
+	if aborted > full/2 {
+		t.Fatalf("deadline abort took %v, full pipeline %v — decode did not stop early", aborted, full)
+	}
+
+	out := metricsBody(t, srv.URL)
+	if !strings.Contains(out, "sirius_timeouts_total 1") {
+		t.Fatalf("/metrics missing sirius_timeouts_total 1")
+	}
+	if !strings.Contains(out, `sirius_query_errors_total{reason="timeout"} 1`) {
+		t.Fatalf(`/metrics missing sirius_query_errors_total{reason="timeout"} 1`)
+	}
+
+	// A server-wide SetTimeout behaves identically with no client header.
+	s2 := NewServer(p)
+	s2.SetTimeout(time.Millisecond)
+	srv2 := httptest.NewServer(s2)
+	defer srv2.Close()
+	body, ctype, err := BuildMultipartQuery(samples, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(srv2.URL+"/query", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("server -timeout: status %d, want 503: %s", resp2.StatusCode, raw)
+	}
+	if env := decodeEnvelope(t, resp2, raw); env.Reason != "timeout" {
+		t.Fatalf("server -timeout envelope %+v", env)
+	}
+}
+
+func metricsBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestServerShedsUnderLoad runs the admission gate under real
+// concurrency (meaningful under -race): with one slot and a long voice
+// query holding it, a probe must be shed with the 429 "overloaded"
+// envelope, a Retry-After hint, and the shed counter advancing — and
+// once the slot frees, queries are admitted again.
+func TestServerShedsUnderLoad(t *testing.T) {
+	p := pipeline(t)
+	s := NewServer(p)
+	s.SetMaxInflight(1)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	samples := longVoiceQuery(t, p)
+
+	postProbe := func() (*http.Response, []byte) {
+		t.Helper()
+		body, ctype, err := BuildMultipartQuery(nil, nil, "what is the capital of spain")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/query", ctype, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, raw
+	}
+
+	shedSeen := false
+	for attempt := 0; attempt < 5 && !shedSeen; attempt++ {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, ctype, err := BuildMultipartQuery(samples, nil, "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.Post(srv.URL+"/query", ctype, body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		// Wait until the occupier holds the slot, then probe while it
+		// decodes. Inflight() mirrors the admitted count.
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Inflight() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if s.Inflight() > 0 {
+			resp, raw := postProbe()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				env := decodeEnvelope(t, resp, raw)
+				if env.Code != http.StatusTooManyRequests || env.Reason != "overloaded" {
+					t.Fatalf("shed envelope %+v", env)
+				}
+				if resp.Header.Get("Retry-After") == "" {
+					t.Fatal("429 reply missing Retry-After")
+				}
+				shedSeen = true
+			}
+		}
+		wg.Wait()
+	}
+	if !shedSeen {
+		t.Fatal("no 429 observed while the admission slot was held")
+	}
+
+	// Slot released: the same probe is admitted and served.
+	resp, raw := postProbe()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-shed probe: status %d: %s", resp.StatusCode, raw)
+	}
+	out := metricsBody(t, srv.URL)
+	if !strings.Contains(out, "sirius_shed_total 1") {
+		t.Fatalf("/metrics missing sirius_shed_total 1")
+	}
+	if !strings.Contains(out, `sirius_query_errors_total{reason="overloaded"} 1`) {
+		t.Fatalf(`/metrics missing sirius_query_errors_total{reason="overloaded"} 1`)
+	}
+	if s.Inflight() != 0 {
+		t.Fatalf("Inflight %d after all queries finished", s.Inflight())
+	}
+}
+
+// TestServerBodyTooLargeEnvelope pins the request-body cap on both
+// encodings: an oversized upload is rejected with the 413
+// "body_too_large" envelope instead of spooling to disk.
+func TestServerBodyTooLargeEnvelope(t *testing.T) {
+	p := pipeline(t)
+	s := NewServer(p)
+	s.SetMaxBodyBytes(2048)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// ~40 KB of audio in either encoding blows the 2 KiB cap.
+	samples := make([]float64, 20000)
+	for name, build := range map[string]func() (*bytes.Buffer, string, error){
+		"multipart": func() (*bytes.Buffer, string, error) { return BuildMultipartQuery(samples, nil, "") },
+		"json":      func() (*bytes.Buffer, string, error) { return BuildJSONQuery(samples, nil, "") },
+	} {
+		body, ctype, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/v1/query", ctype, body)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status %d, want 413: %s", name, resp.StatusCode, raw)
+		}
+		env := decodeEnvelope(t, resp, raw)
+		if env.Code != http.StatusRequestEntityTooLarge || env.Reason != "body_too_large" {
+			t.Fatalf("%s: envelope %+v", name, env)
+		}
+	}
+
+	// A small request still fits under the tightened cap.
+	body, ctype, err := BuildMultipartQuery(nil, nil, "what is the capital of france")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/query", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small request under cap: status %d", resp.StatusCode)
+	}
+}
+
+// TestCacheHitStatsNotPolluted pins the cache-hit stats fix: hits count
+// as served queries at their actual (~0) service time instead of
+// replaying the original pipeline latency, so /stats percentiles track
+// what clients currently experience. Bad-method errors must also land
+// in /stats, keeping it in agreement with /metrics.
+func TestCacheHitStatsNotPolluted(t *testing.T) {
+	p := pipeline(t)
+	s := NewServer(p)
+	s.EnableCache(8)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	post := func() *http.Response {
+		t.Helper()
+		body, ctype, err := BuildMultipartQuery(nil, nil, "what is the capital of france")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/v1/query", ctype, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var r Response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	post() // miss: full pipeline
+	const hits = 5
+	for i := 0; i < hits; i++ {
+		if got := post().Header.Get("X-Sirius-Cache"); got != "hit" {
+			t.Fatalf("query %d: X-Sirius-Cache %q, want hit", i, got)
+		}
+	}
+
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if snap.CacheHits != hits {
+		t.Fatalf("cache_hits %d, want %d", snap.CacheHits, hits)
+	}
+	// Hits are served queries: counts and the histogram stay in lockstep.
+	if snap.Served[KindAnswer] != hits+1 {
+		t.Fatalf("served %+v, want %d answers", snap.Served, hits+1)
+	}
+	if snap.Latency.Count != uint64(hits+1) {
+		t.Fatalf("histogram count %d, want %d", snap.Latency.Count, hits+1)
+	}
+	// The invariance itself: with 5 of 6 samples served in microseconds,
+	// the median must sit far below the single full-pipeline sample —
+	// replaying the cached latency into the histogram would pin P50 at
+	// the pipeline's service time.
+	ans := snap.PerKind[KindAnswer]
+	if ans.Max <= 0 {
+		t.Fatalf("per-kind summary %+v", ans)
+	}
+	if ans.P50 >= ans.Max {
+		t.Fatalf("P50 %v not below max %v — cache hits replayed pipeline latency into /stats", ans.P50, ans.Max)
+	}
+
+	// /stats and /metrics must agree on errors: a bad-method request
+	// shows up in both.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/query", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query: status %d", resp.StatusCode)
+	}
+	sresp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if snap.Errors != 1 {
+		t.Fatalf("/stats errors %d after bad_method, want 1", snap.Errors)
+	}
+	if out := metricsBody(t, srv.URL); !strings.Contains(out, `sirius_query_errors_total{reason="bad_method"} 1`) {
+		t.Fatal("/metrics missing bad_method error")
+	}
+}

@@ -2,6 +2,7 @@ package sirius
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,11 +42,22 @@ type Server struct {
 	// stays true throughout: the process is alive, just not accepting.
 	ready atomic.Bool
 
+	// Admission control and deadlines. maxInflight/timeout/maxBody are
+	// set before serving (SetMaxInflight/SetTimeout/SetMaxBodyBytes) and
+	// read-only after; admitted is the CAS-gated live query count the
+	// inflight gauge mirrors.
+	maxInflight int64
+	timeout     time.Duration
+	maxBody     int64
+	admitted    atomic.Int64
+
 	registry *telemetry.Registry
 	traces   *telemetry.TraceLog
 	queries  *telemetry.CounterVec   // sirius_queries_total{kind}
 	errors   *telemetry.CounterVec   // sirius_query_errors_total{reason}
 	inflight *telemetry.Gauge        // sirius_inflight_requests
+	shed     *telemetry.Counter      // sirius_shed_total
+	timeouts *telemetry.Counter      // sirius_timeouts_total
 	queryLat *telemetry.HistogramVec // sirius_query_latency_seconds{kind}
 	stageLat *telemetry.HistogramVec // sirius_stage_latency_seconds{stage}
 }
@@ -67,8 +79,11 @@ func NewServer(p *Pipeline) *Server {
 		queries:  reg.NewCounterVec("sirius_queries_total", "Queries served, by pipeline classification.", "kind"),
 		errors:   reg.NewCounterVec("sirius_query_errors_total", "Failed queries, by failure class.", "reason"),
 		inflight: reg.NewGauge("sirius_inflight_requests", "Queries currently being processed."),
+		shed:     reg.NewCounter("sirius_shed_total", "Queries rejected by the max-inflight admission gate."),
+		timeouts: reg.NewCounter("sirius_timeouts_total", "Queries that exceeded their deadline."),
 		queryLat: reg.NewHistogramVec("sirius_query_latency_seconds", "End-to-end query latency, by kind.", "kind"),
 		stageLat: reg.NewHistogramVec("sirius_stage_latency_seconds", "Pipeline stage latency (asr/qa/imm and their components).", "stage"),
+		maxBody:  defaultMaxBodyBytes,
 	}
 	s.ready.Store(true)
 	// /v1/query is the versioned endpoint; /query stays as an alias so
@@ -138,6 +153,54 @@ func (s *Server) CacheLen() int {
 // that want to add their own series).
 func (s *Server) Registry() *telemetry.Registry { return s.registry }
 
+// defaultMaxBodyBytes caps a /query request body (either encoding) —
+// generous for a compressed recording plus a photo, small enough that a
+// runaway upload cannot spool unbounded bytes to disk.
+const defaultMaxBodyBytes = 32 << 20
+
+// SetMaxInflight installs the admission-control gate: at most n queries
+// run concurrently, excess load is shed with a 429 "overloaded"
+// envelope and a Retry-After header. n <= 0 means unlimited. Call
+// before serving; not safe to change concurrently with requests.
+func (s *Server) SetMaxInflight(n int) { s.maxInflight = int64(n) }
+
+// SetTimeout bounds every query's processing time: a query exceeding d
+// is aborted mid-stage and answered with a 503 "timeout" envelope.
+// Clients can only tighten it per request via X-Sirius-Timeout-Ms.
+// d <= 0 means no server-imposed deadline. Call before serving.
+func (s *Server) SetTimeout(d time.Duration) { s.timeout = d }
+
+// SetMaxBodyBytes overrides the request-body cap (default 32 MiB).
+// Oversized bodies are rejected with a 413 "body_too_large" envelope.
+// Call before serving.
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n > 0 {
+		s.maxBody = n
+	}
+}
+
+// admit reserves an admission slot, enforcing maxInflight with a CAS
+// loop so concurrent arrivals cannot overshoot the gate. The inflight
+// gauge mirrors the admitted count for the load header and /metrics.
+func (s *Server) admit() bool {
+	for {
+		cur := s.admitted.Load()
+		if s.maxInflight > 0 && cur >= s.maxInflight {
+			return false
+		}
+		if s.admitted.CompareAndSwap(cur, cur+1) {
+			s.inflight.Inc()
+			return true
+		}
+	}
+}
+
+// release returns an admission slot.
+func (s *Server) release() {
+	s.admitted.Add(-1)
+	s.inflight.Dec()
+}
+
 // SetReady flips readiness: pass false at the start of graceful drain
 // so /readyz tells the frontend to stop routing here, while in-flight
 // requests finish and /healthz stays green.
@@ -195,15 +258,27 @@ type jsonQuery struct {
 	Image []byte `json:"image,omitempty"` // PNG bytes, base64 in JSON
 }
 
+// bodyTooLarge reports whether err came from the http.MaxBytesReader
+// cap handleQuery installs on the request body.
+func bodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
 // parseQuery decodes either request encoding into a pipeline Request:
 // multipart/form-data with "audio"/"image"/"text" parts (the classic
 // mobile upload) or application/json with base64 payloads (the v1
 // structured form). A non-empty reason means the request was rejected.
+// The body arrives capped by http.MaxBytesReader, so both encodings hit
+// a hard limit instead of spooling an oversized upload to disk.
 func (s *Server) parseQuery(r *http.Request) (req Request, reason, msg string) {
 	mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if mt == "application/json" {
 		var q jsonQuery
-		if err := json.NewDecoder(io.LimitReader(r.Body, 32<<20)).Decode(&q); err != nil {
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			if bodyTooLarge(err) {
+				return req, "body_too_large", fmt.Sprintf("request body exceeds %d bytes", s.maxBody)
+			}
 			return req, "bad_json", "bad json body: " + err.Error()
 		}
 		req.Text = q.Text
@@ -224,6 +299,9 @@ func (s *Server) parseQuery(r *http.Request) (req Request, reason, msg string) {
 		return req, "", ""
 	}
 	if err := r.ParseMultipartForm(32 << 20); err != nil {
+		if bodyTooLarge(err) {
+			return req, "body_too_large", fmt.Sprintf("request body exceeds %d bytes", s.maxBody)
+		}
 		return req, "bad_multipart", "bad multipart form: " + err.Error()
 	}
 	if f, _, err := r.FormFile("audio"); err == nil {
@@ -263,6 +341,7 @@ func resampleTo16k(samples []float64, sr int) []float64 {
 //
 // Append ?trace=1 to get the per-stage span tree back with the answer.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	// The request id comes first so even parse failures carry it: adopt
 	// the caller's X-Request-Id (the frontend mints one per client query
 	// and forwards it, making /debug/traces correlate across tiers) or
@@ -278,20 +357,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
-		s.errors.With("bad_method").Inc()
-		WriteErrorEnvelope(w, http.StatusMethodNotAllowed, "bad_method", reqID, "POST required")
+		s.queryError(w, http.StatusMethodNotAllowed, "bad_method", reqID, "POST required")
 		return
 	}
-	s.inflight.Inc()
-	defer s.inflight.Dec()
+	// Admission gate: past maxInflight, shed now — a 429 the client (or
+	// the cluster frontend, which retries it elsewhere) handles beats
+	// queueing work the deadline will kill anyway.
+	if !s.admit() {
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.queryError(w, http.StatusTooManyRequests, "overloaded", reqID, "server at max in-flight queries")
+		return
+	}
+	defer s.release()
 	// Report instantaneous load to the caller: the cluster frontend
 	// reads this header to steer least-loaded (P2C) routing.
 	w.Header().Set("X-Sirius-Inflight", strconv.FormatInt(s.inflight.Value(), 10))
 
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
 	req, reason, msg := s.parseQuery(r)
 	if reason != "" {
-		s.queryError(w, http.StatusBadRequest, reason, reqID, msg)
+		code := http.StatusBadRequest
+		if reason == "body_too_large" {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.queryError(w, code, reason, reqID, msg)
 		return
+	}
+
+	// Per-request deadline: the server's -timeout and the client's
+	// X-Sirius-Timeout-Ms header nest, so whichever expires first wins.
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	if ms := r.Header.Get("X-Sirius-Timeout-Ms"); ms != "" {
+		if v, err := strconv.Atoi(ms); err == nil && v > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(v)*time.Millisecond)
+			defer cancel()
+		}
 	}
 
 	// Cache lookup before any pipeline work. Trace requests bypass the
@@ -303,8 +411,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if key != "" {
 			if resp, ok := s.cache.get(key); ok {
 				w.Header().Set("X-Sirius-Cache", "hit")
-				s.stats.record(resp)
+				// Hits are served queries, but at their actual (~0)
+				// service time — replaying the cached response's original
+				// pipeline latency would freeze /stats percentiles.
+				elapsed := time.Since(start)
+				s.stats.recordHit(resp.Kind, elapsed)
 				s.queries.With(string(resp.Kind)).Inc()
+				s.queryLat.With(string(resp.Kind)).Observe(elapsed)
 				w.Header().Set("Content-Type", "application/json")
 				if err := json.NewEncoder(w).Encode(resp); err != nil {
 					http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -322,11 +435,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr.Finish()
 	s.traces.Add(tr)
 	if err != nil {
-		if errors.Is(err, ErrEmptyQuery) {
+		switch {
+		case errors.Is(err, ErrEmptyQuery):
 			s.queryError(w, http.StatusBadRequest, "empty_query", reqID, "provide audio, text, or text+image")
-			return
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Inc()
+			s.queryError(w, http.StatusServiceUnavailable, "timeout", reqID, "query deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// Client gone mid-pipeline; 499 (client closed request) keeps
+			// the books balanced even though nobody reads the reply.
+			s.queryError(w, 499, "canceled", reqID, "request canceled")
+		default:
+			s.queryError(w, http.StatusUnprocessableEntity, "pipeline", reqID, err.Error())
 		}
-		s.queryError(w, http.StatusUnprocessableEntity, "pipeline", reqID, err.Error())
 		return
 	}
 	s.stats.record(resp)

@@ -46,7 +46,11 @@ type Response struct {
 	Answer       string  `json:"answer,omitempty"`
 	Evidence     string  `json:"evidence,omitempty"`      // sentence supporting the answer
 	MatchedImage string  `json:"matched_image,omitempty"` // IMM result for VIQ
-	Latency      Latency `json:"latency"`
+	// Truncated reports graceful degradation: a per-stage budget expired
+	// mid-QA-retrieval or mid-IMM-matching, so the answer aggregates only
+	// the work completed in time (the request itself still succeeded).
+	Truncated bool    `json:"truncated,omitempty"`
+	Latency   Latency `json:"latency"`
 }
 
 // Latency is the per-service and per-component breakdown of one query.
@@ -104,6 +108,19 @@ type Config struct {
 	// 8 requests, 2ms tick).
 	BatchMaxSize int
 	BatchMaxWait time.Duration
+	// QueryTimeout bounds one Process call end to end: Process derives a
+	// context.WithTimeout from it and every stage's hot loop checks the
+	// context, so an expired query releases its cores mid-stage. 0 means
+	// no pipeline-imposed deadline (the caller's ctx still applies).
+	QueryTimeout time.Duration
+	// ASRBudget, QABudget, and IMMBudget bound the individual stages
+	// within the query deadline (0 = unbudgeted). An expired ASR budget
+	// is a hard failure — there is no transcript to continue with — and
+	// surfaces as context.DeadlineExceeded; expired QA/IMM budgets
+	// degrade gracefully, returning partial results marked Truncated.
+	ASRBudget time.Duration
+	QABudget  time.Duration
+	IMMBudget time.Duration
 }
 
 // DefaultConfig mirrors the benchmark setup.
@@ -125,6 +142,10 @@ func DefaultConfig() Config {
 // concurrent queries: all members are read-only after construction.
 type Pipeline struct {
 	minMatchVotes int
+	queryTimeout  time.Duration
+	asrBudget     time.Duration
+	qaBudget      time.Duration
+	immBudget     time.Duration
 	lex           *hmm.Lexicon
 	lm            *hmm.Bigram
 	models        *asr.Models
@@ -152,7 +173,12 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Workers > 0 {
 		mat.SetWorkers(cfg.Workers)
 	}
-	p := &Pipeline{}
+	p := &Pipeline{
+		queryTimeout: cfg.QueryTimeout,
+		asrBudget:    cfg.ASRBudget,
+		qaBudget:     cfg.QABudget,
+		immBudget:    cfg.IMMBudget,
+	}
 	p.lex, p.lm = kb.BuildLexicon()
 
 	models, err := asr.LoadOrTrain(cfg.ModelCache, p.lex.PhoneSet(), cfg.TrainASR)
@@ -258,38 +284,60 @@ type Request struct {
 // component timings as children; ctx cancellation also reaches the
 // cross-request batch scheduler when batching is enabled.
 func (p *Pipeline) Process(ctx context.Context, req Request) (Response, error) {
+	if p.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.queryTimeout)
+		defer cancel()
+	}
 	switch {
 	case req.Samples != nil && req.Image != nil:
 		return p.processVoiceImage(ctx, req.Samples, req.Image)
 	case req.Samples != nil:
 		return p.processVoice(ctx, req.Samples)
 	case req.Text != "" && req.Image != nil:
-		return p.processTextImage(ctx, req.Text, req.Image), nil
+		return p.processTextImage(ctx, req.Text, req.Image)
 	case req.Text != "":
-		return p.processText(ctx, req.Text), nil
+		return p.processText(ctx, req.Text)
 	default:
 		return Response{}, ErrEmptyQuery
 	}
+}
+
+// stageCtx derives a per-stage budget context. With no budget the
+// request context flows through unchanged; either way the returned
+// cancel must be called.
+func stageCtx(ctx context.Context, budget time.Duration) (context.Context, context.CancelFunc) {
+	if budget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, budget)
 }
 
 // ProcessText runs the pipeline on an already-transcribed query.
 //
 // Deprecated: use Process(ctx, Request{Text: text}).
 func (p *Pipeline) ProcessText(text string) Response {
-	return p.processText(context.Background(), text)
+	resp, _ := p.processText(context.Background(), text)
+	return resp
 }
 
 // ProcessTextContext is ProcessText with an observability context.
 //
 // Deprecated: use Process(ctx, Request{Text: text}).
 func (p *Pipeline) ProcessTextContext(ctx context.Context, text string) Response {
-	return p.processText(ctx, text)
+	resp, _ := p.processText(ctx, text)
+	return resp
 }
 
 // processText runs QC then the action path or QA on transcribed text.
-func (p *Pipeline) processText(ctx context.Context, text string) Response {
+// A canceled or expired request context aborts with ctx.Err(); an
+// expired QA stage budget instead degrades to a Truncated answer.
+func (p *Pipeline) processText(ctx context.Context, text string) (Response, error) {
 	start := time.Now()
 	resp := Response{Transcript: text}
+	if err := ctx.Err(); err != nil {
+		return resp, err
+	}
 	if p.ClassifyText(text) == KindAction {
 		_, sp := telemetry.StartSpan(ctx, "action")
 		resp.Kind = KindAction
@@ -298,12 +346,20 @@ func (p *Pipeline) processText(ctx context.Context, text string) Response {
 		resp.ActionDetail = &act
 		sp.End()
 		resp.Latency.Total = time.Since(start)
-		return resp
+		return resp, nil
 	}
 	resp.Kind = KindAnswer
-	_, sp := telemetry.StartSpan(ctx, "qa")
-	ans := p.qaEngine.Ask(text)
+	qaCtx, cancel := stageCtx(ctx, p.qaBudget)
+	spanCtx, sp := telemetry.StartSpan(qaCtx, "qa")
+	ans := p.qaEngine.AskContext(spanCtx, text)
+	cancel()
 	sp.End()
+	if err := ctx.Err(); err != nil {
+		// The request itself died (deadline or client gone), not just
+		// the stage budget: nobody is left to read a partial answer.
+		return resp, err
+	}
+	resp.Truncated = resp.Truncated || ans.Truncated
 	sp.AddTimed("stem", ans.Timings.Stemming)
 	sp.AddTimed("regex", ans.Timings.Regex)
 	sp.AddTimed("crf", ans.Timings.CRF)
@@ -318,14 +374,18 @@ func (p *Pipeline) processText(ctx context.Context, text string) Response {
 	resp.Latency.QAFilterTime = ans.FilterTime
 	resp.Latency.QA = ans.Timings.Total()
 	resp.Latency.Total = time.Since(start)
-	return resp
+	return resp, nil
 }
 
 // recognize runs ASR under an "asr" span with component children. The
 // context flows through to the batch scheduler (queue-wait spans,
-// cancellation) when batching is enabled.
+// cancellation) when batching is enabled and into the Viterbi frame
+// loop's cancellation checks. An expired ASR budget is a hard failure
+// (no transcript to continue with) surfacing context.DeadlineExceeded.
 func (p *Pipeline) recognize(ctx context.Context, samples []float64) (asr.Result, error) {
-	spanCtx, sp := telemetry.StartSpan(ctx, "asr")
+	asrCtx, cancel := stageCtx(ctx, p.asrBudget)
+	defer cancel()
+	spanCtx, sp := telemetry.StartSpan(asrCtx, "asr")
 	rec, err := p.recognizer.RecognizeContext(spanCtx, samples)
 	sp.End()
 	if err != nil {
@@ -358,7 +418,10 @@ func (p *Pipeline) processVoice(ctx context.Context, samples []float64) (Respons
 	if err != nil {
 		return Response{}, fmt.Errorf("sirius: asr: %w", err)
 	}
-	resp := p.processText(ctx, rec.Text)
+	resp, err := p.processText(ctx, rec.Text)
+	if err != nil {
+		return Response{}, err
+	}
 	resp.Transcript = rec.Text
 	resp.Latency.ASRFeature = rec.Timings.FeatureExtraction
 	resp.Latency.ASRScoring = rec.Timings.Scoring
@@ -391,7 +454,10 @@ func (p *Pipeline) processVoiceImage(ctx context.Context, samples []float64, img
 	if err != nil {
 		return Response{}, fmt.Errorf("sirius: asr: %w", err)
 	}
-	resp := p.processTextImage(ctx, rec.Text, img)
+	resp, err := p.processTextImage(ctx, rec.Text, img)
+	if err != nil {
+		return Response{}, err
+	}
 	resp.Transcript = rec.Text
 	resp.Latency.ASRFeature = rec.Timings.FeatureExtraction
 	resp.Latency.ASRScoring = rec.Timings.Scoring
@@ -405,7 +471,8 @@ func (p *Pipeline) processVoiceImage(ctx context.Context, samples []float64, img
 //
 // Deprecated: use Process(ctx, Request{Text: text, Image: img}).
 func (p *Pipeline) ProcessTextImage(text string, img *vision.Image) Response {
-	return p.processTextImage(context.Background(), text, img)
+	resp, _ := p.processTextImage(context.Background(), text, img)
+	return resp
 }
 
 // ProcessTextImageContext is ProcessTextImage with an observability
@@ -413,23 +480,36 @@ func (p *Pipeline) ProcessTextImage(text string, img *vision.Image) Response {
 //
 // Deprecated: use Process(ctx, Request{Text: text, Image: img}).
 func (p *Pipeline) ProcessTextImageContext(ctx context.Context, text string, img *vision.Image) Response {
-	return p.processTextImage(ctx, text, img)
+	resp, _ := p.processTextImage(ctx, text, img)
+	return resp
 }
 
-func (p *Pipeline) processTextImage(ctx context.Context, text string, img *vision.Image) Response {
+// processTextImage runs IMM then QA. An expired IMM stage budget
+// degrades the match (Truncated partial votes, possibly no entity
+// rewrite); a dead request context aborts.
+func (p *Pipeline) processTextImage(ctx context.Context, text string, img *vision.Image) (Response, error) {
 	start := time.Now()
-	_, sp := telemetry.StartSpan(ctx, "imm")
-	match := p.imageDB.Match(img, p.immCfg)
+	immCtx, cancel := stageCtx(ctx, p.immBudget)
+	spanCtx, sp := telemetry.StartSpan(immCtx, "imm")
+	match := p.imageDB.MatchContext(spanCtx, img, p.immCfg)
+	cancel()
 	sp.End()
 	sp.AddTimed("fe", match.FeatureExtraction)
 	sp.AddTimed("fd", match.FeatureDescription)
 	sp.AddTimed("search", match.Search)
+	if err := ctx.Err(); err != nil {
+		return Response{Transcript: text}, err
+	}
 	matched := match.Votes >= p.minMatchVotes
 	rewritten := text
 	if matched {
 		rewritten = p.rewriteWithEntity(text, match.Label)
 	}
-	resp := p.processText(ctx, rewritten)
+	resp, err := p.processText(ctx, rewritten)
+	if err != nil {
+		return Response{Transcript: text}, err
+	}
+	resp.Truncated = resp.Truncated || match.Truncated
 	resp.Transcript = text
 	if matched {
 		resp.MatchedImage = match.Label
@@ -439,7 +519,7 @@ func (p *Pipeline) processTextImage(ctx context.Context, text string, img *visio
 	resp.Latency.IMMSearch = match.Search
 	resp.Latency.IMM = match.FeatureExtraction + match.FeatureDescription + match.Search
 	resp.Latency.Total = time.Since(start)
-	return resp
+	return resp, nil
 }
 
 // rewriteWithEntity substitutes the IMM-matched entity for the deictic

@@ -16,13 +16,14 @@ import (
 // not means: an action-path p50 and an answer-path p99 differ by orders
 // of magnitude and must not be pooled.
 type stats struct {
-	mu      sync.Mutex
-	served  map[Kind]int
-	errors  int
-	start   time.Time
-	total   *telemetry.Histogram
-	perKind map[Kind]*telemetry.Histogram
-	stages  map[string]*telemetry.Histogram
+	mu        sync.Mutex
+	served    map[Kind]int
+	errors    int
+	cacheHits int
+	start     time.Time
+	total     *telemetry.Histogram
+	perKind   map[Kind]*telemetry.Histogram
+	stages    map[string]*telemetry.Histogram
 }
 
 func newStats() *stats {
@@ -76,6 +77,19 @@ func (s *stats) record(resp Response) {
 	}
 }
 
+// recordHit records a query served from the result cache with its
+// actual (near-zero) service time. Replaying the cached response's
+// original pipeline latency would freeze the reported percentiles at
+// pre-cache levels; stage histograms are skipped because no stage ran.
+func (s *stats) recordHit(kind Kind, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.served[kind]++
+	s.cacheHits++
+	s.total.Observe(d)
+	s.kindHist(kind).Observe(d)
+}
+
 func (s *stats) recordError() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -87,6 +101,7 @@ func (s *stats) recordError() {
 type Snapshot struct {
 	UptimeSeconds float64                      `json:"uptime_seconds"`
 	Served        map[Kind]int                 `json:"served"`
+	CacheHits     int                          `json:"cache_hits"`
 	Errors        int                          `json:"errors"`
 	ErrorRate     float64                      `json:"error_rate"`
 	MeanLatency   time.Duration                `json:"mean_latency_ns"`
@@ -102,6 +117,7 @@ func (s *stats) snapshot() Snapshot {
 	snap := Snapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Served:        map[Kind]int{},
+		CacheHits:     s.cacheHits,
 		Errors:        s.errors,
 		Latency:       s.total.Summarize(),
 		PerKind:       map[Kind]telemetry.Summary{},

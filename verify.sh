@@ -33,7 +33,11 @@ benchout=$(mktemp)
 go run ./cmd/sirius-bench -bench-json "$benchout" -bench-time 5ms
 rm -f "$benchout"
 
-echo "== cluster smoke (1 frontend + 2 backends) =="
+echo "== cluster smoke (1 frontend + 2 backends, incl. shed/timeout) =="
+# Backend 2 runs under -max-inflight 1; the smoke asserts a 1 ms
+# X-Sirius-Timeout-Ms voice query returns the 503 timeout envelope, a
+# concurrent burst sheds with the 429 overloaded envelope + Retry-After,
+# and sirius_shed_total / sirius_timeouts_total advance on /metrics.
 bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT
 go build -o "$bindir" ./cmd/sirius-frontend ./cmd/sirius-server ./cmd/sirius-clustersmoke
