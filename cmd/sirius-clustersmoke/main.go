@@ -40,6 +40,7 @@ import (
 	"sirius/internal/asr"
 	"sirius/internal/kb"
 	"sirius/internal/sirius"
+	"sirius/internal/telemetry"
 )
 
 // freePort asks the kernel for an unused loopback port. There is a
@@ -303,6 +304,148 @@ func run() (err error) {
 		}
 	}
 	log.Printf("both backends served traffic")
+
+	// --- Observability smoke: stitching, breakdown, exemplars, SLO ---
+	// One more query through the frontend, keeping its request id, must
+	// yield a single stitched trace on the frontend's /debug/traces:
+	// the frontend's own spans plus the backend's grafted (remote) span
+	// tree, under the same request id, with monotonically non-negative
+	// offsets (the stitch is anchored on span offsets, never wall
+	// clocks, so inter-process skew must not show through).
+	{
+		body, ctype, err := sirius.BuildJSONQuery(nil, nil, "what is the capital of france")
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, frontURL+"/v1/query", body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", ctype)
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("traced query: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("traced query: status %s", resp.Status)
+		}
+		reqID := resp.Header.Get("X-Request-Id")
+		if reqID == "" {
+			return fmt.Errorf("traced query: response missing X-Request-Id")
+		}
+		tresp, err := client.Get(frontURL + "/debug/traces?id=" + reqID)
+		if err != nil {
+			return err
+		}
+		tpayload, _ := io.ReadAll(tresp.Body)
+		tresp.Body.Close()
+		if tresp.StatusCode != http.StatusOK {
+			return fmt.Errorf("trace lookup %s: status %s; body %s", reqID, tresp.Status, tpayload)
+		}
+		var tr telemetry.Trace
+		if err := json.Unmarshal(tpayload, &tr); err != nil {
+			return fmt.Errorf("trace lookup %s: bad JSON %q: %w", reqID, tpayload, err)
+		}
+		if tr.ID != reqID || tr.Root == nil {
+			return fmt.Errorf("trace lookup %s: wrong trace (id %q, root %v)", reqID, tr.ID, tr.Root != nil)
+		}
+		var local, remote int
+		var walk func(sp *telemetry.Span, parentOff time.Duration) error
+		walk = func(sp *telemetry.Span, parentOff time.Duration) error {
+			if sp.Offset < parentOff {
+				return fmt.Errorf("span %q offset %v precedes its parent's %v", sp.Name, sp.Offset, parentOff)
+			}
+			if sp.Remote {
+				remote++
+			} else {
+				local++
+			}
+			for _, c := range sp.Children {
+				if err := walk(c, sp.Offset); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(tr.Root, 0); err != nil {
+			return fmt.Errorf("stitched trace %s: %w;\n--- trace ---\n%s", reqID, err, tpayload)
+		}
+		if local == 0 || remote == 0 {
+			return fmt.Errorf("stitched trace %s: want both tiers' spans, got %d local / %d remote;\n--- trace ---\n%s",
+				reqID, local, remote, tpayload)
+		}
+		log.Printf("stitched trace %s: %d frontend spans + %d backend spans, offsets monotone", reqID, local, remote)
+	}
+
+	// The measured cycle accounting must show where those queries spent
+	// their time: at least one backend's /debug/breakdown reports a
+	// nonzero total with a nonzero-share stage (text QA queries land in
+	// stage=qa).
+	{
+		sawWork := false
+		for _, port := range []int{b1Port, b2Port} {
+			bresp, err := client.Get(fmt.Sprintf("http://127.0.0.1:%d/debug/breakdown", port))
+			if err != nil {
+				return err
+			}
+			bpayload, _ := io.ReadAll(bresp.Body)
+			bresp.Body.Close()
+			if bresp.StatusCode != http.StatusOK {
+				return fmt.Errorf("backend :%d /debug/breakdown: status %s", port, bresp.Status)
+			}
+			var rep telemetry.BreakdownReport
+			if err := json.Unmarshal(bpayload, &rep); err != nil {
+				return fmt.Errorf("backend :%d /debug/breakdown: bad JSON %q: %w", port, bpayload, err)
+			}
+			for _, st := range rep.Stages {
+				if rep.TotalSeconds > 0 && st.Share > 0 && len(st.Kernels) > 0 {
+					sawWork = true
+				}
+			}
+		}
+		if !sawWork {
+			return fmt.Errorf("no backend /debug/breakdown reported a nonzero measured stage share")
+		}
+		log.Printf("/debug/breakdown reports nonzero measured stage shares")
+	}
+
+	// The frontend's exposition must carry at least one OpenMetrics
+	// exemplar (a slow bucket pointing at a trace id) and the
+	// sirius_slo_* gauges, and every tier's scrape must lint clean.
+	{
+		fresp, err := client.Get(frontURL + "/metrics")
+		if err != nil {
+			return err
+		}
+		fmetrics, _ := io.ReadAll(fresp.Body)
+		fresp.Body.Close()
+		if !strings.Contains(string(fmetrics), `# {trace_id="`) {
+			return fmt.Errorf("frontend /metrics has no OpenMetrics exemplar;\n--- metrics ---\n%s", fmetrics)
+		}
+		for _, name := range []string{"sirius_slo_target_seconds", "sirius_slo_objective_ratio", "sirius_slo_burn_rate"} {
+			if !strings.Contains(string(fmetrics), name) {
+				return fmt.Errorf("frontend /metrics missing %s;\n--- metrics ---\n%s", name, fmetrics)
+			}
+		}
+		for _, target := range []string{
+			frontURL,
+			fmt.Sprintf("http://127.0.0.1:%d", b1Port),
+			fmt.Sprintf("http://127.0.0.1:%d", b2Port),
+		} {
+			mresp, err := client.Get(target + "/metrics")
+			if err != nil {
+				return err
+			}
+			mtext, _ := io.ReadAll(mresp.Body)
+			mresp.Body.Close()
+			if err := telemetry.LintPrometheus(string(mtext)); err != nil {
+				return fmt.Errorf("%s/metrics fails lint: %w", target, err)
+			}
+		}
+		log.Printf("exemplars + sirius_slo_* present; all three tiers' /metrics lint clean")
+	}
 
 	// --- Request-lifecycle smoke against backend 2 (-max-inflight 1) ---
 	// Voice queries are the slow path (a full Viterbi decode), which

@@ -10,9 +10,13 @@
 // /register and withdraws on drain.
 //
 // Operational surface: /metrics (per-backend latency histograms plus
-// retry/hedge/breaker counters), /backends (pool state), /debug/traces
-// (request ids shared with the backends), /healthz liveness, /readyz
-// readiness (false until a backend is ready).
+// retry/hedge/breaker counters, with OpenMetrics exemplars on the tail
+// buckets), /backends (pool state), /debug/traces (end-to-end stitched
+// waterfalls: each attempt span carries the backend's span tree under
+// it, joined on the shared request id; ?id=<request-id> looks one up,
+// -trace-buffer sizes the ring), /slo (latency objective and burn
+// rates), /healthz liveness, /readyz readiness (false until a backend
+// is ready).
 //
 // Usage:
 //
@@ -58,6 +62,9 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that open a backend's circuit breaker")
 	breakerOpenFor := flag.Duration("breaker-open", 5*time.Second, "breaker cool-off before the half-open probe")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for draining in-flight requests")
+	traceBuffer := flag.Int("trace-buffer", 64, "/debug/traces ring capacity in requests")
+	sloTarget := flag.Duration("slo-target", 500*time.Millisecond, "SLO latency target for /slo and sirius_slo_* metrics")
+	sloObjective := flag.Float64("slo-objective", 0.99, "SLO objective: fraction of queries that must meet -slo-target")
 	flag.Parse()
 
 	pol, err := cluster.ParsePolicy(*policy)
@@ -73,6 +80,9 @@ func main() {
 	cfg.CheckInterval = *checkInterval
 	cfg.BreakerThreshold = *breakerThreshold
 	cfg.BreakerOpenFor = *breakerOpenFor
+	cfg.TraceBuffer = *traceBuffer
+	cfg.SLOTarget = *sloTarget
+	cfg.SLOObjective = *sloObjective
 
 	f := cluster.NewFrontend(cfg)
 	for _, spec := range backends {

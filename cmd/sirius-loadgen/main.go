@@ -28,16 +28,28 @@
 // timeout) replies are counted separately from hard errors and the
 // shed/timeout rates are reported after the run. -deadline attaches an
 // X-Sirius-Timeout-Ms header so each query carries its own budget.
+//
+// Observability: the run tracks a client-side SLO (-slo-target,
+// -slo-objective; the report prints compliance and burn next to the
+// latency table), -slow-traces N fetches the N slowest requests' span
+// trees from the target's /debug/traces at the end of the run (against
+// a frontend these are the stitched cross-tier waterfalls), and
+// -debug-addr serves the in-flight run's own /metrics (with exemplars)
+// and /slo so a long soak can be scraped like any other tier.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"net/url"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +57,7 @@ import (
 	"sirius/internal/kb"
 	"sirius/internal/loadgen"
 	"sirius/internal/sirius"
+	"sirius/internal/telemetry"
 )
 
 // addrFlags collects repeated -addr targets.
@@ -68,6 +81,10 @@ func main() {
 	voice := flag.Float64("voice", 0, "fraction of queries sent as synthesized WAV recordings (0..1)")
 	jsonBody := flag.Bool("json", false, "POST application/json to /v1/query instead of multipart to /query")
 	deadline := flag.Duration("deadline", 0, "per-query X-Sirius-Timeout-Ms deadline the server enforces (0 = none)")
+	slowTraces := flag.Int("slow-traces", 0, "after the run, fetch and print the waterfalls of the N slowest requests' traces")
+	sloTarget := flag.Duration("slo-target", 500*time.Millisecond, "client-side SLO latency target")
+	sloObjective := flag.Float64("slo-objective", 0.99, "client-side SLO objective: fraction of queries that must meet -slo-target")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics (with exemplars) and /slo for the in-flight run on this address (\"\" = off)")
 	flag.Parse()
 	if *server != "" {
 		addrs = append(addrs, strings.TrimRight(*server, "/"))
@@ -122,6 +139,7 @@ func main() {
 	}
 	var cacheHits, sheds, timeouts atomic.Int64
 	client := &http.Client{Timeout: *timeout}
+	reqIDs := make([]string, *n)
 	send := func(i int) (string, string, error) {
 		q := queries[i%len(queries)]
 		target := addrs[i%len(addrs)]
@@ -142,6 +160,9 @@ func main() {
 			return q.kind, target, err
 		}
 		defer resp.Body.Close()
+		if i < len(reqIDs) {
+			reqIDs[i] = resp.Header.Get("X-Request-Id")
+		}
 		if resp.Header.Get("X-Sirius-Cache") == "hit" {
 			cacheHits.Add(1)
 		}
@@ -162,12 +183,70 @@ func main() {
 		return q.kind, target, nil
 	}
 
+	// Client-side observability: every completed request lands in a local
+	// exemplar-carrying histogram keyed by kind, which feeds a client-eye
+	// SLO (the server's /slo says what it served; this says what callers
+	// experienced, queueing included) and the slowest-trace report.
+	type slowReq struct {
+		latency time.Duration
+		id      string
+		target  string
+	}
+	var (
+		slowMu  sync.Mutex
+		slowest []slowReq
+	)
+	latVec := telemetry.NewHistogramVec("kind")
+	slo := telemetry.NewSLOFromVec(latVec, *sloTarget, *sloObjective)
+	onResult := func(i int, kind, target string, latency time.Duration, err error) {
+		if err != nil {
+			return
+		}
+		id := ""
+		if i < len(reqIDs) {
+			id = reqIDs[i]
+		}
+		if kind == "" {
+			kind = "other"
+		}
+		latVec.With(kind).ObserveTrace(latency, id)
+		if *slowTraces > 0 && id != "" {
+			slowMu.Lock()
+			slowest = append(slowest, slowReq{latency: latency, id: id, target: target})
+			sort.Slice(slowest, func(a, b int) bool { return slowest[a].latency > slowest[b].latency })
+			if len(slowest) > *slowTraces {
+				slowest = slowest[:*slowTraces]
+			}
+			slowMu.Unlock()
+		}
+	}
+	if *debugAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.RegisterHistogramVec("sirius_loadgen_latency_seconds",
+			"Client-observed query latency by kind.", latVec)
+		slo.Register(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/slo", slo.Handler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("debug listener on %s (/metrics, /slo)", *debugAddr)
+	}
+
 	log.Printf("driving %s at %.1f q/s with %d queries over %d texts...", addrs.String(), *rate, *n, len(queries))
-	res, err := loadgen.Run(context.Background(), loadgen.Spec{Rate: *rate, Requests: *n, Seed: *seed, Timeout: *timeout}, send)
+	res, err := loadgen.Run(context.Background(),
+		loadgen.Spec{Rate: *rate, Requests: *n, Seed: *seed, Timeout: *timeout, OnResult: onResult}, send)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(res)
+	snap := slo.Snapshot()
+	fmt.Printf("\nclient SLO %.4g%% < %v: compliance %.4f, error budget remaining %.2f, burn 1m=%.2f 1h=%.2f\n",
+		100**sloObjective, sloTarget.Round(time.Millisecond), snap.Compliance, snap.BudgetRemaining,
+		snap.Burn["1m"], snap.Burn["1h"])
 	if hits := cacheHits.Load(); hits > 0 {
 		fmt.Printf("\nresult-cache hits: %d/%d (responses carrying X-Sirius-Cache: hit)\n", hits, *n)
 	}
@@ -179,5 +258,46 @@ func main() {
 		fmt.Printf("\ndeadline-expired: %d/%d (%.1f%% of queries got 503 timeout)\n",
 			to, *n, 100*float64(to)/float64(*n))
 	}
+	if *slowTraces > 0 {
+		slowMu.Lock()
+		tail := append([]slowReq(nil), slowest...)
+		slowMu.Unlock()
+		if len(tail) == 0 {
+			fmt.Printf("\nno traced requests to report (targets did not return X-Request-Id)\n")
+		} else {
+			fmt.Printf("\nslowest %d traces (fetched from /debug/traces):\n", len(tail))
+		}
+		for _, s := range tail {
+			fmt.Printf("\n%v  %s  %s\n", s.latency.Round(time.Microsecond), s.id, s.target)
+			tr, err := fetchTrace(client, s.target, s.id)
+			if err != nil {
+				fmt.Printf("  trace unavailable: %v\n", err)
+				continue
+			}
+			fmt.Println(tr.Waterfall())
+		}
+	}
 	fmt.Printf("\n(compare with the M/M/1 prediction: R = 1/(mu - lambda) with mu = 1/mean service time)\n")
+}
+
+// fetchTrace pulls one request's span tree from a target's
+// /debug/traces?id= lookup. Against a frontend the trace is the stitched
+// cross-tier waterfall; against a server it is the backend's own tree.
+// Traces live in a bounded ring, so a busy target may have evicted an
+// old request by the time the run ends — that is reported, not fatal.
+func fetchTrace(client *http.Client, target, id string) (*telemetry.Trace, error) {
+	resp, err := client.Get(target + "/debug/traces?id=" + url.QueryEscape(id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("status %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var tr telemetry.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }

@@ -4,12 +4,16 @@
 // POST /query (multipart form with "audio" WAV, "image" PNG, and/or
 // "text" fields).
 //
-// Observability surface: Prometheus metrics at /metrics, JSON stats
-// with tail percentiles at /stats, recent request traces at
-// /debug/traces (add ?trace=1 to a query to get its span tree inline),
-// liveness at /healthz and readiness at /readyz (readiness flips false
-// during graceful drain), Go profiling at /debug/pprof/, and a
-// JSON-lines access log on stderr.
+// Observability surface: Prometheus metrics at /metrics (tail buckets
+// carry OpenMetrics exemplars pointing at the slow request's trace),
+// JSON stats with tail percentiles and slow-trace ids at /stats, recent
+// request traces at /debug/traces (?id=<request-id> looks one up;
+// -trace-buffer sizes the ring; add ?trace=1 to a query to get its span
+// tree inline), the measured stage/kernel cycle-accounting breakdown at
+// /debug/breakdown, the latency SLO with burn rates at /slo (tuned by
+// -slo-target/-slo-objective), liveness at /healthz and readiness at
+// /readyz (readiness flips false during graceful drain), Go profiling
+// at /debug/pprof/, and a JSON-lines access log on stderr.
 //
 // Backend mode: with -frontend the server joins a cluster — it
 // registers itself with a sirius-frontend (retrying until the frontend
@@ -91,6 +95,9 @@ func main() {
 	workers := flag.Int("workers", 0, "kernel worker-pool width (0 = runtime.NumCPU())")
 	maxInflight := flag.Int("max-inflight", 0, "admission gate: max concurrent queries before shedding with 429 (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline; expired queries abort mid-stage with a 503 timeout envelope (0 = none)")
+	traceBuffer := flag.Int("trace-buffer", 0, "/debug/traces ring capacity in requests (0 = default 64)")
+	sloTarget := flag.Duration("slo-target", 500*time.Millisecond, "SLO latency target for /slo and sirius_slo_* metrics")
+	sloObjective := flag.Float64("slo-objective", 0.99, "SLO objective: fraction of queries that must meet -slo-target")
 	flag.Parse()
 
 	cfg := sirius.DefaultConfig()
@@ -136,6 +143,11 @@ func main() {
 		s.SetTimeout(*timeout)
 		log.Printf("per-query deadline enabled (%v)", *timeout)
 	}
+	if *traceBuffer > 0 {
+		s.SetTraceBuffer(*traceBuffer)
+		log.Printf("trace ring buffer resized to %d requests", *traceBuffer)
+	}
+	s.SetSLO(*sloTarget, *sloObjective)
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: telemetry.AccessLog(os.Stderr, s),

@@ -18,6 +18,7 @@ import (
 	"sirius/internal/gmm"
 	"sirius/internal/hmm"
 	"sirius/internal/mat"
+	"sirius/internal/telemetry"
 )
 
 // Engine selects the acoustic-model flavor.
@@ -508,7 +509,14 @@ func (r *Recognizer) RecognizeContext(ctx context.Context, samples []float64) (R
 	if r.vad != nil {
 		samples = audio.TrimSilence(samples, *r.vad)
 	}
-	frames := r.models.FrontEnd.Extract(samples)
+	// The front end runs under stage/kernel pprof labels and feeds the
+	// measured breakdown (/debug/breakdown) — as do scoring and search
+	// below, which record via RecordKernel because the decoder
+	// interleaves them and the timedScorer already splits their time.
+	var frames [][]float64
+	telemetry.WithKernel(ctx, "asr", "mfcc", func(context.Context) {
+		frames = r.models.FrontEnd.Extract(samples)
+	})
 	tm.FeatureExtraction = time.Since(start)
 	tm.Frames = len(frames)
 	if len(frames) == 0 {
@@ -521,24 +529,35 @@ func (r *Recognizer) RecognizeContext(ctx context.Context, samples []float64) (R
 	}
 	searchStart := time.Now()
 	var res hmm.Result
-	if r.rescoreTri != nil {
-		hyps, err := dec.DecodeNBestContext(ctx, frames, r.rescoreN)
-		if err != nil {
-			return Result{Timings: tm}, err
+	var decErr error
+	telemetry.WithLabels(ctx, "asr", "viterbi", func(ctx context.Context) {
+		if r.rescoreTri != nil {
+			hyps, herr := dec.DecodeNBestContext(ctx, frames, r.rescoreN)
+			if herr != nil {
+				decErr = herr
+				return
+			}
+			if len(hyps) == 0 {
+				decErr = fmt.Errorf("asr: no hypotheses")
+				return
+			}
+			res = hyps[r.rescoreTri.Rescore(hyps, r.rescoreWeight)]
+		} else {
+			res, decErr = dec.DecodeContext(ctx, frames)
 		}
-		if len(hyps) == 0 {
-			return Result{Timings: tm}, fmt.Errorf("asr: no hypotheses")
-		}
-		res = hyps[r.rescoreTri.Rescore(hyps, r.rescoreWeight)]
-	} else {
-		res, err = dec.DecodeContext(ctx, frames)
-		if err != nil {
-			return Result{Timings: tm}, err
-		}
+	})
+	if decErr != nil {
+		return Result{Timings: tm}, decErr
 	}
 	total := time.Since(searchStart)
 	tm.Scoring = ts.elapsed
 	tm.Search = total - ts.elapsed
+	scoringKernel := "gmm"
+	if r.engine == EngineDNN {
+		scoringKernel = "dnn"
+	}
+	telemetry.RecordKernel("asr", scoringKernel, tm.Scoring)
+	telemetry.RecordKernel("asr", "viterbi", tm.Search)
 	words := res.Words[:0:0]
 	for _, w := range res.Words {
 		if w != hmm.SilenceWord {

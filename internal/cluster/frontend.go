@@ -42,6 +42,14 @@ type FrontendConfig struct {
 	CheckInterval  time.Duration // active /readyz probe period (0 = no background checks)
 	AttemptTimeout time.Duration // per-attempt HTTP timeout
 	MaxBodyBytes   int64         // request/response body cap
+
+	TraceBuffer int // /debug/traces ring capacity (-trace-buffer)
+
+	// Latency objective exported as sirius_slo_* and /slo: SLOObjective
+	// of queries must finish under SLOTarget (default 99% < 500ms, the
+	// paper's interactive bar).
+	SLOTarget    time.Duration
+	SLOObjective float64
 }
 
 // DefaultFrontendConfig mirrors a conservative production posture:
@@ -60,6 +68,9 @@ func DefaultFrontendConfig() FrontendConfig {
 		CheckInterval:    2 * time.Second,
 		AttemptTimeout:   30 * time.Second,
 		MaxBodyBytes:     32 << 20,
+		TraceBuffer:      64,
+		SLOTarget:        500 * time.Millisecond,
+		SLOObjective:     0.99,
 	}
 }
 
@@ -78,6 +89,7 @@ type Frontend struct {
 	checkClient *http.Client
 	metrics     *telemetry.Registry
 	traces      *telemetry.TraceLog
+	slo         *telemetry.SLO
 	stopChecks  func()
 
 	mu  sync.Mutex // guards rng and stopChecks
@@ -124,6 +136,15 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = def.MaxBodyBytes
 	}
+	if cfg.TraceBuffer <= 0 {
+		cfg.TraceBuffer = def.TraceBuffer
+	}
+	if cfg.SLOTarget <= 0 {
+		cfg.SLOTarget = def.SLOTarget
+	}
+	if cfg.SLOObjective <= 0 || cfg.SLOObjective >= 1 {
+		cfg.SLOObjective = def.SLOObjective
+	}
 	reg := NewRegistry()
 	m := telemetry.NewRegistry()
 	f := &Frontend{
@@ -134,7 +155,7 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 		client:       &http.Client{Timeout: cfg.AttemptTimeout},
 		checkClient:  &http.Client{Timeout: 2 * time.Second},
 		metrics:      m,
-		traces:       telemetry.NewTraceLog(64),
+		traces:       telemetry.NewTraceLog(cfg.TraceBuffer),
 		rng:          rand.New(rand.NewSource(1)),
 		queries:      m.NewCounterVec("cluster_queries_total", "Queries dispatched, by stage pool.", "kind"),
 		errsC:        m.NewCounterVec("cluster_query_errors_total", "Queries the frontend could not serve, by failure class.", "reason"),
@@ -147,6 +168,11 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 		queryLat:     m.NewHistogramVec("cluster_query_latency_seconds", "End-to-end frontend query latency, by stage pool.", "kind"),
 		readyGauge:   m.NewGauge("cluster_backends_ready", "Backends currently ready for traffic."),
 	}
+	// The frontend tracks the same SLO shape as the backends, over its
+	// own end-to-end (client-observed) latency.
+	f.slo = telemetry.NewSLOFromVec(f.queryLat, cfg.SLOTarget, cfg.SLOObjective)
+	f.slo.Register(m)
+	f.mux.Handle("/slo", f.slo.Handler())
 	f.mux.HandleFunc("/query", f.handleQuery)
 	f.mux.HandleFunc("/v1/query", f.handleQuery)
 	f.mux.HandleFunc("/register", f.handleRegister)
@@ -305,17 +331,20 @@ func (r *attemptResult) ok() bool {
 }
 
 // attempt forwards the buffered query to one backend and reports on
-// results. It propagates X-Request-Id across the process boundary (so
-// /debug/traces on both tiers shows the same id), reads the backend's
-// self-reported load header, and feeds the breaker — except when the
-// attempt lost a hedge race and was canceled, which says nothing about
-// backend health.
+// results. It propagates X-Request-Id and the attempt span's context
+// (X-Sirius-Trace) across the process boundary; the backend roots its
+// trace under the attempt span and returns its span tree in a response
+// header, which is grafted back in here — so the frontend's
+// /debug/traces shows one stitched waterfall per request, retry and
+// hedge losers included. It also reads the backend's self-reported load
+// header and feeds the breaker — except when the attempt lost a hedge
+// race and was canceled, which says nothing about backend health.
 func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, body []byte, reqID, timeoutMs string, hedged bool, results chan<- *attemptResult) {
 	name := "attempt " + b.ID
 	if hedged {
 		name = "hedge " + b.ID
 	}
-	_, sp := telemetry.StartSpan(ctx, name)
+	spCtx, sp := telemetry.StartSpan(ctx, name)
 	defer sp.End()
 
 	start := time.Now()
@@ -330,6 +359,7 @@ func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, 
 	}
 	req.Header.Set("Content-Type", ctype)
 	req.Header.Set("X-Request-Id", reqID)
+	telemetry.InjectTraceContext(req.Header, spCtx)
 	if timeoutMs != "" {
 		// The client's per-query deadline rides along so the backend can
 		// stop pipeline work, not just have the socket closed on it.
@@ -338,12 +368,14 @@ func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, 
 	if hedged {
 		req.Header.Set("X-Sirius-Hedge", "1")
 	}
+	var remoteSpans string
 	resp, err := f.client.Do(req)
 	if err != nil {
 		res.err = err
 	} else {
 		res.status = resp.StatusCode
 		res.contentType = resp.Header.Get("Content-Type")
+		remoteSpans = resp.Header.Get(telemetry.TraceSpansHeader)
 		if v, perr := strconv.ParseInt(resp.Header.Get("X-Sirius-Inflight"), 10, 64); perr == nil {
 			b.setReported(v)
 		}
@@ -351,6 +383,15 @@ func (f *Frontend) attempt(ctx context.Context, b *Backend, path, ctype string, 
 		resp.Body.Close()
 	}
 	res.latency = time.Since(start)
+	// Close the attempt span at its true duration, then stitch the
+	// backend's span tree under it. Graft anchors on the attempt span's
+	// own offsets, so the two processes' clocks never meet.
+	sp.End()
+	if remoteSpans != "" {
+		if rs, derr := telemetry.DecodeSpans(remoteSpans); derr == nil {
+			sp.Graft(rs)
+		}
+	}
 
 	canceled := ctx.Err() != nil && res.err != nil
 	outcome := "ok"
@@ -573,7 +614,7 @@ func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	f.queries.With(kind).Inc()
 	if res.status == http.StatusOK {
-		f.queryLat.With(kind).Observe(time.Since(start))
+		f.queryLat.With(kind).ObserveTrace(time.Since(start), reqID)
 	}
 	if res.contentType != "" {
 		w.Header().Set("Content-Type", res.contentType)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sirius/internal/mat"
+	"sirius/internal/telemetry"
 	"sirius/internal/vision"
 )
 
@@ -138,13 +139,20 @@ func (db *Database) MatchContext(ctx context.Context, query *vision.Image, cfg M
 	}
 	var res MatchResult
 	start := time.Now()
-	ii := vision.NewIntegral(query)
+	// Each phase runs under stage/kernel pprof labels and feeds the
+	// measured breakdown (fe/fd are the paper's Fig 9 IMM kernels; ann
+	// is the vote accumulation). CPU samples inside mat-pool goroutines
+	// stay attributed to the pool, wall time is still correct.
+	var ii *vision.Integral
 	var kps []vision.Keypoint
-	if workers > 1 {
-		kps = vision.DetectKeypointsTiled(query, db.detector, workers, 50)
-	} else {
-		kps = vision.DetectKeypoints(query, db.detector)
-	}
+	telemetry.WithKernel(ctx, "imm", "fe", func(context.Context) {
+		ii = vision.NewIntegral(query)
+		if workers > 1 {
+			kps = vision.DetectKeypointsTiled(query, db.detector, workers, 50)
+		} else {
+			kps = vision.DetectKeypoints(query, db.detector)
+		}
+	})
 	res.FeatureExtraction = time.Since(start)
 	res.Keypoints = len(kps)
 	if ctx.Err() != nil {
@@ -154,11 +162,13 @@ func (db *Database) MatchContext(ctx context.Context, query *vision.Image, cfg M
 
 	start = time.Now()
 	var descs []vision.Descriptor
-	if workers > 1 {
-		descs = vision.DescribeAllParallel(ii, kps, workers)
-	} else {
-		descs = vision.DescribeAll(ii, kps)
-	}
+	telemetry.WithKernel(ctx, "imm", "fd", func(context.Context) {
+		if workers > 1 {
+			descs = vision.DescribeAllParallel(ii, kps, workers)
+		} else {
+			descs = vision.DescribeAll(ii, kps)
+		}
+	})
 	res.FeatureDescription = time.Since(start)
 	if ctx.Err() != nil {
 		res.Truncated = true
@@ -179,35 +189,37 @@ func (db *Database) MatchContext(ctx context.Context, query *vision.Image, cfg M
 			})
 		}
 	}
-	if workers > 1 && len(descs) >= 2*voteGrain {
-		// Each pool range accumulates into a local tally (tree search
-		// touches disjoint matches[i] slots), merged under one lock. A
-		// range observing an expired ctx returns without voting.
-		var mu sync.Mutex
-		mat.ParallelWidth(workers, len(descs), voteGrain, func(lo, hi int) {
-			if ctx.Err() != nil {
-				truncated.Store(true)
-				return
+	telemetry.WithKernel(ctx, "imm", "ann", func(ctx context.Context) {
+		if workers > 1 && len(descs) >= 2*voteGrain {
+			// Each pool range accumulates into a local tally (tree search
+			// touches disjoint matches[i] slots), merged under one lock. A
+			// range observing an expired ctx returns without voting.
+			var mu sync.Mutex
+			mat.ParallelWidth(workers, len(descs), voteGrain, func(lo, hi int) {
+				if ctx.Err() != nil {
+					truncated.Store(true)
+					return
+				}
+				local := make([]int, len(db.Labels))
+				for i := lo; i < hi; i++ {
+					voteOne(i, local)
+				}
+				mu.Lock()
+				for i, v := range local {
+					votes[i] += v
+				}
+				mu.Unlock()
+			})
+		} else {
+			for i := range descs {
+				if i%voteGrain == 0 && ctx.Err() != nil {
+					truncated.Store(true)
+					break
+				}
+				voteOne(i, votes)
 			}
-			local := make([]int, len(db.Labels))
-			for i := lo; i < hi; i++ {
-				voteOne(i, local)
-			}
-			mu.Lock()
-			for i, v := range local {
-				votes[i] += v
-			}
-			mu.Unlock()
-		})
-	} else {
-		for i := range descs {
-			if i%voteGrain == 0 && ctx.Err() != nil {
-				truncated.Store(true)
-				break
-			}
-			voteOne(i, votes)
 		}
-	}
+	})
 	res.Search = time.Since(start)
 	voteTime.Observe(res.Search)
 	res.Truncated = truncated.Load()

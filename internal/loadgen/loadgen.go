@@ -26,6 +26,13 @@ type Spec struct {
 	Requests int           // total requests to send
 	Seed     int64         // arrival-process seed
 	Timeout  time.Duration // per-request timeout (0 = none)
+
+	// OnResult, when set, is called after each request completes (on the
+	// request's goroutine, so it must be safe for concurrent use) with
+	// the request index, the labels send returned, the measured latency,
+	// and send's error. Callers use it to feed their own telemetry — the
+	// CLI tracks slowest-trace ids and an SLO through it.
+	OnResult func(i int, kind, target string, latency time.Duration, err error)
 }
 
 // Result summarizes a run.
@@ -97,6 +104,9 @@ func Run(ctx context.Context, spec Spec, send func(i int) (kind, target string, 
 			reqStart := time.Now()
 			kind, target, err := send(i)
 			lat := time.Since(reqStart)
+			if spec.OnResult != nil {
+				spec.OnResult(i, kind, target, lat, err)
+			}
 			if err != nil {
 				mu.Lock()
 				errors++

@@ -19,6 +19,7 @@ import (
 	"sirius/internal/nlp/regex"
 	"sirius/internal/nlp/stemmer"
 	"sirius/internal/search"
+	"sirius/internal/telemetry"
 )
 
 // Timings decomposes QA latency into the paper's hot components (Fig 9:
@@ -272,12 +273,56 @@ func (e *Engine) AskContext(ctx context.Context, question string) Answer {
 	a := e.analyze(question, &ans.Timings)
 
 	start := time.Now()
-	results := e.index.Search(question, e.topK)
+	var results []search.Result
+	telemetry.WithKernel(ctx, "qa", "retrieval", func(context.Context) {
+		results = e.index.Search(question, e.topK)
+	})
 	ans.Timings.Retrieval = time.Since(start)
 
 	scores := map[string]float64{}
 	evidence := map[string]string{}
 	evidenceScore := map[string]float64{}
+	// The filter battery (stemmer + regex + CRF, the Fig 9 cycle sink)
+	// runs under stage/kernel pprof labels; its per-kernel wall split is
+	// recorded from ans.Timings after the loop, since the kernels
+	// interleave per sentence at too fine a grain to label separately.
+	e.filterDocs(ctx, results, a, &ans, scores, evidence, evidenceScore)
+	var second float64
+	for text, s := range scores {
+		switch {
+		case s > ans.Score || (s == ans.Score && (ans.Text == "" || text < ans.Text)):
+			if ans.Text != "" {
+				second, ans.RunnerUp = ans.Score, ans.Text
+			}
+			ans.Text = text
+			ans.Score = s
+		case s > second:
+			second, ans.RunnerUp = s, text
+		}
+	}
+	if ans.Score > 0 {
+		ans.Confidence = (ans.Score - second) / ans.Score
+	}
+	ans.Evidence = evidence[ans.Text]
+	telemetry.RecordKernel("qa", "stemmer", ans.Timings.Stemming)
+	telemetry.RecordKernel("qa", "regex", ans.Timings.Regex)
+	telemetry.RecordKernel("qa", "crf", ans.Timings.CRF)
+	return ans
+}
+
+// filterDocs runs the retrieved documents through the filter battery,
+// accumulating candidate scores and evidence. It executes under
+// stage=qa/kernel=filters pprof labels so profile samples of the QA
+// cycle sink are attributable even before the per-kernel wall split in
+// ans.Timings is recorded.
+func (e *Engine) filterDocs(ctx context.Context, results []search.Result, a analysis, ans *Answer, scores map[string]float64, evidence map[string]string, evidenceScore map[string]float64) {
+	telemetry.WithLabels(ctx, "qa", "filters", func(ctx context.Context) {
+		e.filterDocsLabeled(ctx, results, a, ans, scores, evidence, evidenceScore)
+	})
+}
+
+func (e *Engine) filterDocsLabeled(ctx context.Context, results []search.Result, a analysis, ans *Answer, scores map[string]float64, evidence map[string]string, evidenceScore map[string]float64) {
+	var start time.Time
 	for rank, r := range results {
 		if ctx.Err() != nil {
 			ans.Truncated = true
@@ -348,24 +393,6 @@ func (e *Engine) AskContext(ctx context.Context, question string) Answer {
 			ans.FilterTime += time.Since(filterStart)
 		}
 	}
-	var second float64
-	for text, s := range scores {
-		switch {
-		case s > ans.Score || (s == ans.Score && (ans.Text == "" || text < ans.Text)):
-			if ans.Text != "" {
-				second, ans.RunnerUp = ans.Score, ans.Text
-			}
-			ans.Text = text
-			ans.Score = s
-		case s > second:
-			second, ans.RunnerUp = s, text
-		}
-	}
-	if ans.Score > 0 {
-		ans.Confidence = (ans.Score - second) / ans.Score
-	}
-	ans.Evidence = evidence[ans.Text]
-	return ans
 }
 
 func stemWord(w string, tm *Timings) string {

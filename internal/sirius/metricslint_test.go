@@ -1,0 +1,63 @@
+package sirius
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sirius/internal/telemetry"
+)
+
+// TestMetricsLint is the metrics-lint gate verify.sh calls out by name:
+// it scrapes /metrics from a live server after real traffic and runs
+// the exposition through the telemetry linter, so a malformed family,
+// a broken histogram invariant, or a bad exemplar suffix fails CI
+// before a real Prometheus ever chokes on it.
+func TestMetricsLint(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	// Drive both response kinds so histogram families, exemplars, and
+	// the SLO gauges all have live values behind them.
+	for _, text := range []string{"what is the capital of france", "call mom"} {
+		body, ctype, err := BuildMultipartQuery(nil, nil, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/query", ctype, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %q: status %s", text, resp.Status)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.LintPrometheus(string(text)); err != nil {
+		t.Fatalf("/metrics fails lint: %v", err)
+	}
+	for _, want := range []string{
+		`# {trace_id="`, // at least one OpenMetrics exemplar on a tail bucket
+		"sirius_slo_target_seconds",
+		"sirius_slo_burn_rate",
+		"sirius_stage_kernel_seconds",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

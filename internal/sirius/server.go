@@ -19,6 +19,8 @@ import (
 
 	"sirius/internal/audio"
 	"sirius/internal/mat"
+	"sirius/internal/profile"
+	"sirius/internal/suite"
 	"sirius/internal/telemetry"
 	"sirius/internal/vision"
 )
@@ -53,6 +55,7 @@ type Server struct {
 
 	registry *telemetry.Registry
 	traces   *telemetry.TraceLog
+	slo      *telemetry.SLO          // sirius_slo_* and /slo
 	queries  *telemetry.CounterVec   // sirius_queries_total{kind}
 	errors   *telemetry.CounterVec   // sirius_query_errors_total{reason}
 	inflight *telemetry.Gauge        // sirius_inflight_requests
@@ -112,10 +115,18 @@ func NewServer(p *Pipeline) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	// Per-kernel timings (sirius_kernel_seconds{kernel=...}) from the
-	// mat worker-pool layer surface on the same scrape.
+	// mat worker-pool layer surface on the same scrape, as does the
+	// measured stage/kernel breakdown the pipeline hot paths feed.
 	mat.RegisterKernelMetrics(reg)
+	telemetry.RegisterKernelBreakdown(reg)
+	// Default SLO: 99% of queries under 500 ms — the paper's interactive
+	// latency bar. SetSLO overrides it before serving.
+	s.slo = telemetry.NewSLOFromVec(s.queryLat, 500*time.Millisecond, 0.99)
+	s.slo.Register(reg)
+	s.mux.Handle("/slo", s.slo.Handler())
 	s.mux.Handle("/metrics", reg.Handler())
 	s.mux.Handle("/debug/traces", s.traces.Handler())
+	s.mux.Handle("/debug/breakdown", telemetry.BreakdownHandler(breakdownModel()))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -152,6 +163,53 @@ func (s *Server) CacheLen() int {
 // Registry exposes the server's metrics registry (for embedding hosts
 // that want to add their own series).
 func (s *Server) Registry() *telemetry.Registry { return s.registry }
+
+// SetTraceBuffer resizes the /debug/traces ring to hold the last n
+// requests (-trace-buffer). Call before serving; buffered traces drop.
+func (s *Server) SetTraceBuffer(n int) {
+	if n > 0 {
+		s.traces.Resize(n)
+	}
+}
+
+// SetSLO overrides the default latency objective (99% < 500ms). Call
+// before serving.
+func (s *Server) SetSLO(target time.Duration, objective float64) {
+	s.slo.Configure(target, objective)
+}
+
+// breakdownModel adapts the paper's Fig 10 per-kernel profiles
+// (internal/profile, keyed by suite kernel) into the stage/kernel
+// shape /debug/breakdown renders next to the measured numbers.
+func breakdownModel() map[string]map[string]telemetry.KernelModel {
+	stageOf := map[suite.Kernel]string{
+		suite.KernelGMM:     "asr",
+		suite.KernelDNN:     "asr",
+		suite.KernelStemmer: "qa",
+		suite.KernelRegex:   "qa",
+		suite.KernelCRF:     "qa",
+		suite.KernelFE:      "imm",
+		suite.KernelFD:      "imm",
+	}
+	model := map[string]map[string]telemetry.KernelModel{}
+	for k, b := range profile.Breakdowns {
+		stage := stageOf[k]
+		if stage == "" {
+			continue
+		}
+		if model[stage] == nil {
+			model[stage] = map[string]telemetry.KernelModel{}
+		}
+		model[stage][string(k)] = telemetry.KernelModel{
+			IPC:            b.IPC,
+			Retiring:       b.Retiring,
+			FrontEnd:       b.FrontEnd,
+			BadSpeculation: b.BadSpeculation,
+			BackEnd:        b.BackEnd,
+		}
+	}
+	return model
+}
 
 // defaultMaxBodyBytes caps a /query request body (either encoding) —
 // generous for a compressed recording plus a photo, small enough that a
@@ -415,9 +473,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				// service time — replaying the cached response's original
 				// pipeline latency would freeze /stats percentiles.
 				elapsed := time.Since(start)
-				s.stats.recordHit(resp.Kind, elapsed)
+				s.stats.recordHit(resp.Kind, elapsed, reqID)
 				s.queries.With(string(resp.Kind)).Inc()
-				s.queryLat.With(string(resp.Kind)).Observe(elapsed)
+				s.queryLat.With(string(resp.Kind)).ObserveTrace(elapsed, reqID)
 				w.Header().Set("Content-Type", "application/json")
 				if err := json.NewEncoder(w).Encode(resp); err != nil {
 					http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -430,10 +488,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Every query runs under a trace; the ring buffer keeps recent ones
 	// for /debug/traces whether or not this client asked for the dump.
-	ctx, tr := telemetry.StartTrace(ctx, "query")
+	// When the caller sent a span context (the cluster frontend's
+	// X-Sirius-Trace), the trace roots under it and the finished span
+	// tree rides back in a response header for cross-tier stitching.
+	sc, remote := telemetry.ExtractTraceContext(r.Header)
+	var tr *telemetry.Trace
+	if remote {
+		ctx, tr = telemetry.StartTraceRemote(ctx, "query", sc)
+	} else {
+		ctx, tr = telemetry.StartTrace(ctx, "query")
+	}
 	resp, err := s.pipeline.Process(ctx, req)
 	tr.Finish()
 	s.traces.Add(tr)
+	if remote && sc.Sampled {
+		if enc := tr.EncodeSpans(); enc != "" {
+			w.Header().Set(telemetry.TraceSpansHeader, enc)
+		}
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrEmptyQuery):
@@ -450,8 +522,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.stats.record(resp)
-	s.observe(resp)
+	s.stats.record(resp, reqID)
+	s.observe(resp, reqID)
 	if key != "" {
 		s.cache.put(key, resp)
 	}
@@ -467,12 +539,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // observe feeds one served response into the Prometheus registry:
-// end-to-end latency per kind, and per-stage latency for the stages the
-// query exercised (components included, so Fig 7-9-style breakdowns
-// fall straight out of /metrics).
-func (s *Server) observe(resp Response) {
+// end-to-end latency per kind (with the request id retained as the
+// bucket's exemplar, so tail buckets link to /debug/traces), and
+// per-stage latency for the stages the query exercised (components
+// included, so Fig 7-9-style breakdowns fall straight out of /metrics).
+func (s *Server) observe(resp Response, reqID string) {
 	s.queries.With(string(resp.Kind)).Inc()
-	s.queryLat.With(string(resp.Kind)).Observe(resp.Latency.Total)
+	s.queryLat.With(string(resp.Kind)).ObserveTrace(resp.Latency.Total, reqID)
 	for _, st := range []struct {
 		name string
 		d    time.Duration

@@ -54,12 +54,12 @@ func (s *stats) stageHist(name string) *telemetry.Histogram {
 	return h
 }
 
-func (s *stats) record(resp Response) {
+func (s *stats) record(resp Response, reqID string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.served[resp.Kind]++
-	s.total.Observe(resp.Latency.Total)
-	s.kindHist(resp.Kind).Observe(resp.Latency.Total)
+	s.total.ObserveTrace(resp.Latency.Total, reqID)
+	s.kindHist(resp.Kind).ObserveTrace(resp.Latency.Total, reqID)
 	// Stage histograms only record stages the query exercised: a text
 	// query has no ASR time, and zero-filling would drag the ASR tail
 	// toward the floor.
@@ -81,13 +81,13 @@ func (s *stats) record(resp Response) {
 // actual (near-zero) service time. Replaying the cached response's
 // original pipeline latency would freeze the reported percentiles at
 // pre-cache levels; stage histograms are skipped because no stage ran.
-func (s *stats) recordHit(kind Kind, d time.Duration) {
+func (s *stats) recordHit(kind Kind, d time.Duration, reqID string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.served[kind]++
 	s.cacheHits++
-	s.total.Observe(d)
-	s.kindHist(kind).Observe(d)
+	s.total.ObserveTrace(d, reqID)
+	s.kindHist(kind).ObserveTrace(d, reqID)
 }
 
 func (s *stats) recordError() {
@@ -109,6 +109,12 @@ type Snapshot struct {
 	Latency       telemetry.Summary            `json:"latency"`
 	PerKind       map[Kind]telemetry.Summary   `json:"per_kind"`
 	Stages        map[string]telemetry.Summary `json:"stages"`
+
+	// SlowTraces are the retained upper-decile exemplars of the overall
+	// latency histogram, slowest first: request ids resolvable at
+	// /debug/traces?id=<id> — the hop from a bad percentile to the
+	// concrete request behind it.
+	SlowTraces []telemetry.Exemplar `json:"slow_traces,omitempty"`
 }
 
 func (s *stats) snapshot() Snapshot {
@@ -139,6 +145,7 @@ func (s *stats) snapshot() Snapshot {
 	for name, h := range s.stages {
 		snap.Stages[name] = h.Summarize()
 	}
+	snap.SlowTraces = s.total.Exemplars(0.9)
 	return snap
 }
 

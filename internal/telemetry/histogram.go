@@ -45,6 +45,21 @@ type Histogram struct {
 	count  atomic.Uint64
 	sum    atomic.Int64 // nanoseconds
 	max    atomic.Int64 // nanoseconds
+
+	// exemplars[i] is the most recent traced observation that landed in
+	// bucket i (nil until one does). Stored unconditionally on
+	// ObserveTrace; exported only for upper-decile buckets.
+	exemplars [numBuckets + 1]atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties a histogram bucket back to a concrete request: the most
+// recent trace ID observed in that bucket, with its exact value — the
+// link from "the p99 is 800ms" to "here is an 800ms request to stare
+// at" (OpenMetrics exemplars on /metrics, slow-trace ids on /stats).
+type Exemplar struct {
+	TraceID string        `json:"trace_id"`
+	Value   time.Duration `json:"value_ns"`
+	Time    time.Time     `json:"time"`
 }
 
 func bucketFor(d time.Duration) int {
@@ -67,6 +82,66 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// ObserveTrace records one latency sample attributed to a trace ID,
+// retaining it as the bucket's exemplar. Empty trace IDs degrade to a
+// plain Observe.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID string) {
+	h.Observe(d)
+	if traceID == "" {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.exemplars[bucketFor(d)].Store(&Exemplar{TraceID: traceID, Value: d, Time: time.Now()})
+}
+
+// exemplarFloor returns the first bucket index whose observations lie
+// at or above the q-th quantile — the cutoff below which exemplars are
+// not exported. Returns len(cum) (nothing qualifies) when empty.
+func exemplarFloor(cum *[numBuckets + 1]uint64, q float64) int {
+	total := cum[numBuckets]
+	if total == 0 {
+		return numBuckets + 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	for i, c := range cum {
+		if c >= target {
+			return i
+		}
+	}
+	return numBuckets + 1
+}
+
+// Exemplars returns the retained exemplars for buckets at or above the
+// q-th quantile (e.g. 0.9 for the upper decile), slowest first.
+func (h *Histogram) Exemplars(q float64) []Exemplar {
+	cum := h.cumulative()
+	floor := exemplarFloor(&cum, q)
+	var out []Exemplar
+	for i := numBuckets; i >= floor; i-- {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// CountAtOrBelow returns the number of observations known to be ≤ d:
+// the cumulative count of whole buckets whose upper bound is ≤ d. The
+// covering bucket counts as above, so the answer is conservative — an
+// SLO computed from it never over-reports compliance.
+func (h *Histogram) CountAtOrBelow(d time.Duration) uint64 {
+	var n uint64
+	for i := range bucketBounds {
+		if bucketBounds[i] > d {
+			break
+		}
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
 // Merge adds o's observations into h. Safe to call concurrently with
 // Observe on either histogram (the merge is per-bucket atomic; a scrape
 // racing a merge may see a partially merged view, like any scrape
@@ -75,6 +150,11 @@ func (h *Histogram) Merge(o *Histogram) {
 	for i := range o.counts {
 		if n := o.counts[i].Load(); n > 0 {
 			h.counts[i].Add(n)
+		}
+	}
+	for i := range o.exemplars {
+		if e := o.exemplars[i].Load(); e != nil {
+			h.exemplars[i].Store(e)
 		}
 	}
 	h.count.Add(o.count.Load())

@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates a /metrics payload as well-formed Prometheus
+// text exposition (with OpenMetrics exemplars): metric and label names
+// match the spec grammar, label values are properly quoted/escaped,
+// sample values parse as floats, every sample belongs to a family
+// declared by a preceding # TYPE line, exemplars appear only on
+// histogram _bucket lines, and per-series bucket counts are cumulative
+// with a +Inf bucket matching _count. It is the CI tripwire that
+// catches malformed exemplar or label output before a real scraper
+// does. Returns nil for a clean payload, else the first error with its
+// line number.
+func LintPrometheus(text string) error {
+	l := &metricsLinter{
+		types:   map[string]string{},
+		buckets: map[string][]float64{},
+		counts:  map[string]float64{},
+	}
+	for i, line := range strings.Split(text, "\n") {
+		if err := l.line(line); err != nil {
+			return fmt.Errorf("metrics line %d: %w (%q)", i+1, err, line)
+		}
+	}
+	return l.finish()
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+var lintTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+type metricsLinter struct {
+	types map[string]string // family name → declared type
+
+	// per-series histogram state, keyed by family + non-le labels
+	buckets map[string][]float64 // bucket values in emission order, +Inf last
+	bounds  map[string]float64   // last le bound seen per series
+	counts  map[string]float64   // _count value
+	hasInf  map[string]bool
+}
+
+func (l *metricsLinter) line(line string) error {
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return l.comment(line)
+	}
+	return l.sample(line)
+}
+
+func (l *metricsLinter) comment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE wants '# TYPE <name> <type>'")
+		}
+		name, typ := fields[2], fields[3]
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("bad metric name %q", name)
+		}
+		if !lintTypes[typ] {
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := l.types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		l.types[name] = typ
+	case "HELP":
+		if len(fields) < 3 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("HELP wants '# HELP <name> <text>'")
+		}
+	}
+	return nil
+}
+
+// sample validates one sample line:
+//
+//	name[{labels}] value [timestamp] [# {exemplar-labels} value [ts]]
+func (l *metricsLinter) sample(line string) error {
+	name, labels, rest, err := parseSampleHead(line)
+	if err != nil {
+		return err
+	}
+	// Split off an exemplar (OpenMetrics: " # " after the value).
+	var exemplar string
+	if at := strings.Index(rest, " # "); at >= 0 {
+		exemplar = rest[at+3:]
+		rest = rest[:at]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want 'value [timestamp]' after series, got %q", rest)
+	}
+	value, err := parseMetricValue(fields[0])
+	if err != nil {
+		return err
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+
+	family, kind := familyOf(name, l.types)
+	if family == "" {
+		return fmt.Errorf("sample %q has no preceding # TYPE", name)
+	}
+	if exemplar != "" {
+		if kind != "bucket" {
+			return fmt.Errorf("exemplar on non-bucket sample %q", name)
+		}
+		if err := lintExemplar(exemplar); err != nil {
+			return err
+		}
+	}
+	if l.types[family] == "histogram" {
+		return l.histogramSample(family, kind, labels, value)
+	}
+	if kind == "bucket" || labelValue(labels, "le") != "" {
+		return fmt.Errorf("le-labeled sample %q outside a histogram family", name)
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family: itself, or —
+// for histogram/summary component samples — the name minus its
+// _bucket/_sum/_count suffix. kind is the stripped suffix ("" for the
+// family itself).
+func familyOf(name string, types map[string]string) (family, kind string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suffix := range []string{"bucket", "sum", "count"} {
+		base, found := strings.CutSuffix(name, "_"+suffix)
+		if !found {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+			return base, suffix
+		}
+	}
+	return "", ""
+}
+
+func (l *metricsLinter) histogramSample(family, kind string, labels [][2]string, value float64) error {
+	series := family
+	for _, kv := range labels {
+		if kv[0] != "le" {
+			series += ";" + kv[0] + "=" + kv[1]
+		}
+	}
+	switch kind {
+	case "bucket":
+		le := labelValue(labels, "le")
+		if le == "" {
+			return fmt.Errorf("histogram bucket missing le label")
+		}
+		bound, err := parseMetricValue(le)
+		if err != nil {
+			return fmt.Errorf("bad le value %q", le)
+		}
+		prev := l.buckets[series]
+		if n := len(prev); n > 0 {
+			if bound <= l.bounds[series] {
+				return fmt.Errorf("bucket bounds not increasing for %s (le=%s)", series, le)
+			}
+			if value < prev[n-1] {
+				return fmt.Errorf("bucket counts not cumulative for %s (le=%s)", series, le)
+			}
+		}
+		l.buckets[series] = append(prev, value)
+		if l.hasInf == nil {
+			l.hasInf = map[string]bool{}
+		}
+		if le == "+Inf" {
+			l.hasInf[series] = true
+		} else if l.hasInf[series] {
+			return fmt.Errorf("bucket after +Inf for %s", series)
+		}
+		if l.bounds == nil {
+			l.bounds = map[string]float64{}
+		}
+		l.bounds[series] = bound
+	case "count":
+		l.counts[series] = value
+	}
+	return nil
+}
+
+func (l *metricsLinter) finish() error {
+	for series, b := range l.buckets {
+		if !l.hasInf[series] {
+			return fmt.Errorf("histogram series %s has no +Inf bucket", series)
+		}
+		if c, ok := l.counts[series]; ok && c != b[len(b)-1] {
+			return fmt.Errorf("histogram series %s: _count %g != +Inf bucket %g", series, c, b[len(b)-1])
+		}
+	}
+	return nil
+}
+
+// labelValue returns the value of the named label, or "".
+func labelValue(labels [][2]string, name string) string {
+	for _, kv := range labels {
+		if kv[0] == name {
+			return kv[1]
+		}
+	}
+	return ""
+}
+
+// parseSampleHead splits "name{labels} rest" → (name, labels, rest).
+func parseSampleHead(line string) (name string, labels [][2]string, rest string, err error) {
+	end := strings.IndexAny(line, "{ ")
+	if end < 0 {
+		return "", nil, "", fmt.Errorf("sample has no value")
+	}
+	name = line[:end]
+	if !metricNameRe.MatchString(name) {
+		return "", nil, "", fmt.Errorf("bad metric name %q", name)
+	}
+	rest = line[end:]
+	if rest[0] == '{' {
+		labels, rest, err = scanLabels(rest)
+		if err != nil {
+			return "", nil, "", err
+		}
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return "", nil, "", fmt.Errorf("missing space before value")
+	}
+	return name, labels, rest[1:], nil
+}
+
+// scanLabels parses a {k="v",...} block starting at s[0]=='{' and
+// returns the pairs plus the remainder after '}'.
+func scanLabels(s string) ([][2]string, string, error) {
+	var labels [][2]string
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		lname := s[i : i+j]
+		if !labelNameRe.MatchString(lname) {
+			return nil, "", fmt.Errorf("bad label name %q", lname)
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label value for %q not quoted", lname)
+		}
+		val, n, err := scanQuoted(s[i:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", lname, err)
+		}
+		i += n
+		labels = append(labels, [2]string{lname, val})
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// scanQuoted parses a double-quoted, backslash-escaped string at
+// s[0]=='"', returning the unescaped value and bytes consumed.
+func scanQuoted(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '\n':
+			return "", 0, fmt.Errorf("newline inside label value")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted string")
+}
+
+// lintExemplar validates the OpenMetrics exemplar tail:
+//
+//	{label="value",...} value [timestamp]
+func lintExemplar(s string) error {
+	if len(s) == 0 || s[0] != '{' {
+		return fmt.Errorf("exemplar must start with a label block")
+	}
+	_, rest, err := scanLabels(s)
+	if err != nil {
+		return fmt.Errorf("exemplar labels: %w", err)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("exemplar wants 'value [timestamp]', got %q", rest)
+	}
+	if _, err := parseMetricValue(fields[0]); err != nil {
+		return fmt.Errorf("exemplar value: %w", err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("exemplar timestamp: %w", err)
+		}
+	}
+	return nil
+}
+
+func parseMetricValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry holds named metric families and renders them in the
@@ -142,6 +143,34 @@ func (v *HistogramVec) Summaries() map[string]Summary {
 	return out
 }
 
+// Exemplars collects every child's retained exemplars at or above the
+// q-th quantile, keyed by the child's first label value — the /stats
+// slow-traces view.
+func (v *HistogramVec) Exemplars(q float64) map[string][]Exemplar {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := map[string][]Exemplar{}
+	for key, h := range v.children {
+		if ex := h.Exemplars(q); len(ex) > 0 {
+			out[v.labelSets[key][0]] = ex
+		}
+	}
+	return out
+}
+
+// TotalAndBelow sums every child's observation count and its
+// conservative count at or below d (see Histogram.CountAtOrBelow) —
+// the good/total feed an SLO computes burn rates from.
+func (v *HistogramVec) TotalAndBelow(d time.Duration) (total, below uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, h := range v.children {
+		total += h.Count()
+		below += h.CountAtOrBelow(d)
+	}
+	return total, below
+}
+
 // NewCounter registers and returns a counter.
 func (r *Registry) NewCounter(name, help string) *Counter {
 	c := &Counter{}
@@ -266,12 +295,33 @@ func escapeLabel(v string) string {
 
 func writeHistogram(w io.Writer, name string, labelNames, labelValues []string, h *Histogram) {
 	cum := h.cumulative()
+	floor := exemplarFloor(&cum, exemplarQuantile)
 	for i, bound := range bucketBounds {
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labelNames, labelValues, "le", bound.Seconds()), cum[i])
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(labelNames, labelValues, "le", bound.Seconds()), cum[i], exemplarSuffix(h, i, floor))
 	}
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labelNames, labelValues, "le", -1), cum[numBuckets])
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(labelNames, labelValues, "le", -1), cum[numBuckets], exemplarSuffix(h, numBuckets, floor))
 	fmt.Fprintf(w, "%s_sum%s %g\n", name, labelString(labelNames, labelValues, "", 0), h.Sum().Seconds())
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labelNames, labelValues, "", 0), h.Count())
+}
+
+// exemplarQuantile is the export cutoff: buckets at or above this
+// quantile carry their retained exemplar on /metrics (the "upper
+// decile" of observations).
+const exemplarQuantile = 0.9
+
+// exemplarSuffix renders a bucket's exemplar in OpenMetrics syntax
+// (" # {trace_id=\"...\"} value timestamp"), or "" when the bucket is
+// below the export floor or holds no exemplar.
+func exemplarSuffix(h *Histogram, bucket, floor int) string {
+	if bucket < floor {
+		return ""
+	}
+	e := h.exemplars[bucket].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %g %.3f",
+		escapeLabel(e.TraceID), e.Value.Seconds(), float64(e.Time.UnixNano())/1e9)
 }
 
 // WritePrometheus renders every registered family in registration order.

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,9 +18,11 @@ import (
 // asr → {feature, scoring, search}, qa → {stem, regex, crf, retrieval},
 // imm → {fe, fd, search}.
 type Span struct {
+	ID       string        `json:"id,omitempty"`
 	Name     string        `json:"name"`
 	Offset   time.Duration `json:"offset_ns"`
 	Duration time.Duration `json:"duration_ns"`
+	Remote   bool          `json:"remote,omitempty"`
 	Children []*Span       `json:"children,omitempty"`
 
 	start time.Time
@@ -27,14 +30,26 @@ type Span struct {
 }
 
 // Trace is one request's span tree plus identity. Build it while the
-// request runs, Finish it, then read it (JSON dump, ring buffer) — the
-// struct is quiescent after Finish.
+// request runs, Finish it, then read it (JSON dump, ring buffer). A
+// hedge loser's span may still End or Graft after Finish, so readers
+// serialize through MarshalJSON/EncodeSpans, which take the trace lock.
 type Trace struct {
-	ID   string    `json:"id"`
-	Time time.Time `json:"time"`
-	Root *Span     `json:"root"`
+	ID           string    `json:"id"`
+	ParentSpanID string    `json:"parent_span_id,omitempty"`
+	Time         time.Time `json:"time"`
+	Root         *Span     `json:"root"`
 
 	mu sync.Mutex
+}
+
+// MarshalJSON serializes the trace under its lock, so a dump racing a
+// late span End/Graft (a hedge loser finishing after the winner was
+// returned) is still well-formed.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	type alias Trace
+	return json.Marshal((*alias)(t))
 }
 
 type ctxKey int
@@ -65,6 +80,14 @@ func NewRequestID() string {
 	return fmt.Sprintf("%s-%06x", idPrefix, idSeq.Add(1))
 }
 
+var spanSeq atomic.Uint64
+
+// newSpanID mints a process-unique span ID — the identity a child tier
+// hangs its trace under when the span context crosses the wire.
+func newSpanID() string {
+	return fmt.Sprintf("%s.%05x", idPrefix, spanSeq.Add(1))
+}
+
 // ContextWithRequestID attaches a request ID (e.g. minted by the access
 // log middleware) so StartTrace reuses it as the trace ID.
 func ContextWithRequestID(ctx context.Context, id string) context.Context {
@@ -87,7 +110,7 @@ func StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
 	}
 	now := time.Now()
 	t := &Trace{ID: id, Time: now}
-	t.Root = &Span{Name: name, start: now, trace: t}
+	t.Root = &Span{ID: newSpanID(), Name: name, start: now, trace: t}
 	ctx = context.WithValue(ctx, traceCtxKey, t)
 	ctx = context.WithValue(ctx, spanCtxKey, t.Root)
 	return ctx, t
@@ -97,6 +120,12 @@ func StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
 func TraceFromContext(ctx context.Context) *Trace {
 	t, _ := ctx.Value(traceCtxKey).(*Trace)
 	return t
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey).(*Span)
+	return s
 }
 
 // Finish closes the root span (fixing the trace's total duration).
@@ -123,7 +152,7 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent == nil {
 		return ctx, nil
 	}
-	s := &Span{Name: name, start: time.Now(), trace: parent.trace}
+	s := &Span{ID: newSpanID(), Name: name, start: time.Now(), trace: parent.trace}
 	s.Offset = s.start.Sub(parent.trace.Time)
 	parent.trace.mu.Lock()
 	parent.Children = append(parent.Children, s)
@@ -131,13 +160,25 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, spanCtxKey, s), s
 }
 
-// End closes the span. Safe on nil and idempotent enough for deferred
-// use (the last call wins).
+// End closes the span. Safe on nil and idempotent (the first call
+// wins), so callers may End explicitly — to Graft a remote tree under a
+// fixed duration, say — with a deferred End still in place.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	s.Duration = time.Since(s.start)
+	d := time.Since(s.start)
+	if s.trace == nil {
+		if s.Duration == 0 {
+			s.Duration = d
+		}
+		return
+	}
+	s.trace.mu.Lock()
+	if s.Duration == 0 {
+		s.Duration = d
+	}
+	s.trace.mu.Unlock()
 }
 
 // AddTimed attaches an already-measured child span of known duration —
@@ -176,6 +217,39 @@ func NewTraceLog(capacity int) *TraceLog {
 	return &TraceLog{buf: make([]*Trace, capacity)}
 }
 
+// Resize replaces the ring with an empty one of the given capacity,
+// dropping any buffered traces. Meant for startup configuration
+// (-trace-buffer), before the log is served or written concurrently.
+func (l *TraceLog) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l.mu.Lock()
+	l.buf = make([]*Trace, capacity)
+	l.next = 0
+	l.full = false
+	l.mu.Unlock()
+}
+
+// Cap returns the ring capacity.
+func (l *TraceLog) Cap() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Get returns the buffered trace with the given ID (request ID), or nil.
+func (l *TraceLog) Get(id string) *Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, t := range l.buf {
+		if t != nil && t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
 // Add records a finished trace, evicting the oldest when full.
 func (l *TraceLog) Add(t *Trace) {
 	if t == nil {
@@ -207,11 +281,51 @@ func (l *TraceLog) Snapshot() []*Trace {
 }
 
 // Handler serves the buffer as a JSON array (mount at /debug/traces).
+// With ?id=<request-id> it serves that single trace, or 404 when the
+// id is absent (expired from the ring or never seen).
 func (l *TraceLog) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(l.Snapshot())
+		enc := func(v any) {
+			w.Header().Set("Content-Type", "application/json")
+			e := json.NewEncoder(w)
+			e.SetIndent("", "  ")
+			_ = e.Encode(v)
+		}
+		if id := r.URL.Query().Get("id"); id != "" {
+			t := l.Get(id)
+			if t == nil {
+				http.Error(w, "trace not found: "+id, http.StatusNotFound)
+				return
+			}
+			enc(t)
+			return
+		}
+		enc(l.Snapshot())
 	})
+}
+
+// Waterfall renders the trace as an indented text timeline — one line
+// per span with its offset and duration, remote (grafted) spans marked
+// — the shape loadgen's slow-trace report prints.
+func (t *Trace) Waterfall() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  started %s\n", t.ID, t.Time.Format(time.RFC3339Nano))
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		mark := ""
+		if s.Remote {
+			mark = "  [remote]"
+		}
+		fmt.Fprintf(&b, "  %*s%-30s @%-11v %v%s\n", depth*2, "", s.Name,
+			s.Offset.Round(time.Microsecond), s.Duration.Round(time.Microsecond), mark)
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root, 0)
+	}
+	return b.String()
 }

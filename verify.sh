@@ -24,6 +24,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== metrics lint =="
+# Scrapes /metrics from a live in-process server after real traffic and
+# validates the exposition (Prometheus text grammar, histogram
+# invariants, OpenMetrics exemplar syntax, sirius_slo_* presence)
+# through the telemetry linter.
+go test -race -run TestMetricsLint -count=1 ./internal/sirius/
+
 echo "== kernel bench smoke =="
 # A fast sweep of the kernel micro-benchmarks: proves the -bench-json
 # path stays wired and every kernel (GEMM, DNN, GMM, Viterbi, k-d) still
