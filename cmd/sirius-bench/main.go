@@ -14,7 +14,7 @@
 // DNN forward paths, GMM bank sweep, Viterbi decode, k-d search) and
 // writes machine-readable JSON without building the full harness.
 // -bench-time bounds each kernel's timed loop; -bench-large adds the
-// 512x2048x2048 acceptance GEMM.
+// 512x2048x2048 acceptance GEMM and the 1M-document shard_search sweep.
 package main
 
 import (
@@ -45,7 +45,7 @@ func main() {
 	minTime := flag.Duration("mintime", 100*time.Millisecond, "per-kernel measurement time (tab5)")
 	benchJSON := flag.String("bench-json", "", "write a kernel ns/op + allocs/op sweep to this file and exit")
 	benchTime := flag.Duration("bench-time", 50*time.Millisecond, "per-kernel timed-loop bound for -bench-json")
-	benchLarge := flag.Bool("bench-large", false, "include the 512x2048x2048 acceptance GEMM in -bench-json")
+	benchLarge := flag.Bool("bench-large", false, "include the 512x2048x2048 acceptance GEMM and the 1M-document shard_search sweep in -bench-json")
 	flag.Parse()
 
 	if *list {

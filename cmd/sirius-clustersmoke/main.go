@@ -10,13 +10,24 @@
 // back as the 503 "timeout" envelope, a concurrent voice burst must
 // shed with the 429 "overloaded" envelope plus Retry-After, and its
 // /metrics must show sirius_timeouts_total and sirius_shed_total
-// advancing. Everything runs under a hard deadline —
-// on timeout the processes are killed and the gate fails rather than
-// hangs. verify.sh runs this after the unit tests.
+// advancing.
+//
+// The smoke then stands up the sharded search tier against the same
+// frontend: two sirius-server leaves (-shard 0/2 and 1/2) register as
+// kind search, /v1/search scatter-gather must match the unsharded
+// index's top-10 exactly (same documents, order, and scores), and after
+// SIGTERMing shard 1 and replacing it with a -shard-delay-stalled leaf,
+// a query under a 250 ms shard budget must still answer 200 with
+// partial:true, shard 0's documents only, and a positive
+// sirius_shard_partials_total on a lint-clean /metrics.
+//
+// Everything runs under a hard deadline — on timeout the processes are
+// killed and the gate fails rather than hangs. verify.sh runs this
+// after the unit tests.
 //
 // Usage:
 //
-//	sirius-clustersmoke -server-bin ./sirius-server -frontend-bin ./sirius-frontend [-timeout 90s]
+//	sirius-clustersmoke -server-bin ./sirius-server -frontend-bin ./sirius-frontend [-timeout 120s]
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -124,7 +136,7 @@ func waitHTTP(ctx context.Context, client *http.Client, url string, wantStatus i
 func run() (err error) {
 	serverBin := flag.String("server-bin", "", "path to the sirius-server binary")
 	frontendBin := flag.String("frontend-bin", "", "path to the sirius-frontend binary")
-	timeout := flag.Duration("timeout", 90*time.Second, "hard deadline for the whole smoke test")
+	timeout := flag.Duration("timeout", 120*time.Second, "hard deadline for the whole smoke test")
 	queries := flag.Int("queries", 12, "text queries to issue through the frontend")
 	flag.Parse()
 	if *serverBin == "" || *frontendBin == "" {
@@ -566,8 +578,227 @@ func run() (err error) {
 			return fmt.Errorf("backend2 /metrics: %s not positive;\n--- metrics ---\n%s", name, b2Metrics)
 		}
 	}
-	log.Printf("sirius_timeouts_total and sirius_shed_total advanced; cluster smoke OK")
+	log.Printf("sirius_timeouts_total and sirius_shed_total advanced")
+
+	// --- Sharded search tier smoke: 1 frontend + 2 search-shard leaves ---
+	// Two sirius-server processes in leaf mode (-shard i/2) register with
+	// the already-running frontend as kind search; /v1/search through the
+	// frontend must reproduce the unsharded index's ranking exactly. Then
+	// shard 1 is SIGTERMed (draining out of the pool) and replaced with a
+	// deliberately slow leaf (-shard-delay), and a query carrying a 250 ms
+	// shard budget must still answer 200 — partial:true with only shard
+	// 0's documents — while sirius_shard_partials_total advances.
+	doSearch := func(query string, k int, budgetMs string) (int, sharedSearchResponse, error) {
+		var sr sharedSearchResponse
+		body, err := json.Marshal(map[string]any{"query": query, "k": k})
+		if err != nil {
+			return 0, sr, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, frontURL+"/v1/search", bytes.NewReader(body))
+		if err != nil {
+			return 0, sr, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if budgetMs != "" {
+			req.Header.Set("X-Sirius-Shard-Budget-Ms", budgetMs)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, sr, err
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(payload, &sr); err != nil {
+				return resp.StatusCode, sr, fmt.Errorf("bad /v1/search body %q: %w", payload, err)
+			}
+		}
+		return resp.StatusCode, sr, nil
+	}
+
+	s1Port, err := freePort()
+	if err != nil {
+		return err
+	}
+	s2Port, err := freePort()
+	if err != nil {
+		return err
+	}
+	shard0 := &proc{name: "shard0"}
+	shard1 := &proc{name: "shard1"}
+	procs = append(procs, shard0, shard1)
+	for i, p := range []*proc{shard0, shard1} {
+		port := []int{s1Port, s2Port}[i]
+		if err := p.start(ctx, *serverBin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-frontend", frontURL,
+			"-shard", fmt.Sprintf("%d/2", i),
+		); err != nil {
+			return fmt.Errorf("start %s: %w", p.name, err)
+		}
+	}
+	for _, port := range []int{s1Port, s2Port} {
+		if err := waitHTTP(ctx, client, fmt.Sprintf("http://127.0.0.1:%d/readyz", port), http.StatusOK); err != nil {
+			return err
+		}
+	}
+	// Registration is asynchronous: poll until the full topology answers
+	// without a dropped shard.
+	for {
+		status, sr, err := doSearch("what is the capital of italy", 10, "")
+		if err == nil && status == http.StatusOK && !sr.Partial {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("search tier never became complete: %w (last: status %d, err %v)", ctx.Err(), status, err)
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	log.Printf("search tier up: 2 leaves on :%d :%d", s1Port, s2Port)
+
+	// Scatter-gather parity: the live 2-shard tier must return exactly
+	// the unsharded index's top-10 (same docs, same order, same scores).
+	whole := kb.BuildCorpus(kb.DefaultCorpusConfig())
+	for _, q := range []string{
+		"what is the capital of italy",
+		"who is the author of harry potter",
+		"where is las vegas",
+	} {
+		oracle := whole.Search(q, 10)
+		status, sr, err := doSearch(q, 10, "")
+		if err != nil {
+			return fmt.Errorf("search %q: %w", q, err)
+		}
+		if status != http.StatusOK || sr.Partial {
+			return fmt.Errorf("search %q: status %d partial %v", q, status, sr.Partial)
+		}
+		if len(sr.Results) != len(oracle) {
+			return fmt.Errorf("search %q: %d results, oracle has %d", q, len(sr.Results), len(oracle))
+		}
+		for i := range oracle {
+			if sr.Results[i].ID != oracle[i].Doc.ID {
+				return fmt.Errorf("search %q pos %d: doc %d, oracle %d", q, i, sr.Results[i].ID, oracle[i].Doc.ID)
+			}
+			if d := math.Abs(sr.Results[i].Score - oracle[i].Score); d > 1e-9 {
+				return fmt.Errorf("search %q pos %d: score drift %g", q, i, d)
+			}
+		}
+	}
+	log.Printf("2-shard scatter-gather matches the unsharded oracle exactly")
+
+	// Kill shard 1 and replace it with a leaf that stalls every search
+	// longer than any sane budget.
+	shard1.stop()
+	s3Port, err := freePort()
+	if err != nil {
+		return err
+	}
+	slowShard := &proc{name: "shard1-slow"}
+	procs = append(procs, slowShard)
+	if err := slowShard.start(ctx, *serverBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", s3Port),
+		"-frontend", frontURL,
+		"-shard", "1/2",
+		"-shard-delay", "30s",
+	); err != nil {
+		return fmt.Errorf("start shard1-slow: %w", err)
+	}
+	if err := waitHTTP(ctx, client, fmt.Sprintf("http://127.0.0.1:%d/readyz", s3Port), http.StatusOK); err != nil {
+		return err
+	}
+	// Wait for the frontend to see the replacement as ready.
+	for {
+		bresp, err := client.Get(frontURL + "/backends")
+		if err != nil {
+			return err
+		}
+		bpayload, _ := io.ReadAll(bresp.Body)
+		bresp.Body.Close()
+		var sts []struct {
+			URL   string `json:"url"`
+			Shard string `json:"shard"`
+			Ready bool   `json:"ready"`
+		}
+		_ = json.Unmarshal(bpayload, &sts)
+		seen := false
+		for _, st := range sts {
+			if st.Shard == "1/2" && st.Ready && strings.Contains(st.URL, strconv.Itoa(s3Port)) {
+				seen = true
+			}
+		}
+		if seen {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("replacement shard never became ready at the frontend: %w;\n--- /backends ---\n%s", ctx.Err(), bpayload)
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+
+	// A query against the degraded tier, budgeted at 250 ms per shard,
+	// must answer 200 within the deadline with shard 0's documents only.
+	{
+		start := time.Now()
+		status, sr, err := doSearch("what is the capital of italy", 10, "250")
+		if err != nil {
+			return fmt.Errorf("degraded search: %w", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			return fmt.Errorf("degraded search took %v — the shard budget did not bound the stall", elapsed)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("degraded search: status %d, want 200", status)
+		}
+		if !sr.Partial {
+			return fmt.Errorf("degraded search: partial=false with a 30s-stalled shard")
+		}
+		if len(sr.FailedShards) != 1 || sr.FailedShards[0] != 1 {
+			return fmt.Errorf("degraded search: failed shards %v, want [1]", sr.FailedShards)
+		}
+		if len(sr.Results) == 0 {
+			return fmt.Errorf("degraded search: no results from the surviving shard")
+		}
+		for _, h := range sr.Results {
+			if kb.ShardOf(h.ID, 2) != 0 {
+				return fmt.Errorf("degraded search: doc %d belongs to the dead shard", h.ID)
+			}
+		}
+		log.Printf("slow shard dropped at the 250 ms budget: 200 + partial:true in %v", time.Since(start).Round(time.Millisecond))
+	}
+
+	// The partial must show on the frontend's exposition, which must
+	// still lint clean with the shard metrics present.
+	{
+		mresp, err := client.Get(frontURL + "/metrics")
+		if err != nil {
+			return err
+		}
+		mtext, _ := io.ReadAll(mresp.Body)
+		mresp.Body.Close()
+		if !metricPositive(string(mtext), "sirius_shard_partials_total") {
+			return fmt.Errorf("frontend /metrics: sirius_shard_partials_total not positive;\n--- metrics ---\n%s", mtext)
+		}
+		if err := telemetry.LintPrometheus(string(mtext)); err != nil {
+			return fmt.Errorf("frontend /metrics fails lint with shard metrics: %w", err)
+		}
+	}
+	log.Printf("sirius_shard_partials_total advanced and /metrics lints clean; cluster smoke OK")
 	return nil
+}
+
+// sharedSearchResponse mirrors shard.SearchResponse's wire shape (kept
+// local so the smoke exercises the public JSON contract, not the Go
+// types).
+type sharedSearchResponse struct {
+	Results []struct {
+		ID    int     `json:"id"`
+		Score float64 `json:"score"`
+	} `json:"results"`
+	Partial      bool  `json:"partial"`
+	Shards       int   `json:"shards"`
+	FailedShards []int `json:"failed_shards"`
 }
 
 // metricPositive reports whether the Prometheus text exposition

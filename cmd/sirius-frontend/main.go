@@ -52,7 +52,7 @@ func (b *backendFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	var backends backendFlags
-	flag.Var(&backends, "backend", "backend base URL, repeatable; prefix kinds= to pin pools (e.g. asr,qa=http://h1:8080)")
+	flag.Var(&backends, "backend", "backend base URL, repeatable; prefix kinds= to pin pools (e.g. asr,qa=http://h1:8080); search@i/N= pins a search-shard leaf (e.g. search@0/2=http://h1:8081)")
 	policy := flag.String("policy", "round_robin", "routing policy: round_robin or p2c (power-of-two-choices least-loaded)")
 	retries := flag.Int("retries", 2, "max retry attempts after a failed dispatch")
 	hedge := flag.Bool("hedge", false, "hedge slow requests on a second backend after the observed p95")
@@ -65,6 +65,7 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", 64, "/debug/traces ring capacity in requests")
 	sloTarget := flag.Duration("slo-target", 500*time.Millisecond, "SLO latency target for /slo and sirius_slo_* metrics")
 	sloObjective := flag.Float64("slo-objective", 0.99, "SLO objective: fraction of queries that must meet -slo-target")
+	shardBudget := flag.Duration("shard-budget", 0, "per-shard deadline for /v1/search scatter-gather; late shards are dropped and the response tagged partial (0 = default 250ms)")
 	flag.Parse()
 
 	pol, err := cluster.ParsePolicy(*policy)
@@ -83,6 +84,7 @@ func main() {
 	cfg.TraceBuffer = *traceBuffer
 	cfg.SLOTarget = *sloTarget
 	cfg.SLOObjective = *sloObjective
+	cfg.ShardBudget = *shardBudget
 
 	f := cluster.NewFrontend(cfg)
 	for _, spec := range backends {
@@ -90,11 +92,24 @@ func main() {
 		if i := strings.Index(spec, "="); i >= 0 && !strings.Contains(spec[:i], "://") {
 			kinds, url = spec[:i], spec[i+1:]
 		}
-		b, err := f.AddBackend(url, kinds)
+		// search@i/N pins a search-shard leaf to its corpus partition.
+		shardI, shardN := 0, 0
+		if kpart, spart, ok := strings.Cut(kinds, "@"); ok {
+			var perr error
+			if shardI, shardN, perr = cluster.ParseShardSpec(spart); perr != nil {
+				log.Fatalf("backend %q: %v", spec, perr)
+			}
+			kinds = kpart
+		}
+		b, err := f.AddShardBackend(url, kinds, shardI, shardN)
 		if err != nil {
 			log.Fatalf("backend %q: %v", spec, err)
 		}
-		log.Printf("backend %s (%s) registered", b.ID, b.KindsString())
+		if shardN > 0 {
+			log.Printf("backend %s (%s, shard %d/%d) registered", b.ID, b.KindsString(), shardI, shardN)
+		} else {
+			log.Printf("backend %s (%s) registered", b.ID, b.KindsString())
+		}
 	}
 	f.Start()
 	defer f.Stop()

@@ -29,6 +29,12 @@
 // shed/timeout rates are reported after the run. -deadline attaches an
 // X-Sirius-Timeout-Ms header so each query carries its own budget.
 //
+// -search retargets the stream at the sharded search tier: each request
+// is a POST /v1/search against a frontend aggregator (-search-k sets
+// top-k, -deadline becomes the X-Sirius-Shard-Budget-Ms per-shard
+// budget), and the report adds the partial-result rate — the fraction
+// of answered queries that dropped at least one late shard.
+//
 // Observability: the run tracks a client-side SLO (-slo-target,
 // -slo-objective; the report prints compliance and burn next to the
 // latency table), -slow-traces N fetches the N slowest requests' span
@@ -39,6 +45,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -54,8 +61,10 @@ import (
 	"time"
 
 	"sirius/internal/asr"
+	"sirius/internal/cluster"
 	"sirius/internal/kb"
 	"sirius/internal/loadgen"
+	"sirius/internal/shard"
 	"sirius/internal/sirius"
 	"sirius/internal/telemetry"
 )
@@ -85,6 +94,8 @@ func main() {
 	sloTarget := flag.Duration("slo-target", 500*time.Millisecond, "client-side SLO latency target")
 	sloObjective := flag.Float64("slo-objective", 0.99, "client-side SLO objective: fraction of queries that must meet -slo-target")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics (with exemplars) and /slo for the in-flight run on this address (\"\" = off)")
+	searchMode := flag.Bool("search", false, "drive the sharded search tier: POST /v1/search queries against a frontend and report the partial-result rate")
+	searchK := flag.Int("search-k", 10, "top-k results per query in -search mode")
 	flag.Parse()
 	if *server != "" {
 		addrs = append(addrs, strings.TrimRight(*server, "/"))
@@ -183,6 +194,55 @@ func main() {
 		return q.kind, target, nil
 	}
 
+	// Search mode swaps the query-path sender for the sharded search
+	// tier's aggregator API: every request is a POST /v1/search against a
+	// frontend, and responses tagged partial:true (a shard missed its
+	// budget and was dropped from the merge) are tallied so the run
+	// reports the tier's best-effort degradation rate alongside latency.
+	var partials, searched atomic.Int64
+	if *searchMode {
+		send = func(i int) (string, string, error) {
+			q := queries[i%len(queries)]
+			target := addrs[i%len(addrs)]
+			body, err := json.Marshal(shard.SearchRequest{Query: q.text, K: *searchK})
+			if err != nil {
+				return "search", target, err
+			}
+			req, err := http.NewRequest(http.MethodPost, target+"/v1/search", bytes.NewReader(body))
+			if err != nil {
+				return "search", target, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if *deadline > 0 {
+				req.Header.Set(cluster.ShardBudgetHeader, fmt.Sprintf("%d", deadline.Milliseconds()))
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return "search", target, err
+			}
+			defer resp.Body.Close()
+			if i < len(reqIDs) {
+				reqIDs[i] = resp.Header.Get("X-Request-Id")
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				timeouts.Add(1)
+			}
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, resp.Body)
+				return "search", target, fmt.Errorf("status %s", resp.Status)
+			}
+			var sr shard.SearchResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				return "search", target, err
+			}
+			searched.Add(1)
+			if sr.Partial {
+				partials.Add(1)
+			}
+			return "search", target, nil
+		}
+	}
+
 	// Client-side observability: every completed request lands in a local
 	// exemplar-carrying histogram keyed by kind, which feeds a client-eye
 	// SLO (the server's /slo says what it served; this says what callers
@@ -257,6 +317,10 @@ func main() {
 	if to := timeouts.Load(); to > 0 {
 		fmt.Printf("\ndeadline-expired: %d/%d (%.1f%% of queries got 503 timeout)\n",
 			to, *n, 100*float64(to)/float64(*n))
+	}
+	if got := searched.Load(); got > 0 {
+		fmt.Printf("\npartial search results: %d/%d (%.1f%% of answered queries dropped at least one shard)\n",
+			partials.Load(), got, 100*float64(partials.Load())/float64(got))
 	}
 	if *slowTraces > 0 {
 		slowMu.Lock()

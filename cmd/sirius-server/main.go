@@ -46,6 +46,18 @@
 // "audio"/"image" fields. -batch turns on cross-request batched
 // acoustic scoring; -cache answers repeated queries from a bounded LRU
 // (look for the X-Sirius-Cache response header).
+//
+// Leaf mode: -shard i/N turns the binary into a search-shard leaf — it
+// skips pipeline training entirely, builds only partition i of the
+// N-way hash-partitioned knowledge corpus, serves POST /v1/shard/search
+// (top-k candidates + local BM25 statistics), and registers with the
+// frontend as kind "search" carrying its shard assignment. The
+// frontend's /v1/search scatter-gathers across all N leaves.
+// -shard-synth M swaps the kb corpus for M synthetic documents (the
+// web-scale generator); -shard-delay injects a fixed stall per request
+// for fault drills. Conversely -search-frontend makes a full backend
+// route its QA retrieval through the sharded tier instead of its
+// embedded index.
 package main
 
 import (
@@ -58,14 +70,128 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"sirius/internal/asr"
 	"sirius/internal/cluster"
+	"sirius/internal/kb"
+	"sirius/internal/search"
+	"sirius/internal/shard"
 	"sirius/internal/sirius"
 	"sirius/internal/telemetry"
 )
+
+// runLeaf serves one corpus partition as a search-shard leaf: no
+// acoustic models, no pipeline — just the shard's index behind POST
+// /v1/shard/search plus the standard operational surface (/healthz,
+// /readyz, /metrics) and the same register/drain/deregister lifecycle
+// as a full backend.
+func runLeaf(spec string, synthDocs int, delay time.Duration, addr, advertise, frontend string, drain time.Duration) {
+	si, sn, err := cluster.ParseShardSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("building shard %d/%d index...", si, sn)
+	start := time.Now()
+	var ix *search.Index
+	if synthDocs > 0 {
+		cfg := kb.DefaultSynthConfig()
+		cfg.Docs = synthDocs
+		ix = kb.BuildSynthShard(cfg, si, sn)
+	} else {
+		ix = kb.BuildCorpusShard(kb.DefaultCorpusConfig(), si, sn)
+	}
+	reg := telemetry.NewRegistry()
+	leaf := shard.NewLeaf(ix, si, sn, reg)
+	if delay > 0 {
+		leaf.Delay = delay
+		log.Printf("fault injection: every shard search delayed %v", delay)
+	}
+	log.Printf("shard %d/%d ready in %v (%d docs); listening on %s", si, sn, time.Since(start), ix.Len(), addr)
+
+	var ready atomic.Bool
+	ready.Store(true)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/shard/search", leaf)
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           telemetry.AccessLog(os.Stderr, mux),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	regInfo := cluster.Registration{URL: advertise, Kinds: cluster.KindSearch, Shard: si, Shards: sn}
+	if regInfo.URL == "" {
+		regInfo.URL = advertiseURL(addr)
+	}
+	regClient := &http.Client{Timeout: 5 * time.Second}
+	regCtx, regCancel := context.WithCancel(context.Background())
+	defer regCancel()
+	if frontend != "" {
+		go func() {
+			for {
+				if err := cluster.Register(regClient, frontend, regInfo); err == nil {
+					log.Printf("registered with frontend %s as %s (shard %d/%d)", frontend, regInfo.URL, si, sn)
+					return
+				} else if regCtx.Err() != nil {
+					return
+				} else {
+					log.Printf("frontend registration failed (will retry): %v", err)
+				}
+				select {
+				case <-regCtx.Done():
+					return
+				case <-time.After(time.Second):
+				}
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining in-flight requests (deadline %v)", drain)
+		ready.Store(false)
+		regCancel()
+		if frontend != "" {
+			if err := cluster.Deregister(regClient, frontend, regInfo); err != nil {
+				log.Printf("deregister: %v", err)
+			}
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v (forcing close)", err)
+			_ = srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("leaf stopped")
+	}
+}
 
 // advertiseURL derives the URL peers should use to reach -addr when no
 // explicit -advertise is given: an unspecified host becomes loopback.
@@ -98,7 +224,16 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", 0, "/debug/traces ring capacity in requests (0 = default 64)")
 	sloTarget := flag.Duration("slo-target", 500*time.Millisecond, "SLO latency target for /slo and sirius_slo_* metrics")
 	sloObjective := flag.Float64("slo-objective", 0.99, "SLO objective: fraction of queries that must meet -slo-target")
+	shardSpec := flag.String("shard", "", "leaf mode: serve partition i/N of the search corpus (e.g. 1/4) instead of the full pipeline")
+	shardSynth := flag.Int("shard-synth", 0, "leaf mode: serve N synthetic documents instead of the kb corpus (0 = kb corpus)")
+	shardDelay := flag.Duration("shard-delay", 0, "leaf mode fault injection: stall every shard search this long")
+	searchFrontend := flag.String("search-frontend", "", "route QA retrieval through this frontend's /v1/search (sharded search tier)")
 	flag.Parse()
+
+	if *shardSpec != "" {
+		runLeaf(*shardSpec, *shardSynth, *shardDelay, *addr, *advertise, *frontend, *drain)
+		return
+	}
 
 	cfg := sirius.DefaultConfig()
 	cfg.ModelCache = *modelCache
@@ -120,6 +255,7 @@ func main() {
 	// DefaultConfig keeps IMMWorkers=1 for the library's serial baseline.
 	cfg.Workers = *workers
 	cfg.IMMWorkers = *workers
+	cfg.SearchFrontend = *searchFrontend
 
 	log.Printf("training models and building indexes (engine=%s)...", cfg.Engine)
 	start := time.Now()

@@ -45,6 +45,12 @@ type FrontendConfig struct {
 
 	TraceBuffer int // /debug/traces ring capacity (-trace-buffer)
 
+	// ShardBudget is the per-shard deadline for scatter-gather search
+	// fan-out (/v1/search): a shard that has not answered within the
+	// budget is dropped from the merge and the response is tagged
+	// partial. Per-request override via X-Sirius-Shard-Budget-Ms.
+	ShardBudget time.Duration
+
 	// Latency objective exported as sirius_slo_* and /slo: SLOObjective
 	// of queries must finish under SLOTarget (default 99% < 500ms, the
 	// paper's interactive bar).
@@ -69,6 +75,7 @@ func DefaultFrontendConfig() FrontendConfig {
 		AttemptTimeout:   30 * time.Second,
 		MaxBodyBytes:     32 << 20,
 		TraceBuffer:      64,
+		ShardBudget:      250 * time.Millisecond,
 		SLOTarget:        500 * time.Millisecond,
 		SLOObjective:     0.99,
 	}
@@ -105,6 +112,10 @@ type Frontend struct {
 	backendLat   *telemetry.HistogramVec // cluster_backend_latency_seconds{backend}
 	queryLat     *telemetry.HistogramVec // cluster_query_latency_seconds{kind}
 	readyGauge   *telemetry.Gauge        // cluster_backends_ready
+
+	shardSearches *telemetry.CounterVec // sirius_shard_searches_total{outcome}
+	shardPartials *telemetry.Counter    // sirius_shard_partials_total
+	shardLat      *telemetry.Histogram  // sirius_shard_fanout_seconds
 }
 
 // NewFrontend builds a frontend with an empty backend pool. Call
@@ -139,6 +150,9 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	if cfg.TraceBuffer <= 0 {
 		cfg.TraceBuffer = def.TraceBuffer
 	}
+	if cfg.ShardBudget <= 0 {
+		cfg.ShardBudget = def.ShardBudget
+	}
 	if cfg.SLOTarget <= 0 {
 		cfg.SLOTarget = def.SLOTarget
 	}
@@ -167,6 +181,10 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 		backendLat:   m.NewHistogramVec("cluster_backend_latency_seconds", "Frontend-observed per-backend attempt latency (network included).", "backend"),
 		queryLat:     m.NewHistogramVec("cluster_query_latency_seconds", "End-to-end frontend query latency, by stage pool.", "kind"),
 		readyGauge:   m.NewGauge("cluster_backends_ready", "Backends currently ready for traffic."),
+
+		shardSearches: m.NewCounterVec("sirius_shard_searches_total", "Scatter-gather search queries, by outcome (full/partial/error).", "outcome"),
+		shardPartials: m.NewCounter("sirius_shard_partials_total", "Search queries answered best-effort because at least one shard missed its budget."),
+		shardLat:      m.NewHistogram("sirius_shard_fanout_seconds", "Scatter-gather fan-out latency (all shards merged) in seconds."),
 	}
 	// The frontend tracks the same SLO shape as the backends, over its
 	// own end-to-end (client-observed) latency.
@@ -175,6 +193,7 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	f.mux.Handle("/slo", f.slo.Handler())
 	f.mux.HandleFunc("/query", f.handleQuery)
 	f.mux.HandleFunc("/v1/query", f.handleQuery)
+	f.mux.HandleFunc("/v1/search", f.handleSearch)
 	f.mux.HandleFunc("/register", f.handleRegister)
 	f.mux.HandleFunc("/deregister", f.handleDeregister)
 	f.mux.HandleFunc("/backends", f.handleBackends)
@@ -212,10 +231,21 @@ func (f *Frontend) Metrics() *telemetry.Registry { return f.metrics }
 // the transition counter, then probes it immediately so it can take
 // traffic without waiting a full check interval.
 func (f *Frontend) AddBackend(rawURL, kinds string) (*Backend, error) {
+	return f.AddShardBackend(rawURL, kinds, 0, 0)
+}
+
+// AddShardBackend is AddBackend for search leaves: shard/shards record
+// which partition of the corpus the backend holds (0/0 for non-leaf
+// backends).
+func (f *Frontend) AddShardBackend(rawURL, kinds string, shard, shards int) (*Backend, error) {
+	if shards > 0 && (shard < 0 || shard >= shards) {
+		return nil, fmt.Errorf("cluster: shard %d out of range for %d shards", shard, shards)
+	}
 	b, err := NewBackend(rawURL, kinds, nil)
 	if err != nil {
 		return nil, err
 	}
+	b.Shard, b.Shards = shard, shards
 	id := b.ID
 	b.breaker = NewBreaker(f.cfg.BreakerThreshold, f.cfg.BreakerOpenFor, func(from, to BreakerState) {
 		f.breakerTrans.With(id, to.String()).Inc()
@@ -454,8 +484,11 @@ func (f *Frontend) hedgeDelay(kind string) (time.Duration, bool) {
 // attempt, failure-triggered retries (bounded, backed off, jittered),
 // and at most one hedge once the hedge delay elapses with the primary
 // still in flight. The first successful attempt wins; losers are
-// canceled via ctx when dispatch returns.
-func (f *Frontend) dispatch(ctx context.Context, kind, path, ctype string, body []byte, reqID, timeoutMs string) (*attemptResult, error) {
+// canceled via ctx when dispatch returns. A non-nil where restricts
+// candidate backends (the scatter-gather aggregator pins each fan-out
+// arm to one shard's replicas this way, inheriting the same retry/
+// hedge/breaker machinery).
+func (f *Frontend) dispatch(ctx context.Context, kind, path, ctype string, body []byte, reqID, timeoutMs string, where func(*Backend) bool) (*attemptResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -463,7 +496,7 @@ func (f *Frontend) dispatch(ctx context.Context, kind, path, ctype string, body 
 	outstanding := 0
 	exclude := map[string]bool{}
 	launch := func(hedged bool) error {
-		b, err := f.router.Pick(kind, exclude)
+		b, err := f.router.PickWhere(kind, exclude, where)
 		if err != nil {
 			return err
 		}
@@ -578,7 +611,7 @@ func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx := telemetry.ContextWithRequestID(r.Context(), reqID)
 	ctx, tr := telemetry.StartTrace(ctx, "frontend "+kind)
-	res, err := f.dispatch(ctx, kind, r.URL.Path, ctype, body, reqID, r.Header.Get("X-Sirius-Timeout-Ms"))
+	res, err := f.dispatch(ctx, kind, r.URL.Path, ctype, body, reqID, r.Header.Get("X-Sirius-Timeout-Ms"), nil)
 	tr.Finish()
 	f.traces.Add(tr)
 	if err != nil {
@@ -631,7 +664,7 @@ func (f *Frontend) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if !decodeRegistration(w, r, &reg) {
 		return
 	}
-	b, err := f.AddBackend(reg.URL, reg.Kinds)
+	b, err := f.AddShardBackend(reg.URL, reg.Kinds, reg.Shard, reg.Shards)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -35,6 +35,11 @@ const (
 	KindASR = "asr" // voice queries (audio upload)
 	KindIMM = "imm" // image-matching queries (photo upload)
 	KindQA  = "qa"  // text-only question answering
+	// KindSearch is the sharded knowledge-base search tier: leaf
+	// backends each holding one corpus partition, reached by the
+	// frontend's scatter-gather /v1/search rather than by single-backend
+	// dispatch.
+	KindSearch = "search"
 )
 
 // Backend is one registered server replica, as seen from the
@@ -44,6 +49,12 @@ type Backend struct {
 	ID    string          // stable identity, defaults to host:port
 	URL   string          // base URL, e.g. http://10.0.0.7:8080
 	Kinds map[string]bool // kinds served; empty = all kinds
+
+	// Shard/Shards identify a search-leaf backend's partition (Shard in
+	// [0, Shards)); Shards == 0 means the backend is not a shard leaf.
+	// Replicas of the same partition share a Shard value.
+	Shard  int
+	Shards int
 
 	healthy    atomic.Bool  // last active /readyz probe returned 200
 	draining   atomic.Bool  // last probe returned 503 (graceful drain)
@@ -66,17 +77,35 @@ func ParseKinds(s string) (map[string]bool, error) {
 	for _, k := range strings.Split(s, ",") {
 		k = strings.TrimSpace(k)
 		switch k {
-		case KindASR, KindQA, KindIMM:
+		case KindASR, KindQA, KindIMM, KindSearch:
 			kinds[k] = true
 		case "":
 		default:
-			return nil, fmt.Errorf("cluster: unknown kind %q (want asr, qa, imm, or all)", k)
+			return nil, fmt.Errorf("cluster: unknown kind %q (want asr, qa, imm, search, or all)", k)
 		}
 	}
 	if len(kinds) == 0 {
 		return nil, nil
 	}
 	return kinds, nil
+}
+
+// ParseShardSpec parses an "i/N" shard assignment (e.g. "1/4") into
+// (shard, shards), validating 0 <= i < N.
+func ParseShardSpec(spec string) (int, int, error) {
+	i, n, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("cluster: shard spec %q: want i/N (e.g. 1/4)", spec)
+	}
+	si, err1 := strconv.Atoi(strings.TrimSpace(i))
+	sn, err2 := strconv.Atoi(strings.TrimSpace(n))
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("cluster: shard spec %q: want i/N (e.g. 1/4)", spec)
+	}
+	if sn < 1 || si < 0 || si >= sn {
+		return 0, 0, fmt.Errorf("cluster: shard spec %q: shard index must be in [0,%d)", spec, sn)
+	}
+	return si, sn, nil
 }
 
 // KindsString renders the backend's pools for display ("all" when
@@ -93,8 +122,15 @@ func (b *Backend) KindsString() string {
 	return strings.Join(out, ",")
 }
 
-// Serves reports whether the backend belongs to the kind's pool.
+// Serves reports whether the backend belongs to the kind's pool. The
+// search pool is opt-in: a kind-less registration means "every pipeline
+// stage", but only a leaf that explicitly declared kind search (and so
+// carries a shard assignment and exposes /v1/shard/search) may receive
+// scatter-gather arms.
 func (b *Backend) Serves(kind string) bool {
+	if kind == KindSearch {
+		return b.Kinds[kind]
+	}
 	return len(b.Kinds) == 0 || b.Kinds[kind]
 }
 
@@ -303,6 +339,7 @@ type BackendStatus struct {
 	ID       string            `json:"id"`
 	URL      string            `json:"url"`
 	Kinds    string            `json:"kinds"`
+	Shard    string            `json:"shard,omitempty"` // "i/N" for search leaves
 	Ready    bool              `json:"ready"`
 	Draining bool              `json:"draining"`
 	Breaker  string            `json:"breaker"`
@@ -316,10 +353,15 @@ func (r *Registry) Status() []BackendStatus {
 	all := r.All()
 	out := make([]BackendStatus, len(all))
 	for i, b := range all {
+		shardLabel := ""
+		if b.Shards > 0 {
+			shardLabel = fmt.Sprintf("%d/%d", b.Shard, b.Shards)
+		}
 		out[i] = BackendStatus{
 			ID:       b.ID,
 			URL:      b.URL,
 			Kinds:    b.KindsString(),
+			Shard:    shardLabel,
 			Ready:    b.Ready(),
 			Draining: b.draining.Load(),
 			Breaker:  b.breaker.State().String(),
@@ -336,6 +378,11 @@ func (r *Registry) Status() []BackendStatus {
 type Registration struct {
 	URL   string `json:"url"`             // backend base URL, reachable from the frontend
 	Kinds string `json:"kinds,omitempty"` // comma-separated pools; ""/"all" = every kind
+
+	// Shard/Shards announce a search leaf's partition ("-shard i/N");
+	// zero values for every other backend kind.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 }
 
 // Register announces a backend to a frontend. Backends call this on

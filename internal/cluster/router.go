@@ -64,7 +64,24 @@ func NewRouter(reg *Registry, policy Policy, seed int64) *Router {
 // backend (claiming the half-open probe slot when applicable), so the
 // caller must Record the attempt's outcome on the backend.
 func (rt *Router) Pick(kind string, exclude map[string]bool) (*Backend, error) {
+	return rt.PickWhere(kind, exclude, nil)
+}
+
+// PickWhere is Pick restricted to backends satisfying where (nil = no
+// restriction). The scatter-gather aggregator uses it to route each
+// fan-out arm to one shard's replica pool while inheriting the same
+// breaker/exclusion semantics as single-backend dispatch.
+func (rt *Router) PickWhere(kind string, exclude map[string]bool, where func(*Backend) bool) (*Backend, error) {
 	ready := rt.reg.ReadyFor(kind)
+	if where != nil {
+		kept := ready[:0]
+		for _, b := range ready {
+			if where(b) {
+				kept = append(kept, b)
+			}
+		}
+		ready = kept
+	}
 	if len(ready) == 0 {
 		return nil, ErrNoBackends
 	}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sirius/internal/search"
+	"sirius/internal/shard"
+	"sirius/internal/telemetry"
+)
+
+// This file is the aggregator of the sharded search tier — the paper's
+// §3 leaf/aggregator web-search topology made concrete. POST /v1/search
+// fans the query to every corpus shard through the same per-attempt
+// machinery as /query dispatch (breakers, retries, hedging), each arm
+// under its own slice of the shard budget. Shards that answer in time
+// are merged into the exact global ranking; shards that don't are
+// dropped and the response is tagged partial — returning a slightly
+// narrower ranking on time beats returning a complete one late, the
+// tail-tolerance trade the paper's WSC argument turns on.
+
+// ShardBudgetHeader overrides the configured per-shard deadline for one
+// request (milliseconds).
+const ShardBudgetHeader = "X-Sirius-Shard-Budget-Ms"
+
+// shardTopology groups the ready search backends by partition: the
+// declared shard count and which shard indexes have at least one ready
+// replica. An inconsistent pool (leaves disagreeing on N) is an error —
+// merging across two different partitionings would double- or
+// zero-count documents.
+func shardTopology(ready []*Backend) (shards int, present map[int]bool, err error) {
+	present = map[int]bool{}
+	for _, b := range ready {
+		if b.Shards <= 0 {
+			return 0, nil, fmt.Errorf("backend %s registered kind search without a shard assignment", b.ID)
+		}
+		if shards == 0 {
+			shards = b.Shards
+		} else if b.Shards != shards {
+			return 0, nil, fmt.Errorf("inconsistent shard topology: %s declares %d shards, others %d", b.ID, b.Shards, shards)
+		}
+		present[b.Shard] = true
+	}
+	return shards, present, nil
+}
+
+// handleSearch serves the aggregator API: scatter to all shards, merge
+// under global statistics, best-effort partial results on shard budget
+// misses.
+func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodPost {
+		f.errsC.With("bad_method").Inc()
+		writeEnvelope(w, http.StatusMethodNotAllowed, "bad_method", reqID, "POST required")
+		return
+	}
+	start := time.Now()
+	var req shard.SearchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		f.errsC.With("bad_body").Inc()
+		writeEnvelope(w, http.StatusBadRequest, "bad_body", reqID, "decoding search request: "+err.Error())
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+
+	ready := f.reg.ReadyFor(KindSearch)
+	if len(ready) == 0 {
+		f.errsC.With("no_backends").Inc()
+		f.shardSearches.With("error").Inc()
+		writeEnvelope(w, http.StatusServiceUnavailable, "no_backends", reqID, "no search shards registered")
+		return
+	}
+	shards, present, err := shardTopology(ready)
+	if err != nil {
+		f.errsC.With("shard_topology").Inc()
+		f.shardSearches.With("error").Inc()
+		writeEnvelope(w, http.StatusServiceUnavailable, "shard_topology", reqID, err.Error())
+		return
+	}
+
+	budget := f.cfg.ShardBudget
+	if ms, perr := strconv.Atoi(r.Header.Get(ShardBudgetHeader)); perr == nil && ms > 0 {
+		budget = time.Duration(ms) * time.Millisecond
+	}
+
+	terms := search.QueryTerms(req.Query)
+	leafBody, _ := json.Marshal(shard.Request{Terms: terms, K: shard.Overfetch(req.K)})
+
+	ctx := telemetry.ContextWithRequestID(r.Context(), reqID)
+	ctx, tr := telemetry.StartTrace(ctx, "frontend search")
+
+	type arm struct {
+		shard int
+		resp  shard.Response
+		ok    bool
+	}
+	arms := make([]arm, 0, shards)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for si := 0; si < shards; si++ {
+		if !present[si] {
+			// No ready replica for this partition: it fails without an
+			// attempt and the merge proceeds best-effort.
+			mu.Lock()
+			arms = append(arms, arm{shard: si})
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, budget)
+			defer cancel()
+			spCtx, sp := telemetry.StartSpan(sctx, fmt.Sprintf("shard %d/%d", si, shards))
+			defer sp.End()
+			res, derr := f.dispatch(spCtx, KindSearch, "/v1/shard/search", "application/json", leafBody, reqID, "", func(b *Backend) bool {
+				return b.Shards == shards && b.Shard == si
+			})
+			a := arm{shard: si}
+			if derr == nil && res.ok() && res.status == http.StatusOK {
+				if json.Unmarshal(res.body, &a.resp) == nil {
+					a.ok = true
+				}
+			}
+			mu.Lock()
+			arms = append(arms, a)
+			mu.Unlock()
+		}(si)
+	}
+	wg.Wait()
+	tr.Finish()
+	f.traces.Add(tr)
+
+	var resps []shard.Response
+	var failed []int
+	for _, a := range arms {
+		if a.ok {
+			resps = append(resps, a.resp)
+		} else {
+			failed = append(failed, a.shard)
+		}
+	}
+	sort.Ints(failed)
+	if len(resps) == 0 {
+		f.errsC.With("shard_failure").Inc()
+		f.shardSearches.With("error").Inc()
+		writeEnvelope(w, http.StatusServiceUnavailable, "shard_failure", reqID, fmt.Sprintf("all %d shards failed or missed the %s budget", shards, budget))
+		return
+	}
+
+	resp := shard.SearchResponse{
+		Results:      shard.Merge(terms, resps, req.K),
+		Partial:      len(failed) > 0,
+		Shards:       shards,
+		FailedShards: failed,
+	}
+	if resp.Partial {
+		f.shardPartials.Inc()
+		f.shardSearches.With("partial").Inc()
+	} else {
+		f.shardSearches.With("full").Inc()
+	}
+	f.queries.With(KindSearch).Inc()
+	f.shardLat.Observe(time.Since(start))
+	f.queryLat.With(KindSearch).ObserveTrace(time.Since(start), reqID)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,128 @@
+package dcsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulateFanoutMaxSemantics(t *testing.T) {
+	// One request, two shards: the response is the slower arm.
+	res, err := SimulateFanout(
+		[]time.Duration{0},
+		[][]time.Duration{{10 * time.Millisecond, 20 * time.Millisecond}},
+		FanoutSpec{Shards: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partials != 0 {
+		t.Fatalf("partials = %d without a budget", res.Partials)
+	}
+	if res.Response.Max != 20*time.Millisecond {
+		t.Fatalf("response = %v, want the slower arm (20ms)", res.Response.Max)
+	}
+}
+
+func TestSimulateFanoutBudgetCapsAndCountsPartials(t *testing.T) {
+	// Shard 1 is pathologically slow; the budget converts its tail into
+	// a bounded response tagged partial.
+	res, err := SimulateFanout(
+		[]time.Duration{0, time.Second},
+		[][]time.Duration{
+			{10 * time.Millisecond, 500 * time.Millisecond},
+			{10 * time.Millisecond, 20 * time.Millisecond},
+		},
+		FanoutSpec{Shards: 2, Budget: 100 * time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partials != 1 {
+		t.Fatalf("partials = %d, want 1", res.Partials)
+	}
+	if res.Response.Max != 100*time.Millisecond {
+		t.Fatalf("partial response = %v, want the 100ms budget", res.Response.Max)
+	}
+	if got := res.PartialRate(); got != 0.5 {
+		t.Fatalf("partial rate = %v, want 0.5", got)
+	}
+	// The uncapped per-shard view still shows the real 500ms completion.
+	if res.PerShard[1].Max < 500*time.Millisecond {
+		t.Fatalf("per-shard max = %v, want the uncapped 500ms", res.PerShard[1].Max)
+	}
+}
+
+func TestSimulateFanoutQueueing(t *testing.T) {
+	// Two simultaneous arrivals on one shard queue FIFO: the second
+	// waits for the first.
+	res, err := SimulateFanout(
+		[]time.Duration{0, 0},
+		[][]time.Duration{{10 * time.Millisecond}, {10 * time.Millisecond}},
+		FanoutSpec{Shards: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response.Max != 20*time.Millisecond {
+		t.Fatalf("queued response = %v, want 20ms", res.Response.Max)
+	}
+	if res.Utilization < 0.99 {
+		t.Fatalf("back-to-back work should saturate the shard, util = %v", res.Utilization)
+	}
+}
+
+func TestSimulateFanoutTailAtScale(t *testing.T) {
+	// The tail-at-scale effect: with i.i.d. exponential shard demands,
+	// waiting for the max of more shards stretches the tail; a budget
+	// bounds it and surfaces the loss as a partial rate instead.
+	const n = 4000
+	mean := 10 * time.Millisecond
+	arrivals := PoissonArrivals(20, n, 7)
+
+	p99 := map[int]time.Duration{}
+	for _, shards := range []int{1, 4, 16} {
+		sv, err := ShardServices(ExponentialServices(mean, n*shards, int64(100+shards)), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateFanout(arrivals, sv, FanoutSpec{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p99[shards] = res.Response.P99
+	}
+	if !(p99[1] < p99[4] && p99[4] < p99[16]) {
+		t.Fatalf("fan-out p99 must grow with shard count: %v", p99)
+	}
+
+	budget := 50 * time.Millisecond
+	sv, _ := ShardServices(ExponentialServices(mean, n*16, 116), 16)
+	res, err := SimulateFanout(arrivals, sv, FanoutSpec{Shards: 16, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response.Max > budget {
+		t.Fatalf("budgeted response max %v exceeds budget %v", res.Response.Max, budget)
+	}
+	if res.Partials == 0 {
+		t.Fatal("a 16-way fan-out under a tight budget must shed some shards")
+	}
+	if res.PartialRate() > 0.5 {
+		t.Fatalf("partial rate %v implausibly high for a 5x-mean budget", res.PartialRate())
+	}
+}
+
+func TestSimulateFanoutValidation(t *testing.T) {
+	if _, err := SimulateFanout(nil, nil, FanoutSpec{Shards: 1}); err == nil {
+		t.Fatal("empty trace must error")
+	}
+	if _, err := SimulateFanout([]time.Duration{0}, [][]time.Duration{{0}}, FanoutSpec{}); err == nil {
+		t.Fatal("zero shards must error")
+	}
+	if _, err := SimulateFanout([]time.Duration{0}, [][]time.Duration{{0, 0}}, FanoutSpec{Shards: 3}); err == nil {
+		t.Fatal("shard-count mismatch must error")
+	}
+	if _, err := ShardServices(make([]time.Duration, 7), 2); err == nil {
+		t.Fatal("indivisible draw count must error")
+	}
+}

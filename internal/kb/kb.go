@@ -7,8 +7,6 @@
 package kb
 
 import (
-	"fmt"
-	"math/rand"
 	"strings"
 
 	"sirius/internal/hmm"
@@ -160,31 +158,10 @@ func CorpusDocCount(cfg CorpusConfig) int {
 
 // BuildCorpus renders the fact base into an indexed corpus.
 func BuildCorpus(cfg CorpusConfig) *search.Index {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	ix := search.NewIndex()
-	filler := func() string {
-		var sb strings.Builder
-		for s := 0; s < cfg.FillerSentences; s++ {
-			n := 5 + rng.Intn(8)
-			for w := 0; w < n; w++ {
-				sb.WriteString(fillerWords[rng.Intn(len(fillerWords))])
-				sb.WriteByte(' ')
-			}
-			sb.WriteString(". ")
-		}
-		return sb.String()
-	}
-	for fi, f := range Facts {
-		phrases := relationPhrases[f.Relation]
-		for p := 0; p < paraphraseCount(fi, cfg); p++ {
-			sentence := fmt.Sprintf(phrases[p%len(phrases)], f.Subject, f.Object)
-			title := fmt.Sprintf("%s %s", f.Subject, f.Relation)
-			ix.Add(title, strings.ToLower(sentence)+". "+filler())
-		}
-	}
-	for d := 0; d < cfg.DistractorDocs; d++ {
-		ix.Add(fmt.Sprintf("misc %d", d), filler())
-	}
+	ForEachCorpusDoc(cfg, func(_ int, title, body string) {
+		ix.Add(title, body)
+	})
 	return ix
 }
 

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -20,7 +21,10 @@ import (
 	"sirius/internal/gmm"
 	"sirius/internal/hmm"
 	"sirius/internal/imm"
+	"sirius/internal/kb"
 	"sirius/internal/mat"
+	"sirius/internal/search"
+	"sirius/internal/shard"
 	"sirius/internal/vision"
 )
 
@@ -207,6 +211,57 @@ func kdResults(rng *rand.Rand, minTime time.Duration) []Result {
 	}
 }
 
+// shardResults measures the sharded search tier end to end in-process:
+// scatter one query to every shard (shard.Exec on its partition of a
+// synthetic corpus, one goroutine per shard, mirroring the aggregator's
+// fan-out) and merge under global statistics. Shard counts 1/2/4 at
+// 100k documents; large additionally sweeps a 1M-document corpus (the
+// web-scale shape, minutes of index build, so it is opt-in).
+func shardResults(minTime time.Duration, large bool) []Result {
+	type size struct {
+		docs int
+		tag  string
+	}
+	sizes := []size{{100_000, "100k"}}
+	if large {
+		sizes = append(sizes, size{1_000_000, "1m"})
+	}
+	var out []Result
+	for _, sz := range sizes {
+		cfg := kb.DefaultSynthConfig()
+		cfg.Docs = sz.docs
+		const nq = 64
+		queries := make([][]string, nq)
+		for i := range queries {
+			queries[i] = search.QueryTerms(kb.SynthQuery(cfg, i))
+		}
+		for _, shards := range []int{1, 2, 4} {
+			ixs := make([]*search.Index, shards)
+			for s := range ixs {
+				ixs[s] = kb.BuildSynthShard(cfg, s, shards)
+			}
+			qi := 0
+			out = append(out, measure(fmt.Sprintf("shard_search_%dx%s", shards, sz.tag), shards, minTime, func() {
+				terms := queries[qi%nq]
+				qi++
+				req := shard.Request{Terms: terms, K: shard.Overfetch(10)}
+				resps := make([]shard.Response, len(ixs))
+				var wg sync.WaitGroup
+				for s := range ixs {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						resps[s] = shard.Exec(ixs[s], req, s, len(ixs))
+					}(s)
+				}
+				wg.Wait()
+				_ = shard.Merge(terms, resps, 10)
+			}))
+		}
+	}
+	return out
+}
+
 // Run sweeps every kernel. minTime bounds each measurement's timed loop;
 // large additionally runs the 512x2048x2048 acceptance GEMM (minutes of
 // CPU on a small box, so it is opt-in).
@@ -225,6 +280,7 @@ func Run(minTime time.Duration, large bool) (Report, error) {
 	}
 	rep.Results = append(rep.Results, vit...)
 	rep.Results = append(rep.Results, kdResults(rng, minTime)...)
+	rep.Results = append(rep.Results, shardResults(minTime, large)...)
 	return rep, nil
 }
 

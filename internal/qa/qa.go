@@ -56,7 +56,12 @@ type Answer struct {
 	// mid-retrieval: the answer aggregates only the documents filtered so
 	// far (graceful degradation rather than a hard failure).
 	Truncated bool
-	Timings   Timings
+	// PartialRetrieval reports that the sharded search tier answered
+	// best-effort (at least one corpus shard missed its budget), so the
+	// candidate pool may be narrower than the full corpus would give.
+	// Implies Truncated.
+	PartialRetrieval bool
+	Timings          Timings
 }
 
 // questionPattern maps a question regex to a relation whose answer
@@ -86,9 +91,19 @@ var answerTemplates = map[string][]string{
 	"rating":   {`SUBJ has a rating of (\w+) stars`, `the rating of SUBJ is (\w+)`},
 }
 
+// Retriever is a pluggable document-retrieval stage. The sharded
+// search tier's client (internal/shard.Client) satisfies it
+// structurally — the signature uses only plain search values, so this
+// package never imports the shard tier. partial reports a best-effort
+// result set (some corpus shards missed their budget).
+type Retriever interface {
+	Retrieve(ctx context.Context, query string, k int) (results []search.Result, partial bool, err error)
+}
+
 // Engine is a ready-to-serve QA service.
 type Engine struct {
 	index      *search.Index
+	retriever  Retriever // when set, retrieval goes here; index is the fallback
 	tagger     *crf.Tagger
 	questions  []questionPattern
 	docFilters []*regex.Regexp
@@ -167,6 +182,12 @@ func NewEngine(ix *search.Index, tagger *crf.Tagger, cfg Config) *Engine {
 	}
 	return e
 }
+
+// SetRetriever routes the retrieval stage through r (the sharded
+// search tier); the embedded index remains the fallback when r errors.
+// Pass nil to restore embedded-index retrieval. Call before serving —
+// not safe concurrently with AskContext.
+func (e *Engine) SetRetriever(r Retriever) { e.retriever = r }
 
 // docSentences splits a document into sentences with their stem sets,
 // via the cache when enabled.
@@ -274,7 +295,23 @@ func (e *Engine) AskContext(ctx context.Context, question string) Answer {
 
 	start := time.Now()
 	var results []search.Result
-	telemetry.WithKernel(ctx, "qa", "retrieval", func(context.Context) {
+	telemetry.WithKernel(ctx, "qa", "retrieval", func(kctx context.Context) {
+		if e.retriever != nil {
+			r, partial, err := e.retriever.Retrieve(kctx, question, e.topK)
+			if err == nil {
+				results = r
+				if partial {
+					ans.PartialRetrieval = true
+					ans.Truncated = true
+				}
+				return
+			}
+			// The remote tier failed outright (distinct from answering
+			// partially): degrade to the embedded index if one exists.
+			if e.index == nil {
+				return
+			}
+		}
 		results = e.index.Search(question, e.topK)
 	})
 	ans.Timings.Retrieval = time.Since(start)

@@ -1,11 +1,14 @@
 package qa
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"sirius/internal/kb"
 	"sirius/internal/nlp/crf"
+	"sirius/internal/search"
 )
 
 var sharedEngine *Engine
@@ -227,5 +230,71 @@ func TestAnswerEvidence(t *testing.T) {
 	}
 	if !strings.Contains(ans.Evidence, "italy") {
 		t.Fatalf("evidence %q must mention the subject", ans.Evidence)
+	}
+}
+
+// stubRetriever satisfies Retriever with canned behavior: it can relay
+// to a real index, tag results partial, or fail outright.
+type stubRetriever struct {
+	ix      *search.Index
+	partial bool
+	err     error
+	calls   int
+}
+
+func (s *stubRetriever) Retrieve(ctx context.Context, query string, k int) ([]search.Result, bool, error) {
+	s.calls++
+	if s.err != nil {
+		return nil, false, s.err
+	}
+	return s.ix.Search(query, k), s.partial, nil
+}
+
+func TestRetrieverRoutesRetrieval(t *testing.T) {
+	ix := kb.BuildCorpus(kb.DefaultCorpusConfig())
+	e := NewEngine(ix, nil, Config{TopK: 10})
+	r := &stubRetriever{ix: ix}
+	e.SetRetriever(r)
+	ans := e.Ask("what is the capital of italy")
+	if ans.Text != "rome" {
+		t.Fatalf("answer via retriever: %q", ans.Text)
+	}
+	if r.calls == 0 {
+		t.Fatal("retriever was not consulted")
+	}
+	if ans.Truncated || ans.PartialRetrieval {
+		t.Fatal("full retrieval must not be marked partial")
+	}
+}
+
+func TestRetrieverPartialMarksAnswer(t *testing.T) {
+	ix := kb.BuildCorpus(kb.DefaultCorpusConfig())
+	e := NewEngine(ix, nil, Config{TopK: 10})
+	e.SetRetriever(&stubRetriever{ix: ix, partial: true})
+	ans := e.Ask("what is the capital of italy")
+	if !ans.PartialRetrieval || !ans.Truncated {
+		t.Fatalf("partial retrieval must mark the answer: %+v", ans)
+	}
+	if ans.Text != "rome" {
+		t.Fatalf("partial retrieval still answers: %q", ans.Text)
+	}
+}
+
+func TestRetrieverErrorFallsBackToIndex(t *testing.T) {
+	ix := kb.BuildCorpus(kb.DefaultCorpusConfig())
+	e := NewEngine(ix, nil, Config{TopK: 10})
+	r := &stubRetriever{err: errors.New("tier down")}
+	e.SetRetriever(r)
+	ans := e.Ask("what is the capital of france")
+	if ans.Text != "paris" {
+		t.Fatalf("fallback answer: %q", ans.Text)
+	}
+	if r.calls == 0 {
+		t.Fatal("retriever should have been tried first")
+	}
+	// Clearing the retriever restores embedded retrieval.
+	e.SetRetriever(nil)
+	if got := e.Ask("what is the capital of france").Text; got != "paris" {
+		t.Fatalf("after clearing retriever: %q", got)
 	}
 }

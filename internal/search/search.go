@@ -3,6 +3,14 @@
 // the traditional Web Search workload that the Scalability Gap compares
 // against (§3, Apache Nutch), and the document-retrieval stage inside the
 // OpenEphyra-style question-answering pipeline (§2.3.3).
+//
+// The index is shard-aware: a corpus can be partitioned across N leaf
+// indexes (the paper's leaf/aggregator web-search topology), each
+// holding shard-local term frequencies and document lengths, while an
+// aggregator merges per-shard document frequencies and corpus sizes into
+// the GlobalStats that make distributed BM25 rank byte-identically to a
+// single index over the whole corpus. Candidates and Stats are the leaf
+// half of that protocol; internal/shard carries the aggregator half.
 package search
 
 import (
@@ -15,9 +23,14 @@ import (
 
 // Document is one indexed item.
 type Document struct {
-	ID    int
-	Title string
-	Body  string
+	ID int
+	// GlobalID is the document's corpus-wide identity. For an unsharded
+	// index it equals ID; a shard index preserves the full corpus's
+	// numbering here so merged rankings tie-break exactly like a single
+	// index over the whole corpus.
+	GlobalID int
+	Title    string
+	Body     string
 }
 
 // Result is one ranked hit.
@@ -31,6 +44,33 @@ func Tokenize(text string) []string {
 	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
 		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
 	})
+}
+
+// stopwords is the shared English stopword set every index consults.
+// Package-level because it never varies per index: N shard indexes in
+// one process would otherwise each rebuild an identical map.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "is": true,
+	"was": true, "are": true, "to": true, "in": true, "and": true,
+	"it": true, "its": true,
+}
+
+// Stopword reports whether t is on the shared English stopword list.
+func Stopword(t string) bool { return stopwords[t] }
+
+// QueryTerms tokenizes a query and drops stopwords — exactly the term
+// sequence Search scores (duplicates preserved, order preserved). The
+// sharded tier uses it on both sides of the wire so leaf and aggregator
+// agree on term positions.
+func QueryTerms(query string) []string {
+	toks := Tokenize(query)
+	terms := toks[:0]
+	for _, t := range toks {
+		if !stopwords[t] {
+			terms = append(terms, t)
+		}
+	}
+	return terms
 }
 
 type posting struct {
@@ -51,41 +91,51 @@ type Index struct {
 	// titleBoost weights title occurrences (BM25F-style field boost):
 	// a term in the title counts as titleBoost body occurrences.
 	titleBoost int
-	stopwords  map[string]bool
 }
 
 // NewIndex returns an empty index with standard BM25 parameters
-// (k1=1.2, b=0.75) and a small English stopword list.
+// (k1=1.2, b=0.75) and the shared English stopword list.
 func NewIndex() *Index {
-	stop := map[string]bool{}
-	for _, w := range []string{"the", "a", "an", "of", "is", "was", "are", "to", "in", "and", "it", "its"} {
-		stop[w] = true
-	}
 	return &Index{
 		postings:   map[string][]posting{},
 		k1:         1.2,
 		b:          0.75,
 		titleBoost: 2,
-		stopwords:  stop,
 	}
 }
 
-// Add indexes a document and returns its ID.
+// Add indexes a document and returns its ID (which doubles as its
+// GlobalID — use AddGlobal when this index holds one shard of a larger
+// corpus).
 func (ix *Index) Add(title, body string) int {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.add(len(ix.docs), title, body)
+}
+
+// AddGlobal indexes one shard-local document that is globalID in the
+// full corpus's numbering. Local IDs are still assigned densely in call
+// order; callers partitioning a corpus must add documents in ascending
+// global order so local rank ties and global rank ties agree.
+func (ix *Index) AddGlobal(globalID int, title, body string) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.add(globalID, title, body)
+}
+
+func (ix *Index) add(globalID int, title, body string) int {
 	id := len(ix.docs)
-	doc := &Document{ID: id, Title: title, Body: body}
+	doc := &Document{ID: id, GlobalID: globalID, Title: title, Body: body}
 	ix.docs = append(ix.docs, doc)
 	counts := map[string]int{}
 	for _, t := range Tokenize(title) {
-		if ix.stopwords[t] {
+		if stopwords[t] {
 			continue
 		}
 		counts[t] += ix.titleBoost
 	}
 	for _, t := range Tokenize(body) {
-		if ix.stopwords[t] {
+		if stopwords[t] {
 			continue
 		}
 		counts[t]++
@@ -107,6 +157,14 @@ func (ix *Index) Len() int {
 	return len(ix.docs)
 }
 
+// TotalLen returns the summed document length (in indexed term
+// occurrences) — one of the corpus statistics an aggregator merges.
+func (ix *Index) TotalLen() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.totalLen
+}
+
 // Doc returns the document with the given ID, or nil.
 func (ix *Index) Doc(id int) *Document {
 	ix.mu.RLock()
@@ -117,44 +175,245 @@ func (ix *Index) Doc(id int) *Document {
 	return ix.docs[id]
 }
 
-// Search returns the top-k documents for query under BM25.
+// GlobalStats carries the corpus-wide statistics BM25 needs when the
+// corpus is partitioned: total document count, total corpus length, and
+// per-term document frequencies, each summed across every shard. With
+// these, a shard scores its local postings exactly as the unsharded
+// index would.
+type GlobalStats struct {
+	Docs     int            // corpus-wide document count (N)
+	TotalLen int            // corpus-wide summed document length
+	DocFreq  map[string]int // corpus-wide df per query term
+}
+
+// IDF is the BM25 inverse document frequency for a term appearing in df
+// of n documents. Exported so leaf and aggregator score with the same
+// expression (and thus identical floating-point results).
+func IDF(df, n int) float64 {
+	return math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+}
+
+// TFNorm is the BM25 term-frequency saturation for a term occurring tf
+// times in a document of length docLen, against corpus average avgLen.
+func TFNorm(tf, docLen, avgLen, k1, b float64) float64 {
+	return tf * (k1 + 1) / (tf + k1*(1-b+b*docLen/avgLen))
+}
+
+// BM25K1 and BM25B are the index's fixed BM25 parameters, exported for
+// the aggregator-side rescoring in internal/shard.
+const (
+	BM25K1 = 1.2
+	BM25B  = 0.75
+)
+
+// scoresPool recycles the per-query docID->score accumulator map:
+// retrieval is on the QA hot path and the map would otherwise be an
+// O(matching docs) allocation per query.
+var scoresPool = sync.Pool{
+	New: func() any { return make(map[int]float64, 64) },
+}
+
+func getScores() map[int]float64 { return scoresPool.Get().(map[int]float64) }
+
+func putScores(m map[int]float64) {
+	clear(m)
+	scoresPool.Put(m)
+}
+
+// Search returns the top-k documents for query under BM25 using this
+// index's own (local) statistics.
 func (ix *Index) Search(query string, k int) []Result {
+	return ix.SearchGlobal(query, k, nil)
+}
+
+// SearchGlobal is Search with aggregator-supplied corpus statistics:
+// when gs is non-nil, document frequencies, corpus size, and average
+// document length come from gs instead of this index, so a shard ranks
+// its slice of the corpus exactly as the whole-corpus index would.
+// gs == nil scores with local statistics.
+func (ix *Index) SearchGlobal(query string, k int, gs *GlobalStats) []Result {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if len(ix.docs) == 0 || k <= 0 {
 		return nil
 	}
-	avgLen := float64(ix.totalLen) / float64(len(ix.docs))
-	scores := map[int]float64{}
-	for _, term := range Tokenize(query) {
-		if ix.stopwords[term] {
-			continue
-		}
+	scores := getScores()
+	defer putScores(scores)
+	ix.score(QueryTerms(query), gs, scores)
+	top := topKByScore(scores, k)
+	results := make([]Result, len(top))
+	for i, e := range top {
+		results[i] = Result{Doc: ix.docs[e.id], Score: e.score}
+	}
+	return results
+}
+
+// score accumulates BM25 contributions for terms (in order) into the
+// scores map, under local or global statistics. Caller holds ix.mu.
+func (ix *Index) score(terms []string, gs *GlobalStats, scores map[int]float64) {
+	docs, totalLen := len(ix.docs), ix.totalLen
+	if gs != nil {
+		docs, totalLen = gs.Docs, gs.TotalLen
+	}
+	if docs == 0 {
+		return
+	}
+	avgLen := float64(totalLen) / float64(docs)
+	for _, term := range terms {
 		plist, ok := ix.postings[term]
 		if !ok {
 			continue
 		}
-		idf := math.Log(1 + (float64(len(ix.docs))-float64(len(plist))+0.5)/(float64(len(plist))+0.5))
+		df := len(plist)
+		if gs != nil {
+			df = gs.DocFreq[term]
+		}
+		idf := IDF(df, docs)
 		for _, p := range plist {
-			tf := float64(p.tf)
-			norm := tf * (ix.k1 + 1) / (tf + ix.k1*(1-ix.b+ix.b*float64(ix.docLen[p.docID])/avgLen))
-			scores[p.docID] += idf * norm
+			scores[p.docID] += idf * TFNorm(float64(p.tf), float64(ix.docLen[p.docID]), avgLen, ix.k1, ix.b)
 		}
 	}
-	results := make([]Result, 0, len(scores))
+}
+
+// scoredDoc is one (docID, score) pair inside the bounded top-k heap.
+type scoredDoc struct {
+	id    int
+	score float64
+}
+
+// worse reports whether a ranks strictly below b: lower score, ties
+// broken by the larger doc ID — the inverse of the final result order
+// (score descending, ID ascending).
+func worse(a, b scoredDoc) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.id > b.id
+}
+
+// topKByScore selects the k best entries of scores without sorting the
+// whole map: a bounded min-heap (rooted at the worst kept entry) holds
+// at most k candidates, so selection is O(n log k) time and O(k) space
+// instead of the former O(n log n) full sort of an O(n) slice. The
+// returned slice is ordered best-first, identical to sorting all
+// entries by (score desc, id asc) and truncating.
+func topKByScore(scores map[int]float64, k int) []scoredDoc {
+	if len(scores) == 0 {
+		return nil
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	h := make([]scoredDoc, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && worse(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && worse(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
 	for id, s := range scores {
-		results = append(results, Result{Doc: ix.docs[id], Score: s})
-	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Score != results[j].Score {
-			return results[i].Score > results[j].Score
+		e := scoredDoc{id: id, score: s}
+		if len(h) < k {
+			h = append(h, e)
+			// Sift up.
+			for i := len(h) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !worse(h[i], h[parent]) {
+					break
+				}
+				h[i], h[parent] = h[parent], h[i]
+				i = parent
+			}
+			continue
 		}
-		return results[i].Doc.ID < results[j].Doc.ID
-	})
-	if len(results) > k {
-		results = results[:k]
+		if worse(h[0], e) {
+			h[0] = e
+			siftDown(0)
+		}
 	}
-	return results
+	// Pop worst-first into the tail so the slice ends best-first.
+	out := h
+	for n := len(h) - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		h = h[:n]
+		siftDown(0)
+	}
+	return out
+}
+
+// Stats reports this index's local statistics for a query's terms:
+// df[i] is the local document frequency of terms[i], docs and totalLen
+// the local corpus size. An aggregator sums these across shards to form
+// GlobalStats.
+func (ix *Index) Stats(terms []string) (df []int, docs, totalLen int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	df = make([]int, len(terms))
+	for i, t := range terms {
+		df[i] = len(ix.postings[t])
+	}
+	return df, len(ix.docs), ix.totalLen
+}
+
+// Candidate is one shard-local document matching a query, carrying the
+// per-term frequencies and length the aggregator rescans under global
+// statistics. TF[i] is the document's term frequency for the query's
+// i-th term (title occurrences already boosted).
+type Candidate struct {
+	Doc *Document
+	Len int
+	TF  []int
+}
+
+// Candidates returns up to limit documents matching at least one of
+// terms, ranked by local-statistics BM25 (the truncation order only —
+// final ranking happens at the aggregator under global statistics).
+// limit <= 0 returns every matching document.
+func (ix *Index) Candidates(terms []string, limit int) []Candidate {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docs) == 0 {
+		return nil
+	}
+	scores := getScores()
+	defer putScores(scores)
+	ix.score(terms, nil, scores)
+	if limit <= 0 || limit > len(scores) {
+		limit = len(scores)
+	}
+	top := topKByScore(scores, limit)
+	out := make([]Candidate, len(top))
+	for i, e := range top {
+		tf := make([]int, len(terms))
+		for ti, t := range terms {
+			tf[ti] = ix.termFreq(t, e.id)
+		}
+		out[i] = Candidate{Doc: ix.docs[e.id], Len: ix.docLen[e.id], TF: tf}
+	}
+	return out
+}
+
+// termFreq looks up term's frequency in doc id via binary search over
+// the posting list (lists are built in ascending docID order). Caller
+// holds ix.mu.
+func (ix *Index) termFreq(term string, id int) int {
+	plist := ix.postings[term]
+	i := sort.Search(len(plist), func(i int) bool { return plist[i].docID >= id })
+	if i < len(plist) && plist[i].docID == id {
+		return plist[i].tf
+	}
+	return 0
 }
 
 // TermCount returns the number of distinct indexed terms.

@@ -3,6 +3,7 @@ package search
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -186,4 +187,146 @@ func TestTitleBoost(t *testing.T) {
 		t.Fatalf("title match must outrank body match: got doc %d", res[0].Doc.ID)
 	}
 	_ = inBody
+}
+
+func TestQueryTerms(t *testing.T) {
+	got := QueryTerms("What is the capital of Italy?")
+	want := []string{"what", "capital", "italy"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("got %v", got)
+	}
+	if !Stopword("the") || Stopword("capital") {
+		t.Fatal("Stopword membership wrong")
+	}
+}
+
+// referenceTopK is the pre-heap implementation: sort every entry, truncate.
+func referenceTopK(scores map[int]float64, k int) []scoredDoc {
+	all := make([]scoredDoc, 0, len(scores))
+	for id, s := range scores {
+		all = append(all, scoredDoc{id: id, score: s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestTopKHeapMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		scores := make(map[int]float64, n)
+		for i := 0; i < n; i++ {
+			// Coarse quantization to force plenty of exact ties.
+			scores[i] = float64(rng.Intn(8)) / 4
+		}
+		k := 1 + rng.Intn(12)
+		got := topKByScore(scores, k)
+		want := referenceTopK(scores, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d k=%d: pos %d: heap %+v, sort %+v", trial, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSearchGlobalWithOwnStatsMatchesLocal(t *testing.T) {
+	ix := buildIndex()
+	queries := []string{"capital Italy", "cats", "capital", "rome ancient ruins"}
+	for _, q := range queries {
+		terms := QueryTerms(q)
+		df, docs, totalLen := ix.Stats(terms)
+		gs := &GlobalStats{Docs: docs, TotalLen: totalLen, DocFreq: map[string]int{}}
+		for i, term := range terms {
+			gs.DocFreq[term] = df[i]
+		}
+		local := ix.Search(q, 10)
+		global := ix.SearchGlobal(q, 10, gs)
+		if len(local) != len(global) {
+			t.Fatalf("%q: %d vs %d results", q, len(local), len(global))
+		}
+		for i := range local {
+			if local[i].Doc.ID != global[i].Doc.ID || local[i].Score != global[i].Score {
+				t.Fatalf("%q pos %d: local %+v global %+v", q, i, local[i], global[i])
+			}
+		}
+	}
+}
+
+func TestAddGlobalPreservesGlobalIDs(t *testing.T) {
+	ix := NewIndex()
+	if id := ix.AddGlobal(7, "seven", "body text"); id != 0 {
+		t.Fatalf("local id = %d", id)
+	}
+	if id := ix.AddGlobal(11, "eleven", "body text"); id != 1 {
+		t.Fatalf("local id = %d", id)
+	}
+	if ix.Doc(0).GlobalID != 7 || ix.Doc(1).GlobalID != 11 {
+		t.Fatal("GlobalID not preserved")
+	}
+	// Plain Add keeps GlobalID == ID.
+	plain := NewIndex()
+	id := plain.Add("t", "b")
+	if plain.Doc(id).GlobalID != id {
+		t.Fatal("Add must set GlobalID == ID")
+	}
+}
+
+func TestCandidatesCarryTermFrequencies(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("rome", "rome rome italy") // tf(rome)=2*boost? title adds 2, body adds 2 => 4
+	ix.Add("paris", "paris france capital")
+	terms := []string{"rome", "italy", "missing"}
+	cands := ix.Candidates(terms, 0)
+	if len(cands) != 1 {
+		t.Fatalf("candidates: %+v", cands)
+	}
+	c := cands[0]
+	if c.Doc.Title != "rome" {
+		t.Fatalf("wrong doc: %+v", c.Doc)
+	}
+	// title "rome" boosted x2 + two body occurrences = 4.
+	if c.TF[0] != 4 || c.TF[1] != 1 || c.TF[2] != 0 {
+		t.Fatalf("tf vector: %v", c.TF)
+	}
+	if c.Len != 4+1 {
+		t.Fatalf("doc len: %d", c.Len)
+	}
+	// Limit bounds output and keeps local-BM25 order.
+	for i := 0; i < 10; i++ {
+		ix.Add(fmt.Sprintf("d%d", i), "rome mention")
+	}
+	lim := ix.Candidates([]string{"rome"}, 3)
+	if len(lim) != 3 {
+		t.Fatalf("limit: %d", len(lim))
+	}
+}
+
+func TestSearchAllocsBounded(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 500; i++ {
+		ix.Add(fmt.Sprintf("doc%d", i), "capital city river president mountain")
+	}
+	// Warm the pool.
+	ix.Search("capital city", 10)
+	allocs := testing.AllocsPerRun(50, func() {
+		ix.Search("capital city", 10)
+	})
+	// Pooled scores map: remaining allocs are the heap slice, the results
+	// slice, and tokenizer scratch — far below the former O(corpus) sort
+	// slice. Guard against regression to per-query map growth.
+	if allocs > 12 {
+		t.Fatalf("Search allocations too high: %.1f", allocs)
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"sirius/internal/nlp/regex"
 	"sirius/internal/qa"
 	"sirius/internal/search"
+	"sirius/internal/shard"
 	"sirius/internal/telemetry"
 	"sirius/internal/vision"
 )
@@ -121,6 +122,11 @@ type Config struct {
 	ASRBudget time.Duration
 	QABudget  time.Duration
 	IMMBudget time.Duration
+	// SearchFrontend routes QA retrieval through a scatter-gather
+	// frontend's /v1/search (the sharded search tier) instead of the
+	// embedded corpus index, which remains the fallback when the tier
+	// errors. "" keeps retrieval embedded.
+	SearchFrontend string
 }
 
 // DefaultConfig mirrors the benchmark setup.
@@ -199,6 +205,9 @@ func New(cfg Config) (*Pipeline, error) {
 	sents, tags := crf.TokensAndTags(samples, false)
 	tagger := crf.Train(sents, tags, crf.DefaultTrainConfig())
 	p.qaEngine = qa.NewEngine(p.corpus, tagger, cfg.QAConfig)
+	if cfg.SearchFrontend != "" {
+		p.qaEngine.SetRetriever(shard.NewClient(cfg.SearchFrontend))
+	}
 
 	labels := kb.ImageEntities()
 	images := make([]*vision.Image, len(labels))

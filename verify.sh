@@ -40,20 +40,25 @@ benchout=$(mktemp)
 go run ./cmd/sirius-bench -bench-json "$benchout" -bench-time 5ms
 rm -f "$benchout"
 
-echo "== cluster smoke (1 frontend + 2 backends, incl. shed/timeout) =="
+echo "== cluster smoke (1 frontend + 2 backends + 2 search shards) =="
 # Backend 2 runs under -max-inflight 1; the smoke asserts a 1 ms
 # X-Sirius-Timeout-Ms voice query returns the 503 timeout envelope, a
 # concurrent burst sheds with the 429 overloaded envelope + Retry-After,
 # and sirius_shed_total / sirius_timeouts_total advance on /metrics.
+# It then boots two sirius-server leaves (-shard i/2), checks /v1/search
+# scatter-gather parity against the unsharded index, kills shard 1,
+# replaces it with a -shard-delay-stalled leaf, and asserts a 250 ms
+# shard budget still answers 200 + partial:true while
+# sirius_shard_partials_total advances on a lint-clean /metrics.
 bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT
 go build -o "$bindir" ./cmd/sirius-frontend ./cmd/sirius-server ./cmd/sirius-clustersmoke
 # The smoke binary enforces its own -timeout deadline; the outer
 # `timeout` (where available) is a belt-and-braces guard against a
 # wedged runtime.
-smoke="$bindir/sirius-clustersmoke -server-bin $bindir/sirius-server -frontend-bin $bindir/sirius-frontend -timeout 90s"
+smoke="$bindir/sirius-clustersmoke -server-bin $bindir/sirius-server -frontend-bin $bindir/sirius-frontend -timeout 120s"
 if command -v timeout >/dev/null 2>&1; then
-    timeout 120 $smoke
+    timeout 180 $smoke
 else
     $smoke
 fi
