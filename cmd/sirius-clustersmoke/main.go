@@ -12,6 +12,14 @@
 // /metrics must show sirius_timeouts_total and sirius_shed_total
 // advancing.
 //
+// The streaming front door is smoked next: the same synthesized
+// utterance goes through the frontend once as a one-shot /v1/query and
+// once as a chunked /v1/stream session; the session must emit at least
+// one stabilized partial whose frame count is strictly before the
+// final's (proof the decode was incremental), the final transcript
+// must equal the one-shot's, and cluster_streams_total /
+// sirius_stream_sessions_total must go positive on their tiers.
+//
 // The smoke then stands up the sharded search tier against the same
 // frontend: two sirius-server leaves (-shard 0/2 and 1/2) register as
 // kind search, /v1/search scatter-gather must match the unsharded
@@ -55,16 +63,30 @@ import (
 	"sirius/internal/telemetry"
 )
 
-// freePort asks the kernel for an unused loopback port. There is a
-// small window before the subprocess binds it, but on a loopback-only
-// CI host that race is negligible.
+// claimedPorts remembers every port freePort has already handed out:
+// once a probe listener closes, the kernel is free to return the same
+// port to the next probe, and two cluster members racing for one port
+// makes the smoke fail in confusing ways. Accessed from run() only.
+var claimedPorts = make(map[int]bool)
+
+// freePort asks the kernel for an unused loopback port, never
+// repeating one within this process. There is still a small window
+// before the subprocess binds it, but on a loopback-only CI host that
+// race is negligible.
 func freePort() (int, error) {
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return 0, err
+	for i := 0; i < 32; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		port := l.Addr().(*net.TCPAddr).Port
+		l.Close()
+		if !claimedPorts[port] {
+			claimedPorts[port] = true
+			return port, nil
+		}
 	}
-	defer l.Close()
-	return l.Addr().(*net.TCPAddr).Port, nil
+	return 0, fmt.Errorf("freePort: kernel kept returning already-claimed ports")
 }
 
 // proc is one spawned cluster member with its captured output.
@@ -579,6 +601,119 @@ func run() (err error) {
 		}
 	}
 	log.Printf("sirius_timeouts_total and sirius_shed_total advanced")
+
+	// --- Streaming ASR smoke through the frontend ---
+	// The same recording goes through both voice front doors: one-shot
+	// as a /v1/query WAV body, and incrementally as a chunked /v1/stream
+	// session relayed through the frontend to one sticky asr backend.
+	// The session must surface a stabilized partial while audio is still
+	// arriving (partial frames strictly before the final frame count)
+	// and its final transcript must be identical to the one-shot path —
+	// the chunked front-end and incremental decoder are bit-exact, so
+	// any divergence is a real serving bug.
+	{
+		streamText := "set my alarm for eight"
+		streamSamples, err := asr.SynthesizeText(lex, streamText, 11)
+		if err != nil {
+			return err
+		}
+		body, ctype, err := sirius.BuildJSONQuery(streamSamples, nil, "")
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, frontURL+"/v1/query", body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", ctype)
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("one-shot voice query: %w", err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("one-shot voice query: status %s; body %s", resp.Status, payload)
+		}
+		var oneShot struct {
+			Transcript string `json:"transcript"`
+		}
+		if err := json.Unmarshal(payload, &oneShot); err != nil {
+			return fmt.Errorf("one-shot voice query: bad response %q: %w", payload, err)
+		}
+		if oneShot.Transcript == "" {
+			return fmt.Errorf("one-shot voice query: empty transcript; body %s", payload)
+		}
+
+		var partials []sirius.StreamEvent
+		final, err := sirius.StreamSamples(ctx, client, frontURL+"/v1/stream", streamSamples, 1600, nil, func(ev sirius.StreamEvent) {
+			if ev.Type == "partial" {
+				partials = append(partials, ev)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("streamed voice query: %w", err)
+		}
+		if final.Type != "final" {
+			return fmt.Errorf("streamed voice query: terminal event %+v", final)
+		}
+		if final.Text != oneShot.Transcript {
+			return fmt.Errorf("streamed transcript %q differs from one-shot %q", final.Text, oneShot.Transcript)
+		}
+		if len(partials) == 0 {
+			return fmt.Errorf("streamed voice query: no stable partial before end of audio")
+		}
+		for _, p := range partials {
+			if p.Text == "" || p.Frames <= 0 || p.Frames >= final.Frames {
+				return fmt.Errorf("streamed voice query: partial %+v not strictly before the final (%d frames)", p, final.Frames)
+			}
+		}
+		log.Printf("streamed /v1/stream: %d partials before end-of-audio, final %q == one-shot transcript", len(partials), final.Text)
+
+		// The session must show on both tiers' expositions: the relay
+		// counter on the frontend, the session counter on whichever
+		// backend served it. Both tiers finish their accounting just
+		// after the client reads the final event, so poll briefly.
+		scrape := func(url string) (string, error) {
+			resp, err := client.Get(url)
+			if err != nil {
+				return "", err
+			}
+			text, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return string(text), nil
+		}
+		relayed, served := false, false
+		for i := 0; i < 40 && !(relayed && served); i++ {
+			if !relayed {
+				mtext, err := scrape(frontURL + "/metrics")
+				if err != nil {
+					return err
+				}
+				relayed = metricPositive(mtext, `cluster_streams_total{outcome="ok"}`)
+			}
+			for _, port := range []int{b1Port, b2Port} {
+				if served {
+					break
+				}
+				btext, err := scrape(fmt.Sprintf("http://127.0.0.1:%d/metrics", port))
+				if err != nil {
+					return err
+				}
+				served = metricPositive(btext, `sirius_stream_sessions_total{outcome="ok"}`)
+			}
+			if !(relayed && served) {
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		if !relayed {
+			return fmt.Errorf("frontend /metrics: cluster_streams_total{outcome=\"ok\"} never went positive")
+		}
+		if !served {
+			return fmt.Errorf("no backend /metrics shows sirius_stream_sessions_total{outcome=\"ok\"} > 0")
+		}
+		log.Printf("stream session visible on both tiers' /metrics")
+	}
 
 	// --- Sharded search tier smoke: 1 frontend + 2 search-shard leaves ---
 	// Two sirius-server processes in leaf mode (-shard i/2) register with

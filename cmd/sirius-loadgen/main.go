@@ -96,6 +96,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics (with exemplars) and /slo for the in-flight run on this address (\"\" = off)")
 	searchMode := flag.Bool("search", false, "drive the sharded search tier: POST /v1/search queries against a frontend and report the partial-result rate")
 	searchK := flag.Int("search-k", 10, "top-k results per query in -search mode")
+	streamMode := flag.Bool("stream", false, "drive the streaming ASR path: every query becomes a chunked /v1/stream session; reports first-partial vs final latency percentiles")
+	streamChunk := flag.Int("stream-chunk", 3200, "audio samples per chunk in -stream mode (3200 = 200 ms at 16 kHz)")
 	flag.Parse()
 	if *server != "" {
 		addrs = append(addrs, strings.TrimRight(*server, "/"))
@@ -243,6 +245,58 @@ func main() {
 		}
 	}
 
+	// Stream mode turns every query into a chunked /v1/stream session.
+	// Two clocks matter and the report keeps them apart: time to the
+	// first stabilized partial (what a UI shows while the user talks)
+	// and time to the final transcript. The final-latency clock matches
+	// what the other modes measure, so the loadgen.Run percentiles stay
+	// comparable; the first-partial histogram is the streaming win.
+	streamVec := telemetry.NewHistogramVec("event")
+	var streamsOK atomic.Int64
+	if *streamMode {
+		lex, _ := kb.BuildLexicon()
+		for i := range queries {
+			if queries[i].samples == nil {
+				samples, err := asr.SynthesizeText(lex, queries[i].text, int64(100+i))
+				if err != nil {
+					log.Fatalf("synthesizing %q: %v", queries[i].text, err)
+				}
+				queries[i].samples = samples
+			}
+		}
+		header := http.Header{}
+		if *deadline > 0 {
+			header.Set("X-Sirius-Timeout-Ms", fmt.Sprintf("%d", deadline.Milliseconds()))
+		}
+		send = func(i int) (string, string, error) {
+			q := queries[i%len(queries)]
+			target := addrs[i%len(addrs)]
+			start := time.Now()
+			sawPartial := false
+			ev, err := sirius.StreamSamples(context.Background(), client, target+"/v1/stream", q.samples, *streamChunk, header, func(ev sirius.StreamEvent) {
+				if ev.Type == "partial" && !sawPartial {
+					sawPartial = true
+					streamVec.With("first_partial").Observe(time.Since(start))
+				}
+			})
+			if err != nil {
+				if strings.Contains(err.Error(), "overloaded") {
+					sheds.Add(1)
+				}
+				return "stream", target, err
+			}
+			if ev.Type == "error" {
+				if ev.Reason == "timeout" {
+					timeouts.Add(1)
+				}
+				return "stream", target, fmt.Errorf("stream error: %s: %s", ev.Reason, ev.Message)
+			}
+			streamVec.With("final").Observe(time.Since(start))
+			streamsOK.Add(1)
+			return "stream", target, nil
+		}
+	}
+
 	// Client-side observability: every completed request lands in a local
 	// exemplar-carrying histogram keyed by kind, which feeds a client-eye
 	// SLO (the server's /slo says what it served; this says what callers
@@ -317,6 +371,13 @@ func main() {
 	if to := timeouts.Load(); to > 0 {
 		fmt.Printf("\ndeadline-expired: %d/%d (%.1f%% of queries got 503 timeout)\n",
 			to, *n, 100*float64(to)/float64(*n))
+	}
+	if ok := streamsOK.Load(); *streamMode && ok > 0 {
+		fp, fin := streamVec.With("first_partial"), streamVec.With("final")
+		fmt.Printf("\nstreaming: %d/%d sessions finished; first-partial p50=%v p95=%v (%d sessions emitted partials), final p50=%v p95=%v\n",
+			ok, *n,
+			fp.Quantile(0.50).Round(time.Microsecond), fp.Quantile(0.95).Round(time.Microsecond), fp.Count(),
+			fin.Quantile(0.50).Round(time.Microsecond), fin.Quantile(0.95).Round(time.Microsecond))
 	}
 	if got := searched.Load(); got > 0 {
 		fmt.Printf("\npartial search results: %d/%d (%.1f%% of answered queries dropped at least one shard)\n",

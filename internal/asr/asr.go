@@ -558,13 +558,7 @@ func (r *Recognizer) RecognizeContext(ctx context.Context, samples []float64) (R
 	}
 	telemetry.RecordKernel("asr", scoringKernel, tm.Scoring)
 	telemetry.RecordKernel("asr", "viterbi", tm.Search)
-	words := res.Words[:0:0]
-	for _, w := range res.Words {
-		if w != hmm.SilenceWord {
-			words = append(words, w)
-		}
-	}
-	return Result{Text: strings.Join(words, " "), Score: res.Score, Timings: tm}, nil
+	return Result{Text: strings.Join(filterSilence(res.Words), " "), Score: res.Score, Timings: tm}, nil
 }
 
 // SynthesizeText renders a word sequence to speech using the lexicon's

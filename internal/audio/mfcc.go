@@ -122,86 +122,11 @@ func (fe *FrontEnd) Frames(n int) int {
 }
 
 // Extract computes the MFCC feature matrix for samples: one row per frame.
+// It is a one-shot run of the streaming extractor, so chunked and
+// whole-utterance extraction share a single implementation.
 func (fe *FrontEnd) Extract(samples []float64) [][]float64 {
-	cfg := fe.cfg
-	nFrames := fe.Frames(len(samples))
-	static := make([][]float64, nFrames)
-	frame := make([]float64, cfg.FrameLen)
-	logmel := make([]float64, cfg.NumFilters)
-	for f := 0; f < nFrames; f++ {
-		off := f * cfg.FrameShift
-		// Pre-emphasis + windowing.
-		prev := 0.0
-		if off > 0 {
-			prev = samples[off-1]
-		}
-		for i := 0; i < cfg.FrameLen; i++ {
-			s := samples[off+i]
-			frame[i] = (s - cfg.PreEmph*prev) * fe.window[i]
-			prev = s
-		}
-		spec := PowerSpectrum(frame, cfg.FFTSize)
-		for m, taps := range fe.filters {
-			var e float64
-			for _, t := range taps {
-				e += t.weight * spec[t.bin]
-			}
-			logmel[m] = math.Log(e + 1e-10)
-		}
-		ceps := make([]float64, cfg.NumCeps)
-		for k := 0; k < cfg.NumCeps; k++ {
-			var s float64
-			for n := 0; n < cfg.NumFilters; n++ {
-				s += fe.dct[k][n] * logmel[n]
-			}
-			ceps[k] = s
-		}
-		static[f] = ceps
-	}
-	if !cfg.Deltas {
-		return static
-	}
-	return appendDeltas(static, cfg.NumCeps)
-}
-
-// appendDeltas widens each static vector with first and second order
-// regression deltas over a +/-2 frame window.
-func appendDeltas(static [][]float64, numCeps int) [][]float64 {
-	n := len(static)
-	out := make([][]float64, n)
-	deltas := make([][]float64, n)
-	clamp := func(i int) int {
-		if i < 0 {
-			return 0
-		}
-		if i >= n {
-			return n - 1
-		}
-		return i
-	}
-	delta := func(src [][]float64, t, k int) float64 {
-		// Standard regression formula with window 2: sum(i*(x[t+i]-x[t-i])) / (2*sum(i^2)).
-		var num float64
-		for i := 1; i <= 2; i++ {
-			num += float64(i) * (src[clamp(t+i)][k] - src[clamp(t-i)][k])
-		}
-		return num / 10
-	}
-	for t := 0; t < n; t++ {
-		d := make([]float64, numCeps)
-		for k := 0; k < numCeps; k++ {
-			d[k] = delta(static, t, k)
-		}
-		deltas[t] = d
-	}
-	for t := 0; t < n; t++ {
-		v := make([]float64, numCeps*3)
-		copy(v, static[t])
-		copy(v[numCeps:], deltas[t])
-		for k := 0; k < numCeps; k++ {
-			v[2*numCeps+k] = delta(deltas, t, k)
-		}
-		out[t] = v
-	}
-	return out
+	se := fe.NewStreamExtractor()
+	out := make([][]float64, 0, fe.Frames(len(samples)))
+	out = append(out, se.Push(samples)...)
+	return append(out, se.Flush()...)
 }

@@ -90,6 +90,33 @@ func ReadWAV(r io.Reader) (samples []float64, sampleRate int, err error) {
 	return nil, 0, errors.New("audio: no data chunk")
 }
 
+// EncodePCM16 encodes samples (range [-1, 1], clipped) as raw 16-bit
+// little-endian mono PCM — the /v1/stream chunk payload. Quantization
+// matches WriteWAV so a streamed utterance and the same audio sent as
+// a WAV body decode to bit-identical sample values.
+func EncodePCM16(samples []float64) []byte {
+	buf := make([]byte, len(samples)*2)
+	for i, s := range samples {
+		v := math.Max(-1, math.Min(1, s))
+		binary.LittleEndian.PutUint16(buf[i*2:], uint16(int16(v*32767)))
+	}
+	return buf
+}
+
+// DecodePCM16 decodes raw 16-bit little-endian mono PCM. A trailing
+// odd byte is an encoding error.
+func DecodePCM16(data []byte) ([]float64, error) {
+	if len(data)%2 != 0 {
+		return nil, errors.New("audio: odd-length PCM16 payload")
+	}
+	samples := make([]float64, len(data)/2)
+	for i := range samples {
+		v := int16(binary.LittleEndian.Uint16(data[i*2:]))
+		samples[i] = float64(v) / 32767
+	}
+	return samples, nil
+}
+
 // Resample converts samples from one rate to another with linear
 // interpolation — sufficient for speech where the front-end's mel
 // filters smooth over interpolation artifacts. Upsampling does not

@@ -31,6 +31,7 @@ type stubBackend struct {
 	mu      sync.Mutex
 	lastID  string // X-Request-Id seen on the last /query
 	queries atomic.Int64
+	streams atomic.Int64 // /v1/stream sessions served
 }
 
 func newStubBackend(t *testing.T, name string) *stubBackend {
@@ -70,6 +71,36 @@ func newStubBackend(t *testing.T, name string) *stubBackend {
 			return
 		}
 		fmt.Fprintf(w, "answer from %s", name)
+	})
+	// A minimal /v1/stream: one partial echoed per chunk as it arrives
+	// (flushed immediately — the relay tests depend on incremental
+	// delivery), then a final at end-of-audio.
+	mux.HandleFunc("/v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		s.streams.Add(1)
+		s.mu.Lock()
+		s.lastID = r.Header.Get("X-Request-Id")
+		s.mu.Unlock()
+		_ = http.NewResponseController(w).EnableFullDuplex()
+		fl, _ := w.(http.Flusher)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		dec := json.NewDecoder(r.Body)
+		seq := 0
+		for {
+			var c struct {
+				PCM []byte `json:"pcm"`
+				End bool   `json:"end"`
+			}
+			if err := dec.Decode(&c); err != nil || c.End {
+				break
+			}
+			fmt.Fprintf(w, "{\"type\":\"partial\",\"text\":\"chunk from %s\",\"seq\":%d}\n", name, seq)
+			seq++
+			fl.Flush()
+		}
+		fmt.Fprintf(w, "{\"type\":\"final\",\"text\":\"final from %s\",\"seq\":%d}\n", name, seq)
+		fl.Flush()
 	})
 	s.srv = httptest.NewServer(mux)
 	t.Cleanup(s.srv.Close)

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"sirius/internal/envelope"
 	"sirius/internal/telemetry"
 )
 
@@ -116,6 +117,14 @@ type Frontend struct {
 	shardSearches *telemetry.CounterVec // sirius_shard_searches_total{outcome}
 	shardPartials *telemetry.Counter    // sirius_shard_partials_total
 	shardLat      *telemetry.Histogram  // sirius_shard_fanout_seconds
+
+	// streamClient relays /v1/stream sessions. It deliberately has no
+	// client timeout — a session lasts as long as its audio, and the
+	// deadline machinery (X-Sirius-Timeout-Ms, the backend's -timeout)
+	// already bounds it — and is separate from the attempt client so a
+	// long stream never trips AttemptTimeout.
+	streamClient *http.Client
+	streams      *telemetry.CounterVec // cluster_streams_total{outcome}
 }
 
 // NewFrontend builds a frontend with an empty backend pool. Call
@@ -185,6 +194,9 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 		shardSearches: m.NewCounterVec("sirius_shard_searches_total", "Scatter-gather search queries, by outcome (full/partial/error).", "outcome"),
 		shardPartials: m.NewCounter("sirius_shard_partials_total", "Search queries answered best-effort because at least one shard missed its budget."),
 		shardLat:      m.NewHistogram("sirius_shard_fanout_seconds", "Scatter-gather fan-out latency (all shards merged) in seconds."),
+
+		streamClient: &http.Client{},
+		streams:      m.NewCounterVec("cluster_streams_total", "Streaming ASR sessions relayed, by outcome (ok/no_backends/backend_failure/canceled).", "outcome"),
 	}
 	// The frontend tracks the same SLO shape as the backends, over its
 	// own end-to-end (client-observed) latency.
@@ -194,6 +206,7 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	f.mux.HandleFunc("/query", f.handleQuery)
 	f.mux.HandleFunc("/v1/query", f.handleQuery)
 	f.mux.HandleFunc("/v1/search", f.handleSearch)
+	f.mux.HandleFunc("/v1/stream", f.handleStream)
 	f.mux.HandleFunc("/register", f.handleRegister)
 	f.mux.HandleFunc("/deregister", f.handleDeregister)
 	f.mux.HandleFunc("/backends", f.handleBackends)
@@ -570,18 +583,12 @@ func (f *Frontend) dispatch(ctx context.Context, kind, path, ctype string, body 
 }
 
 // writeEnvelope sends the same structured JSON error body the backends
-// emit, for failures the frontend itself originates. Backend error
-// envelopes are relayed verbatim instead, so a client sees one error
-// shape regardless of which tier rejected the query.
+// emit (internal/envelope), for failures the frontend itself
+// originates. Backend error envelopes are relayed verbatim instead, so
+// a client sees one error shape regardless of which tier rejected the
+// query.
 func writeEnvelope(w http.ResponseWriter, code int, reason, requestID, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(struct {
-		Code      int    `json:"code"`
-		Reason    string `json:"reason"`
-		RequestID string `json:"request_id"`
-		Message   string `json:"message,omitempty"`
-	}{code, reason, requestID, msg})
+	envelope.Write(w, code, reason, requestID, msg)
 }
 
 // handleQuery is the frontend's /query and /v1/query: buffer, classify
@@ -655,6 +662,144 @@ func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Sirius-Backend", res.backend.ID)
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
+}
+
+// flushWriter flushes after every write so relayed stream events reach
+// the client as they happen instead of sitting in the response buffer.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// handleStream relays a /v1/stream session to one asr-pool backend.
+// Unlike /v1/query there are no retries, hedges, or replays: a session
+// is stateful (the backend accumulates decoder state chunk by chunk),
+// so routing is sticky — pick a backend once, pin the whole session to
+// it, and surface any mid-session failure to the client, who restarts
+// the stream. The request body is NOT buffered; chunks flow through as
+// they arrive, and events flow back as the backend emits them.
+func (f *Frontend) handleStream(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodPost {
+		f.errsC.With("bad_method").Inc()
+		writeEnvelope(w, http.StatusMethodNotAllowed, "bad_method", reqID, "POST required")
+		return
+	}
+	b, err := f.router.Pick(KindASR, nil)
+	if err != nil {
+		f.streams.With("no_backends").Inc()
+		f.errsC.With("no_backends").Inc()
+		writeEnvelope(w, http.StatusServiceUnavailable, "no_backends", reqID, err.Error())
+		return
+	}
+
+	ctx := telemetry.ContextWithRequestID(r.Context(), reqID)
+	ctx, tr := telemetry.StartTrace(ctx, "frontend stream")
+	defer func() {
+		tr.Finish()
+		f.traces.Add(tr)
+	}()
+	spCtx, sp := telemetry.StartSpan(ctx, "stream "+b.ID)
+	defer sp.End()
+
+	body := io.Reader(r.Body)
+	if f.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.URL+"/v1/stream", body)
+	if err != nil {
+		f.streams.With("backend_failure").Inc()
+		f.errsC.With("backend_failure").Inc()
+		writeEnvelope(w, http.StatusBadGateway, "backend_failure", reqID, err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	req.Header.Set("X-Request-Id", reqID)
+	telemetry.InjectTraceContext(req.Header, spCtx)
+	if ms := r.Header.Get("X-Sirius-Timeout-Ms"); ms != "" {
+		req.Header.Set("X-Sirius-Timeout-Ms", ms)
+	}
+
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	start := time.Now()
+	resp, err := f.streamClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			b.breaker.CancelProbe()
+		} else {
+			b.breaker.Record(false)
+		}
+		f.backendReqs.With(b.ID, "error").Inc()
+		f.streams.With("backend_failure").Inc()
+		f.errsC.With("backend_failure").Inc()
+		writeEnvelope(w, http.StatusBadGateway, "backend_failure", reqID, "stream dispatch: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	if v, perr := strconv.ParseInt(resp.Header.Get("X-Sirius-Inflight"), 10, 64); perr == nil {
+		b.setReported(v)
+	}
+	// A shed (429) or 5xx before the event stream starts is a normal
+	// envelope relay; only 200 begins a session. Sheds are not breaker
+	// verdicts (the backend is alive and pushing load away).
+	b.breaker.Record(resp.StatusCode < 500)
+	if resp.StatusCode != http.StatusOK {
+		outcome := "5xx"
+		if resp.StatusCode == http.StatusTooManyRequests {
+			outcome = "shed"
+		}
+		f.backendReqs.With(b.ID, outcome).Inc()
+		f.streams.With("backend_failure").Inc()
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.Header().Set("X-Sirius-Backend", b.ID)
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, io.LimitReader(resp.Body, f.cfg.MaxBodyBytes))
+		return
+	}
+	f.backendReqs.With(b.ID, "ok").Inc()
+
+	// Relaying events while the client is still uploading chunks needs
+	// full-duplex on this hop too.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	flusher, _ := w.(http.Flusher)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Sirius-Backend", b.ID)
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	_, copyErr := io.Copy(flushWriter{w: w, f: flusher}, resp.Body)
+	b.latency.Observe(time.Since(start))
+	f.backendLat.With(b.ID).Observe(time.Since(start))
+	if copyErr != nil {
+		// The client hanging up mid-relay cancels our backend request
+		// too; that is the client's doing, not the backend's.
+		if r.Context().Err() != nil {
+			f.streams.With("canceled").Inc()
+		} else {
+			f.streams.With("backend_failure").Inc()
+		}
+		return
+	}
+	f.queries.With(KindASR).Inc()
+	f.streams.With("ok").Inc()
 }
 
 // handleRegister adds the announcing backend to the pool and probes it

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"sirius/internal/mat"
 )
@@ -269,7 +268,9 @@ func (d *Decoder) Decode(frames [][]float64) Result {
 // every ctxCheckInterval frames (and immediately after batched acoustic
 // scoring, which a canceled batch submission cuts short) and returns
 // ctx.Err() with a zero Result, so an expired or canceled query releases
-// its core mid-utterance instead of decoding to the end.
+// its core mid-utterance instead of decoding to the end. It is one
+// Session advanced over the whole utterance, so the one-shot and
+// streaming paths share the search verbatim.
 func (d *Decoder) DecodeContext(ctx context.Context, frames [][]float64) (Result, error) {
 	if len(frames) == 0 {
 		return Result{}, nil
@@ -277,103 +278,11 @@ func (d *Decoder) DecodeContext(ctx context.Context, frames [][]float64) (Result
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	start := time.Now()
-	g := d.graph
-	n := g.NumStates()
-	sc := &d.sc
-	sc.prepare(n, d.scorer.NumSenones())
-	for i := range sc.cur {
-		sc.cur[i] = math.Inf(-1)
-		sc.curHist[i] = nil
-	}
-	// Batch-capable scorers compute every frame's senone scores up front.
-	var batch [][]float64
-	if bs, ok := d.scorer.(BatchScorer); ok {
-		batch = bs.ScoreAllBatch(frames)
-	}
-	// A canceled request's batch submission returns nil; catch it here
-	// before falling back to frame-by-frame local scoring.
-	if err := ctx.Err(); err != nil {
+	s := d.NewSession()
+	if err := s.Advance(ctx, frames); err != nil {
 		return Result{}, err
 	}
-	score := func(f int) {
-		if batch != nil {
-			copy(sc.emit, batch[f])
-			return
-		}
-		d.scorer.ScoreAll(sc.emit, frames[f])
-	}
-	// Frame 0: enter each word start.
-	score(0)
-	for wi, s := range g.wordStart {
-		sc.cur[s] = g.startProbs[wi] + sc.emit[g.senones[s]]
-	}
-	totalActive := countActive(sc.cur)
-	for f := 1; f < len(frames); f++ {
-		if f%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{}, err
-			}
-		}
-		score(f)
-		totalActive += d.step(sc.emit)
-	}
-	cur, curHist := sc.cur, sc.curHist
-	// Pick the best word-final token; fall back to the global best. The
-	// runner-up ending in a different word supplies the confidence margin.
-	bestScore := math.Inf(-1)
-	bestState := -1
-	secondScore := math.Inf(-1)
-	secondState := -1
-	for s := 0; s < n; s++ {
-		if g.wordEnd[s] < 0 {
-			continue
-		}
-		if cur[s] > bestScore {
-			if bestState >= 0 && g.wordEnd[bestState] != g.wordEnd[s] {
-				secondScore, secondState = bestScore, bestState
-			}
-			bestScore = cur[s]
-			bestState = s
-		} else if cur[s] > secondScore && (bestState < 0 || g.wordEnd[bestState] != g.wordEnd[s]) {
-			secondScore = cur[s]
-			secondState = s
-		}
-	}
-	var hist *histNode
-	if bestState >= 0 {
-		hist = sc.arena.alloc(g.wordEnd[bestState], curHist[bestState])
-	} else {
-		for s := 0; s < n; s++ {
-			if cur[s] > bestScore {
-				bestScore = cur[s]
-				bestState = s
-			}
-		}
-		if bestState >= 0 {
-			hist = curHist[bestState]
-		}
-	}
-	var words []string
-	for h := hist; h != nil; h = h.prev {
-		words = append(words, g.lex.Words()[h.word])
-	}
-	// History is collected newest-first; reverse into utterance order.
-	for i, j := 0, len(words)-1; i < j; i, j = i+1, j-1 {
-		words[i], words[j] = words[j], words[i]
-	}
-	res := Result{
-		Words:     words,
-		Score:     bestScore,
-		Frames:    len(frames),
-		AvgActive: float64(totalActive) / float64(len(frames)),
-	}
-	if secondState >= 0 && !math.IsInf(secondScore, -1) {
-		res.Confidence = (bestScore - secondScore) / float64(len(frames))
-		res.RunnerUp = g.lex.Words()[g.wordEnd[secondState]]
-	}
-	decodeTime.Observe(time.Since(start))
-	return res, nil
+	return s.Result(), nil
 }
 
 // step relaxes every arc for one frame against the emission scores in

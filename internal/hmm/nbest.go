@@ -2,10 +2,8 @@ package hmm
 
 import (
 	"context"
-	"math"
 	"sort"
 	"strings"
-	"time"
 )
 
 // token is one hypothesis in a state's N-best list.
@@ -41,92 +39,33 @@ func (d *Decoder) DecodeNBest(frames [][]float64, n int) []Result {
 // DecodeNBestContext is DecodeNBest with cancellation: like
 // DecodeContext it checks ctx every ctxCheckInterval frames and after
 // batched scoring, returning ctx.Err() with no hypotheses so a dead
-// request stops burning cores mid-search.
+// request stops burning cores mid-search. It is one NBestSession
+// advanced over the whole utterance, so the one-shot and streaming
+// n-best paths share the search verbatim.
 func (d *Decoder) DecodeNBestContext(ctx context.Context, frames [][]float64, n int) ([]Result, error) {
-	if n < 1 {
-		n = 1
-	}
-	k := n + 2
-	if k < 4 {
-		k = 4
-	}
-	g := d.graph
-	nStates := g.NumStates()
-	cur := make([][]token, nStates)
-	next := make([][]token, nStates)
-	emit := make([]float64, d.scorer.NumSenones())
 	if len(frames) == 0 {
 		return nil, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	var batch [][]float64
-	if bs, ok := d.scorer.(BatchScorer); ok {
-		batch = bs.ScoreAllBatch(frames)
-	}
-	if err := ctx.Err(); err != nil {
+	s := d.NewNBestSession(n)
+	if err := s.Advance(ctx, frames); err != nil {
 		return nil, err
 	}
-	score := func(f int) {
-		if batch != nil {
-			copy(emit, batch[f])
-			return
-		}
-		d.scorer.ScoreAll(emit, frames[f])
-	}
-	score(0)
-	for wi, s := range g.wordStart {
-		cur[s] = insertToken(cur[s], token{score: g.startProbs[wi] + emit[g.senones[s]]}, k)
-	}
-	for f := 1; f < len(frames); f++ {
-		if f%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		score(f)
-		for i := range next {
-			next[i] = next[i][:0]
-		}
-		best := math.Inf(-1)
-		for _, list := range cur {
-			if len(list) > 0 && list[0].score > best {
-				best = list[0].score
-			}
-		}
-		threshold := math.Inf(-1)
-		if d.cfg.Beam > 0 {
-			threshold = best - d.cfg.Beam
-		}
-		for s := 0; s < nStates; s++ {
-			for _, tok := range cur[s] {
-				if tok.score < threshold {
-					break // sorted descending
-				}
-				for _, a := range g.arcs[s] {
-					h := tok.hist
-					if a.wordLabel >= 0 {
-						h = &histNode{word: a.wordLabel, prev: tok.hist}
-					}
-					next[a.to] = insertToken(next[a.to], token{score: tok.score + a.weight, hist: h}, k)
-				}
-			}
-		}
-		for s := 0; s < nStates; s++ {
-			e := emit[g.senones[s]]
-			for i := range next[s] {
-				next[s][i].score += e
-			}
-		}
-		cur, next = next, cur
-	}
-	// Materialize word-final hypotheses, dedupe by word sequence.
-	type hyp struct {
-		words string
-		res   Result
-	}
+	return s.Finish(), nil
+}
+
+// hyp is one deduped n-best entry keyed by its joined word sequence.
+type hyp struct {
+	words string
+	res   Result
+}
+
+// materializeNBest collects word-final hypotheses from the surviving
+// token lists, deduped by word sequence (keeping the best score per
+// sequence).
+func materializeNBest(g *Graph, cur [][]token, nStates, frames int) []hyp {
 	seen := map[string]int{}
 	var hyps []hyp
 	add := func(words []string, score float64) {
@@ -138,7 +77,7 @@ func (d *Decoder) DecodeNBestContext(ctx context.Context, frames [][]float64, n 
 			return
 		}
 		seen[key] = len(hyps)
-		hyps = append(hyps, hyp{words: key, res: Result{Words: words, Score: score, Frames: len(frames)}})
+		hyps = append(hyps, hyp{words: key, res: Result{Words: words, Score: score, Frames: frames}})
 	}
 	for s := 0; s < nStates; s++ {
 		if g.wordEnd[s] < 0 {
@@ -158,6 +97,12 @@ func (d *Decoder) DecodeNBestContext(ctx context.Context, frames [][]float64, n 
 			}
 		}
 	}
+	return hyps
+}
+
+// finishNBest sorts, truncates to n, and attaches the confidence margin
+// between the two best hypotheses.
+func finishNBest(hyps []hyp, n, frames int) []Result {
 	sort.Slice(hyps, func(i, j int) bool { return hyps[i].res.Score > hyps[j].res.Score })
 	if len(hyps) > n {
 		hyps = hyps[:n]
@@ -166,14 +111,13 @@ func (d *Decoder) DecodeNBestContext(ctx context.Context, frames [][]float64, n 
 	for i, h := range hyps {
 		out[i] = h.res
 		if i == 0 && len(hyps) > 1 {
-			out[i].Confidence = (hyps[0].res.Score - hyps[1].res.Score) / float64(len(frames))
+			out[i].Confidence = (hyps[0].res.Score - hyps[1].res.Score) / float64(frames)
 			if len(hyps[1].res.Words) > 0 {
 				out[i].RunnerUp = hyps[1].res.Words[len(hyps[1].res.Words)-1]
 			}
 		}
 	}
-	decodeTime.Observe(time.Since(start))
-	return out, nil
+	return out
 }
 
 // historyWords materializes a backpointer chain in utterance order.

@@ -17,6 +17,9 @@ import (
 	"testing"
 	"time"
 
+	"context"
+
+	"sirius/internal/asr"
 	"sirius/internal/dnn"
 	"sirius/internal/gmm"
 	"sirius/internal/hmm"
@@ -262,6 +265,112 @@ func shardResults(minTime time.Duration, large bool) []Result {
 	return out
 }
 
+// streamResults measures the streaming ASR front-end in-process: full
+// incremental sessions (chunked MFCC extraction + frame-synchronous
+// Viterbi via asr.Stream) over a synthesized utterance, sweeping chunk
+// size x concurrent streams. Two numbers per cell: time to the first
+// stabilized partial (the user-visible responsiveness of the streaming
+// API) and time to the final transcript. Each concurrent lane runs on
+// its own Recognizer sharing the read-only Models, mirroring how a
+// server hosts concurrent sessions.
+func streamResults(minTime time.Duration) ([]Result, error) {
+	lex, lm := kb.BuildLexicon()
+	models, err := asr.TrainModels(lex.PhoneSet(), asr.DefaultTrainConfig())
+	if err != nil {
+		return nil, err
+	}
+	samples, err := asr.SynthesizeText(lex, "set my alarm for eight", 42)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, chunk := range []int{1600, 3200, 6400} { // 100/200/400 ms at 16 kHz
+		for _, lanes := range []int{1, 2, 4} {
+			recs := make([]*asr.Recognizer, lanes)
+			for i := range recs {
+				recs[i], err = asr.NewRecognizer(models, asr.EngineGMM, lex, lm, hmm.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+			}
+			// session runs one full streaming session and reports the
+			// first-partial and final latencies from session start.
+			session := func(r *asr.Recognizer) (time.Duration, time.Duration, error) {
+				t0 := time.Now()
+				st, err := r.NewStream(context.Background(), asr.StreamConfig{})
+				if err != nil {
+					return 0, 0, err
+				}
+				var first time.Duration
+				for off := 0; off < len(samples); off += chunk {
+					end := min(off+chunk, len(samples))
+					p, err := st.Push(samples[off:end])
+					if err != nil {
+						return 0, 0, err
+					}
+					if p != nil && first == 0 {
+						first = time.Since(t0)
+					}
+				}
+				if _, err := st.Finish(); err != nil {
+					return 0, 0, err
+				}
+				return first, time.Since(t0), nil
+			}
+			var (
+				mu           sync.Mutex
+				fpSum, fnSum time.Duration
+				fpN, fnN     int
+				firstErr     error
+			)
+			start := time.Now()
+			for time.Since(start) < minTime {
+				var wg sync.WaitGroup
+				for i := 0; i < lanes; i++ {
+					wg.Add(1)
+					go func(r *asr.Recognizer) {
+						defer wg.Done()
+						first, final, err := session(r)
+						mu.Lock()
+						defer mu.Unlock()
+						if err != nil {
+							if firstErr == nil {
+								firstErr = err
+							}
+							return
+						}
+						if first > 0 {
+							fpSum += first
+							fpN++
+						}
+						fnSum += final
+						fnN++
+					}(recs[i])
+				}
+				wg.Wait()
+			}
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			if fpN == 0 || fnN == 0 {
+				return nil, fmt.Errorf("kernelbench: stream sweep c%d s%d emitted no partials", chunk, lanes)
+			}
+			out = append(out,
+				Result{
+					Name:    fmt.Sprintf("stream_first_partial_c%d_s%d", chunk, lanes),
+					NsPerOp: float64(fpSum.Nanoseconds()) / float64(fpN),
+					Workers: lanes,
+				},
+				Result{
+					Name:    fmt.Sprintf("stream_final_c%d_s%d", chunk, lanes),
+					NsPerOp: float64(fnSum.Nanoseconds()) / float64(fnN),
+					Workers: lanes,
+				})
+		}
+	}
+	return out, nil
+}
+
 // Run sweeps every kernel. minTime bounds each measurement's timed loop;
 // large additionally runs the 512x2048x2048 acceptance GEMM (minutes of
 // CPU on a small box, so it is opt-in).
@@ -281,6 +390,11 @@ func Run(minTime time.Duration, large bool) (Report, error) {
 	rep.Results = append(rep.Results, vit...)
 	rep.Results = append(rep.Results, kdResults(rng, minTime)...)
 	rep.Results = append(rep.Results, shardResults(minTime, large)...)
+	str, err := streamResults(minTime)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, str...)
 	return rep, nil
 }
 

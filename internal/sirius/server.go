@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sirius/internal/audio"
+	"sirius/internal/envelope"
 	"sirius/internal/mat"
 	"sirius/internal/profile"
 	"sirius/internal/suite"
@@ -63,6 +64,15 @@ type Server struct {
 	timeouts *telemetry.Counter      // sirius_timeouts_total
 	queryLat *telemetry.HistogramVec // sirius_query_latency_seconds{kind}
 	stageLat *telemetry.HistogramVec // sirius_stage_latency_seconds{stage}
+
+	// /v1/stream session metrics. Stream latency stays out of queryLat
+	// — a session legitimately lasts as long as its audio, so folding
+	// it into the 500 ms query SLO would burn error budget on healthy
+	// traffic.
+	streamSessions  *telemetry.CounterVec // sirius_stream_sessions_total{outcome}
+	streamChunkLat  *telemetry.Histogram  // sirius_stream_chunk_seconds
+	streamPartials  *telemetry.Counter    // sirius_stream_partials_total
+	streamStability *telemetry.Histogram  // sirius_stream_partial_stability_seconds
 }
 
 // traceLogCapacity bounds /debug/traces memory: spans are small, and 64
@@ -86,7 +96,15 @@ func NewServer(p *Pipeline) *Server {
 		timeouts: reg.NewCounter("sirius_timeouts_total", "Queries that exceeded their deadline."),
 		queryLat: reg.NewHistogramVec("sirius_query_latency_seconds", "End-to-end query latency, by kind.", "kind"),
 		stageLat: reg.NewHistogramVec("sirius_stage_latency_seconds", "Pipeline stage latency (asr/qa/imm and their components).", "stage"),
-		maxBody:  defaultMaxBodyBytes,
+		streamSessions: reg.NewCounterVec("sirius_stream_sessions_total",
+			"Streaming ASR sessions, by outcome (ok/timeout/canceled/error).", "outcome"),
+		streamChunkLat: reg.NewHistogram("sirius_stream_chunk_seconds",
+			"Per-chunk processing latency on /v1/stream (feature extraction + incremental decode)."),
+		streamPartials: reg.NewCounter("sirius_stream_partials_total",
+			"Partial transcript events emitted on /v1/stream."),
+		streamStability: reg.NewHistogram("sirius_stream_partial_stability_seconds",
+			"How long each emitted partial had been stable before emission."),
+		maxBody: defaultMaxBodyBytes,
 	}
 	s.ready.Store(true)
 	// /v1/query is the versioned endpoint; /query stays as an alias so
@@ -94,6 +112,7 @@ func NewServer(p *Pipeline) *Server {
 	// byte-identical payloads.
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/stats", s.stats.handler)
 	// Liveness vs readiness: /healthz answers "is the process up",
 	// /readyz answers "may the router send new work" — they diverge
@@ -282,22 +301,14 @@ type tracedResponse struct {
 }
 
 // ErrorEnvelope is the structured error body every query-path failure
-// returns: a stable machine-readable reason (the same strings the
-// sirius_query_errors_total{reason} metric uses), the HTTP status code,
-// and the request id so a client report can be joined against
-// /debug/traces on either tier. The frontend relays it verbatim.
-type ErrorEnvelope struct {
-	Code      int    `json:"code"`
-	Reason    string `json:"reason"`
-	RequestID string `json:"request_id"`
-	Message   string `json:"message,omitempty"`
-}
+// returns (see internal/envelope for the shape, reason vocabulary, and
+// reason→status mapping shared by every tier). The frontend relays it
+// verbatim.
+type ErrorEnvelope = envelope.Envelope
 
 // WriteErrorEnvelope sends a JSON error envelope with the given status.
 func WriteErrorEnvelope(w http.ResponseWriter, code int, reason, requestID, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Code: code, Reason: reason, RequestID: requestID, Message: msg})
+	envelope.Write(w, code, reason, requestID, msg)
 }
 
 // queryError records a failed query in stats and metrics and replies

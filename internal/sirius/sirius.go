@@ -286,9 +286,9 @@ type Request struct {
 }
 
 // Process runs one query end to end, selecting the pathway from the
-// request's populated fields. It is the single entry point the serving
-// stack uses; the ProcessText/ProcessVoice/... variants are deprecated
-// wrappers around it. When ctx carries a telemetry trace (see
+// request's populated fields. It is the single entry point for one-shot
+// queries; streaming audio enters through NewStream instead. When ctx
+// carries a telemetry trace (see
 // telemetry.StartTrace) every stage is recorded as a span with its
 // component timings as children; ctx cancellation also reaches the
 // cross-request batch scheduler when batching is enabled.
@@ -322,20 +322,14 @@ func stageCtx(ctx context.Context, budget time.Duration) (context.Context, conte
 	return context.WithTimeout(ctx, budget)
 }
 
-// ProcessText runs the pipeline on an already-transcribed query.
-//
-// Deprecated: use Process(ctx, Request{Text: text}).
-func (p *Pipeline) ProcessText(text string) Response {
-	resp, _ := p.processText(context.Background(), text)
-	return resp
-}
-
-// ProcessTextContext is ProcessText with an observability context.
-//
-// Deprecated: use Process(ctx, Request{Text: text}).
-func (p *Pipeline) ProcessTextContext(ctx context.Context, text string) Response {
-	resp, _ := p.processText(ctx, text)
-	return resp
+// NewStream opens an incremental ASR session on the pipeline's
+// recognizer: callers push 16 kHz audio chunks and receive stabilized
+// partial transcripts, then a final result bit-identical to the
+// one-shot path (see asr.Stream). Deadlines govern the session through
+// ctx — the pipeline's query timeout is not applied, because a
+// streaming session legitimately lasts as long as the utterance.
+func (p *Pipeline) NewStream(ctx context.Context, cfg asr.StreamConfig) (*asr.Stream, error) {
+	return p.recognizer.NewStream(ctx, cfg)
 }
 
 // processText runs QC then the action path or QA on transcribed text.
@@ -406,21 +400,8 @@ func (p *Pipeline) recognize(ctx context.Context, samples []float64) (asr.Result
 	return rec, nil
 }
 
-// ProcessVoice runs the full voice path: ASR, QC, then either the action
-// path or QA (the VC and VQ pathways of Figure 2).
-//
-// Deprecated: use Process(ctx, Request{Samples: samples}).
-func (p *Pipeline) ProcessVoice(samples []float64) (Response, error) {
-	return p.processVoice(context.Background(), samples)
-}
-
-// ProcessVoiceContext is ProcessVoice with an observability context.
-//
-// Deprecated: use Process(ctx, Request{Samples: samples}).
-func (p *Pipeline) ProcessVoiceContext(ctx context.Context, samples []float64) (Response, error) {
-	return p.processVoice(ctx, samples)
-}
-
+// processVoice runs the full voice path: ASR, QC, then either the
+// action path or QA (the VC and VQ pathways of Figure 2).
 func (p *Pipeline) processVoice(ctx context.Context, samples []float64) (Response, error) {
 	start := time.Now()
 	rec, err := p.recognize(ctx, samples)
@@ -440,23 +421,9 @@ func (p *Pipeline) processVoice(ctx context.Context, samples []float64) (Respons
 	return resp, nil
 }
 
-// ProcessVoiceImage runs the VIQ pathway: ASR and IMM, then the question
-// is rewritten with the matched entity ("this restaurant" -> "luigis
-// restaurant") and answered by QA.
-//
-// Deprecated: use Process(ctx, Request{Samples: samples, Image: img}).
-func (p *Pipeline) ProcessVoiceImage(samples []float64, img *vision.Image) (Response, error) {
-	return p.processVoiceImage(context.Background(), samples, img)
-}
-
-// ProcessVoiceImageContext is ProcessVoiceImage with an observability
-// context.
-//
-// Deprecated: use Process(ctx, Request{Samples: samples, Image: img}).
-func (p *Pipeline) ProcessVoiceImageContext(ctx context.Context, samples []float64, img *vision.Image) (Response, error) {
-	return p.processVoiceImage(ctx, samples, img)
-}
-
+// processVoiceImage runs the VIQ pathway: ASR and IMM, then the
+// question is rewritten with the matched entity ("this restaurant" ->
+// "luigis restaurant") and answered by QA.
 func (p *Pipeline) processVoiceImage(ctx context.Context, samples []float64, img *vision.Image) (Response, error) {
 	start := time.Now()
 	rec, err := p.recognize(ctx, samples)
@@ -476,24 +443,8 @@ func (p *Pipeline) processVoiceImage(ctx context.Context, samples []float64, img
 	return resp, nil
 }
 
-// ProcessTextImage is the text-input variant of the VIQ pathway.
-//
-// Deprecated: use Process(ctx, Request{Text: text, Image: img}).
-func (p *Pipeline) ProcessTextImage(text string, img *vision.Image) Response {
-	resp, _ := p.processTextImage(context.Background(), text, img)
-	return resp
-}
-
-// ProcessTextImageContext is ProcessTextImage with an observability
-// context.
-//
-// Deprecated: use Process(ctx, Request{Text: text, Image: img}).
-func (p *Pipeline) ProcessTextImageContext(ctx context.Context, text string, img *vision.Image) Response {
-	resp, _ := p.processTextImage(ctx, text, img)
-	return resp
-}
-
-// processTextImage runs IMM then QA. An expired IMM stage budget
+// processTextImage runs IMM then QA — the text-input variant of the
+// VIQ pathway. An expired IMM stage budget
 // degrades the match (Truncated partial votes, possibly no entity
 // rewrite); a dead request context aborts.
 func (p *Pipeline) processTextImage(ctx context.Context, text string, img *vision.Image) (Response, error) {

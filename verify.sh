@@ -45,6 +45,10 @@ echo "== cluster smoke (1 frontend + 2 backends + 2 search shards) =="
 # X-Sirius-Timeout-Ms voice query returns the 503 timeout envelope, a
 # concurrent burst sheds with the 429 overloaded envelope + Retry-After,
 # and sirius_shed_total / sirius_timeouts_total advance on /metrics.
+# Next it streams the same synthesized utterance through the frontend's
+# /v1/stream: at least one stabilized partial must land before
+# end-of-audio and the final transcript must match the one-shot
+# /v1/query answer, with the stream counters advancing on both tiers.
 # It then boots two sirius-server leaves (-shard i/2), checks /v1/search
 # scatter-gather parity against the unsharded index, kills shard 1,
 # replaces it with a -shard-delay-stalled leaf, and asserts a 250 ms
@@ -53,12 +57,12 @@ echo "== cluster smoke (1 frontend + 2 backends + 2 search shards) =="
 bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT
 go build -o "$bindir" ./cmd/sirius-frontend ./cmd/sirius-server ./cmd/sirius-clustersmoke
-# The smoke binary enforces its own -timeout deadline; the outer
-# `timeout` (where available) is a belt-and-braces guard against a
-# wedged runtime.
-smoke="$bindir/sirius-clustersmoke -server-bin $bindir/sirius-server -frontend-bin $bindir/sirius-frontend -timeout 120s"
+# The smoke binary enforces its own -timeout deadline (raised to 150 s
+# for the streaming phase); the outer `timeout` (where available) is a
+# belt-and-braces guard against a wedged runtime.
+smoke="$bindir/sirius-clustersmoke -server-bin $bindir/sirius-server -frontend-bin $bindir/sirius-frontend -timeout 150s"
 if command -v timeout >/dev/null 2>&1; then
-    timeout 180 $smoke
+    timeout 210 $smoke
 else
     $smoke
 fi
