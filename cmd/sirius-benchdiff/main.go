@@ -1,0 +1,104 @@
+// Command sirius-benchdiff compares two kernel-sweep JSON files written
+// by `sirius-bench -bench-json` (the checked-in BENCH_*.json series)
+// and prints a per-kernel delta table. It is the CI gate against
+// quietly regressing a kernel: any kernel slower than the baseline by
+// more than -threshold (default 10%) fails the run with exit status 1.
+//
+// Kernels present in only one file are reported but never fail the
+// gate — the sweep matrix legitimately grows between PRs.
+//
+// Usage:
+//
+//	sirius-benchdiff old.json new.json
+//	sirius-benchdiff -threshold 0.25 BENCH_PR8.json BENCH_PR9.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sirius/internal/kernelbench"
+)
+
+func load(path string) (kernelbench.Report, error) {
+	var rep kernelbench.Report
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "fail when a kernel's ns/op grows by more than this fraction")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sirius-benchdiff [-threshold 0.10] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if oldRep.GoMaxProcs != newRep.GoMaxProcs || oldRep.NumCPU != newRep.NumCPU {
+		fmt.Printf("note: machine shape differs (old %d/%d procs, new %d/%d) — deltas are cross-machine\n",
+			oldRep.GoMaxProcs, oldRep.NumCPU, newRep.GoMaxProcs, newRep.NumCPU)
+	}
+
+	oldBy := map[string]kernelbench.Result{}
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	newBy := map[string]kernelbench.Result{}
+	var names []string
+	for _, r := range newRep.Results {
+		newBy[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-32s %14s %14s %9s\n", "kernel", "old ns/op", "new ns/op", "delta")
+	var regressions []string
+	for _, name := range names {
+		nr := newBy[name]
+		or, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-32s %14s %14.0f %9s\n", name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delta := nr.NsPerOp/or.NsPerOp - 1
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, or.NsPerOp, nr.NsPerOp, 100*delta))
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+8.1f%%%s\n", name, or.NsPerOp, nr.NsPerOp, 100*delta, mark)
+	}
+	for _, r := range oldRep.Results {
+		if _, ok := newBy[r.Name]; !ok {
+			fmt.Printf("%-32s %14.0f %14s %9s\n", r.Name, r.NsPerOp, "-", "gone")
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d kernel(s) regressed past the %.0f%% threshold:\n", len(regressions), 100**threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nno kernel regressed past the %.0f%% threshold\n", 100**threshold)
+}

@@ -715,6 +715,75 @@ func run() (err error) {
 		log.Printf("stream session visible on both tiers' /metrics")
 	}
 
+	// --- Quantized scoring smoke through the frontend ---
+	// The same recording goes through /v1/query twice, once at each
+	// precision. The int8 reply must carry precision:"int8" (proof the
+	// field survived the relay and picked the quantized kernels), its
+	// transcript must match fp64's (the parity guardrail, end to end),
+	// and some backend's exposition must count the int8 query.
+	{
+		qText := "call mom"
+		qSamples, err := asr.SynthesizeText(lex, qText, 13)
+		if err != nil {
+			return err
+		}
+		postPrec := func(prec string) (sirius.Response, error) {
+			var r sirius.Response
+			body, ctype, err := sirius.BuildJSONQueryPrecision(qSamples, nil, "", prec)
+			if err != nil {
+				return r, err
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, frontURL+"/v1/query", body)
+			if err != nil {
+				return r, err
+			}
+			req.Header.Set("Content-Type", ctype)
+			resp, err := client.Do(req)
+			if err != nil {
+				return r, err
+			}
+			payload, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return r, fmt.Errorf("precision %q query: status %s; body %s", prec, resp.Status, payload)
+			}
+			if err := json.Unmarshal(payload, &r); err != nil {
+				return r, fmt.Errorf("precision %q query: bad response %q: %w", prec, payload, err)
+			}
+			return r, nil
+		}
+		fp, err := postPrec("fp64")
+		if err != nil {
+			return err
+		}
+		q8, err := postPrec("int8")
+		if err != nil {
+			return err
+		}
+		if fp.Precision != "fp64" || q8.Precision != "int8" {
+			return fmt.Errorf("precision labels did not round-trip: fp64 query says %q, int8 query says %q", fp.Precision, q8.Precision)
+		}
+		if fp.Transcript == "" || fp.Transcript != q8.Transcript {
+			return fmt.Errorf("int8 transcript %q diverged from fp64 %q", q8.Transcript, fp.Transcript)
+		}
+		counted := false
+		for _, port := range []int{b1Port, b2Port} {
+			mresp, err := client.Get(fmt.Sprintf("http://127.0.0.1:%d/metrics", port))
+			if err != nil {
+				return err
+			}
+			mtext, _ := io.ReadAll(mresp.Body)
+			mresp.Body.Close()
+			if metricPositive(string(mtext), `sirius_query_precision_total{precision="int8"}`) {
+				counted = true
+			}
+		}
+		if !counted {
+			return fmt.Errorf(`no backend /metrics shows sirius_query_precision_total{precision="int8"} > 0`)
+		}
+		log.Printf("int8 voice query round-tripped the frontend: transcript %q matches fp64, precision counted", q8.Transcript)
+	}
+
 	// --- Sharded search tier smoke: 1 frontend + 2 search-shard leaves ---
 	// Two sirius-server processes in leaf mode (-shard i/2) register with
 	// the already-running frontend as kind search; /v1/search through the

@@ -7,6 +7,7 @@
 //	sirius-query -server http://localhost:8080 -text "what is the capital of italy"
 //	sirius-query -text "when does this restaurant close" -image "luigis restaurant"
 //	sirius-query -text "set my alarm for eight" -voice=false   # send text, skip ASR
+//	sirius-query -text "call mom" -precision int8              # quantized acoustic scoring
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	imageID := flag.String("image", "", "entity whose photo accompanies the query (see -list-images)")
 	voice := flag.Bool("voice", true, "synthesize the text to audio and exercise ASR")
 	seed := flag.Int64("seed", 1, "synthesis jitter seed")
+	precision := flag.String("precision", "", "acoustic scoring precision: fp64 or int8 (empty = server default)")
 	listImages := flag.Bool("list-images", false, "print known image entities and exit")
 	flag.Parse()
 
@@ -60,7 +62,10 @@ func main() {
 		img = vision.Warp(scene, vision.DefaultWarp(*seed))
 	}
 
-	body, ctype, err := sirius.BuildMultipartQuery(samples, img, sendText)
+	if _, err := asr.ParsePrecision(*precision); err != nil {
+		log.Fatal(err)
+	}
+	body, ctype, err := sirius.BuildMultipartQueryPrecision(samples, img, sendText, *precision)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,6 +83,9 @@ func main() {
 	}
 	fmt.Printf("kind       : %s\n", r.Kind)
 	fmt.Printf("transcript : %s\n", r.Transcript)
+	if r.Precision != "" {
+		fmt.Printf("precision  : %s\n", r.Precision)
+	}
 	if r.Action != "" {
 		fmt.Printf("action     : %s\n", r.Action)
 	}

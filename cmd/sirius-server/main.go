@@ -27,7 +27,12 @@
 //	sirius-server [-addr :8080] [-engine gmm|dnn] [-drain 30s]
 //	    [-frontend http://lb:8090] [-kinds asr,qa,imm] [-advertise http://me:8080]
 //	    [-batch] [-batch-size 8] [-batch-wait 2ms] [-cache 256] [-workers N]
-//	    [-max-inflight N] [-timeout 10s]
+//	    [-max-inflight N] [-timeout 10s] [-quantize]
+//
+// -quantize flips the default acoustic scoring precision to int8 (the
+// quantized GEMM path); individual requests override it either way with
+// the "precision" field. The int8 model images are built at startup
+// regardless, so per-request "precision":"int8" works without the flag.
 //
 // -max-inflight installs admission control: past N concurrent queries
 // the server sheds load with a 429 "overloaded" envelope and a
@@ -218,6 +223,7 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "max requests per scoring batch (0 = default)")
 	batchWait := flag.Duration("batch-wait", 0, "max time the first request in a batch waits for company (0 = default)")
 	cache := flag.Int("cache", 0, "query result cache capacity in entries (0 = disabled)")
+	quantize := flag.Bool("quantize", false, "score acoustics with int8 kernels by default (requests can still pick \"precision\":\"fp64\")")
 	workers := flag.Int("workers", 0, "kernel worker-pool width (0 = runtime.NumCPU())")
 	maxInflight := flag.Int("max-inflight", 0, "admission gate: max concurrent queries before shedding with 429 (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline; expired queries abort mid-stage with a 503 timeout envelope (0 = none)")
@@ -251,6 +257,7 @@ func main() {
 	cfg.BatchScoring = *batch
 	cfg.BatchMaxSize = *batchSize
 	cfg.BatchMaxWait = *batchWait
+	cfg.Quantize = *quantize
 	// The server runs the image pipeline at the pool's width by default;
 	// DefaultConfig keeps IMMWorkers=1 for the library's serial baseline.
 	cfg.Workers = *workers

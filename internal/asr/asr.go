@@ -38,6 +38,33 @@ func (e Engine) String() string {
 	return "GMM"
 }
 
+// Precision selects the numeric format acoustic scoring runs in. The
+// decoder, language model, and front end always run fp64; precision
+// only moves the scoring GEMMs (the Suite's hot kernels).
+type Precision string
+
+const (
+	// PrecisionFP64 is full-precision scoring (the default; "" means
+	// fp64 everywhere a Precision is accepted).
+	PrecisionFP64 Precision = "fp64"
+	// PrecisionInt8 scores through the int8-quantized kernels
+	// (mat.MulI8): per-row symmetric quantization, exact integer
+	// accumulation, fp64 dequantize on writeback.
+	PrecisionInt8 Precision = "int8"
+)
+
+// ParsePrecision validates a wire-format precision string. Empty means
+// "caller's default" and parses to PrecisionFP64.
+func ParsePrecision(s string) (Precision, error) {
+	switch Precision(s) {
+	case "", PrecisionFP64:
+		return PrecisionFP64, nil
+	case PrecisionInt8:
+		return PrecisionInt8, nil
+	}
+	return "", fmt.Errorf("asr: unknown precision %q (want %q or %q)", s, PrecisionFP64, PrecisionInt8)
+}
+
 // Models bundles the trained acoustic models for a phone set. The senone
 // order is phone-major: senone(p, s) = p*StatesPerPhone + s with phones in
 // the order of Phones.
@@ -47,10 +74,25 @@ type Models struct {
 	Bank      *gmm.Bank
 	Net       *dnn.Network
 	LogPriors []float64
+	// bankI8 is the GMM bank's int8 scoring image (derived state, built
+	// by Quantize, never serialized); the DNN's lives inside Net.
+	bankI8 *gmm.BankI8
 }
 
 // NumSenones returns the senone count covered by the models.
 func (m *Models) NumSenones() int { return len(m.Phones) * hmm.StatesPerPhone }
+
+// Quantize builds the int8 scoring images for both engines (the GMM
+// bank's affine decomposition and the DNN's per-layer weight images).
+// Call once after training or loading, before serving PrecisionInt8
+// requests; the fp64 models stay authoritative and untouched.
+func (m *Models) Quantize() {
+	m.Net.QuantizeWeights()
+	m.bankI8 = m.Bank.Quantize()
+}
+
+// Quantized reports whether int8 scoring images are available.
+func (m *Models) Quantized() bool { return m.bankI8 != nil && m.Net.Quantized() }
 
 // TrainConfig controls acoustic training.
 type TrainConfig struct {
@@ -207,6 +249,24 @@ func (g gmmScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
 	return out
 }
 
+// gmmScorerI8 adapts the bank's int8 scoring image to hmm.Scorer.
+type gmmScorerI8 struct{ bank *gmm.BankI8 }
+
+func (g gmmScorerI8) ScoreAll(dst, frame []float64) { g.bank.ScoreAll(dst, frame) }
+func (g gmmScorerI8) NumSenones() int               { return g.bank.States() }
+
+// ScoreAllBatch sweeps the quantized bank frame by frame — each frame
+// is already two whole-bank MulI8 matvecs, so there is no wider GEMM to
+// coalesce into.
+func (g gmmScorerI8) ScoreAllBatch(frames [][]float64) [][]float64 {
+	out := make([][]float64, len(frames))
+	for i, f := range frames {
+		out[i] = make([]float64, g.bank.States())
+		g.bank.ScoreAll(out[i], f)
+	}
+	return out
+}
+
 // dnnScorer adapts a DNN to hmm.Scorer using the hybrid convention:
 // scaled likelihood = log p(s|x) − log p(s). With a scratch attached
 // (scorerFor gives each recognition its own), per-frame scoring is
@@ -239,6 +299,45 @@ func (d dnnScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
 		copy(batch.Row(i), f)
 	}
 	post := d.net.ForwardBatch(batch)
+	out := make([][]float64, len(frames))
+	for i := range out {
+		row := make([]float64, post.Cols)
+		copy(row, post.Row(i))
+		for j := range row {
+			row[j] -= d.priors[j]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// dnnScorerI8 is dnnScorer on the quantized path: activations requantize
+// at each layer boundary and multiply against the int8 weight images
+// (dnn.ForwardBatchI8). Requires Net.QuantizeWeights to have run.
+type dnnScorerI8 struct {
+	net    *dnn.Network
+	priors []float64
+}
+
+func (d dnnScorerI8) ScoreAll(dst, frame []float64) {
+	batch := mat.GetDense(1, len(frame))
+	copy(batch.Row(0), frame)
+	post := d.net.ForwardBatchI8(batch)
+	row := post.Row(0)
+	for i := range dst {
+		dst[i] = row[i] - d.priors[i]
+	}
+	mat.PutDense(batch)
+}
+func (d dnnScorerI8) NumSenones() int { return d.net.OutputDim() }
+
+// ScoreAllBatch scores every frame in one int8 GEMM pass.
+func (d dnnScorerI8) ScoreAllBatch(frames [][]float64) [][]float64 {
+	batch := mat.NewDense(len(frames), len(frames[0]))
+	for i, f := range frames {
+		copy(batch.Row(i), f)
+	}
+	post := d.net.ForwardBatchI8(batch)
 	out := make([][]float64, len(frames))
 	for i := range out {
 		row := make([]float64, post.Cols)
@@ -328,9 +427,12 @@ type Recognizer struct {
 
 // Batcher coalesces scoring submissions from concurrent recognitions
 // into shared batched calls (implemented by internal/batch.Scheduler;
-// declared here so asr does not depend on the scheduler).
+// declared here so asr does not depend on the scheduler). The key
+// partitions coalescing: submissions with different keys (here, the
+// request precision) are never scored in the same call, so fp64 and
+// int8 frames never share a GEMM.
 type Batcher interface {
-	Submit(ctx context.Context, frames [][]float64) ([][]float64, error)
+	Submit(ctx context.Context, key string, frames [][]float64) ([][]float64, error)
 }
 
 // SetBatcher routes this recognizer's batch scoring through a shared
@@ -340,17 +442,24 @@ type Batcher interface {
 func (r *Recognizer) SetBatcher(b Batcher) { r.batcher = b }
 
 // ScoreBatch scores frames with the engine's native batch path in model
-// senone order — the Score function a batch.Scheduler wraps. Both
+// senone order — the Score function a batch.Scheduler wraps; key is the
+// wire-format precision the scheduler grouped the batch under. Both
 // engines batch (DNN via one ForwardBatch GEMM, GMM via the multicore
 // bank sweep); an engine without a batch path falls back frame by frame.
-func (r *Recognizer) ScoreBatch(frames [][]float64) [][]float64 {
-	if bs, ok := r.base.(hmm.BatchScorer); ok {
+func (r *Recognizer) ScoreBatch(key string, frames [][]float64) [][]float64 {
+	base, err := r.baseScorer(Precision(key))
+	if err != nil {
+		// The submitScorer validated precision before enqueueing, so an
+		// unknown key here is scheduler misuse, not client input.
+		panic(err)
+	}
+	if bs, ok := base.(hmm.BatchScorer); ok {
 		return bs.ScoreAllBatch(frames)
 	}
 	out := make([][]float64, len(frames))
 	for i, f := range frames {
-		out[i] = make([]float64, r.base.NumSenones())
-		r.base.ScoreAll(out[i], f)
+		out[i] = make([]float64, base.NumSenones())
+		base.ScoreAll(out[i], f)
 	}
 	return out
 }
@@ -413,12 +522,39 @@ func NewRecognizer(models *Models, engine Engine, lex *hmm.Lexicon, lm *hmm.Bigr
 	return r, nil
 }
 
+// baseScorer resolves the engine scorer for a precision: the shared
+// fp64 scorer built at construction, or a fresh (stateless, cheap)
+// adapter over the models' int8 images. Int8 requires Models.Quantize
+// to have run.
+func (r *Recognizer) baseScorer(prec Precision) (hmm.Scorer, error) {
+	switch prec {
+	case "", PrecisionFP64:
+		return r.base, nil
+	case PrecisionInt8:
+		if r.engine == EngineDNN {
+			if !r.models.Net.Quantized() {
+				return nil, fmt.Errorf("asr: int8 scoring requested before Models.Quantize")
+			}
+			return dnnScorerI8{net: r.models.Net, priors: r.models.LogPriors}, nil
+		}
+		if r.models.bankI8 == nil {
+			return nil, fmt.Errorf("asr: int8 scoring requested before Models.Quantize")
+		}
+		return gmmScorerI8{bank: r.models.bankI8}, nil
+	}
+	return nil, fmt.Errorf("asr: unknown precision %q", prec)
+}
+
 // scorerFor builds the graph-ordered scorer chain for one recognition:
 // the decoding graph numbers senones by its own sorted phone set, so
 // remap from the models' order. With a batcher attached, batch scoring
-// detours through the shared cross-request scheduler under ctx.
-func (r *Recognizer) scorerFor(ctx context.Context) hmm.Scorer {
-	base := r.base
+// detours through the shared cross-request scheduler under ctx, keyed
+// by precision so mixed-precision requests never share a batch.
+func (r *Recognizer) scorerFor(ctx context.Context, prec Precision) (hmm.Scorer, error) {
+	base, err := r.baseScorer(prec)
+	if err != nil {
+		return nil, err
+	}
 	if ds, ok := base.(dnnScorer); ok {
 		// r.base is shared across concurrent recognitions, so the
 		// zero-alloc scratch must be private to this one.
@@ -426,9 +562,13 @@ func (r *Recognizer) scorerFor(ctx context.Context) hmm.Scorer {
 		base = ds
 	}
 	if r.batcher != nil {
-		base = &submitScorer{ctx: ctx, sub: r.batcher, inner: base}
+		key := string(prec)
+		if key == "" {
+			key = string(PrecisionFP64)
+		}
+		base = &submitScorer{ctx: ctx, key: key, sub: r.batcher, inner: base}
 	}
-	return &remapScorer{inner: base, remap: r.remap, buf: make([]float64, r.models.NumSenones())}
+	return &remapScorer{inner: base, remap: r.remap, buf: make([]float64, r.models.NumSenones())}, nil
 }
 
 // submitScorer routes whole-utterance batch scoring through the shared
@@ -436,6 +576,7 @@ func (r *Recognizer) scorerFor(ctx context.Context) hmm.Scorer {
 // scoring (the decoder's fallback) stays local.
 type submitScorer struct {
 	ctx   context.Context
+	key   string // precision key partitioning the scheduler's batches
 	sub   Batcher
 	inner hmm.Scorer
 }
@@ -449,7 +590,7 @@ func (s *submitScorer) NumSenones() int               { return s.inner.NumSenone
 // aborts right after — while a scheduler shutdown (request still live)
 // falls back to scoring locally so the recognition completes.
 func (s *submitScorer) ScoreAllBatch(frames [][]float64) [][]float64 {
-	if out, err := s.sub.Submit(s.ctx, frames); err == nil {
+	if out, err := s.sub.Submit(s.ctx, s.key, frames); err == nil {
 		return out
 	}
 	if s.ctx.Err() != nil {
@@ -504,6 +645,14 @@ func (r *Recognizer) Recognize(samples []float64) (Result, error) {
 // waiting for its batch), and its telemetry trace picks up queue-wait
 // spans.
 func (r *Recognizer) RecognizeContext(ctx context.Context, samples []float64) (Result, error) {
+	return r.RecognizePrecision(ctx, samples, PrecisionFP64)
+}
+
+// RecognizePrecision is RecognizeContext with the acoustic scoring
+// precision selected per request: PrecisionInt8 routes scoring through
+// the models' quantized images (Models.Quantize must have run), while
+// feature extraction and Viterbi search stay fp64 either way.
+func (r *Recognizer) RecognizePrecision(ctx context.Context, samples []float64, prec Precision) (Result, error) {
 	var tm Timings
 	start := time.Now()
 	if r.vad != nil {
@@ -522,7 +671,11 @@ func (r *Recognizer) RecognizeContext(ctx context.Context, samples []float64) (R
 	if len(frames) == 0 {
 		return Result{Timings: tm}, fmt.Errorf("asr: audio too short (%d samples)", len(samples))
 	}
-	ts := &timedScorer{inner: r.scorerFor(ctx)}
+	scorer, err := r.scorerFor(ctx, prec)
+	if err != nil {
+		return Result{Timings: tm}, err
+	}
+	ts := &timedScorer{inner: scorer}
 	dec, err := hmm.NewDecoder(r.graph, ts, r.cfg)
 	if err != nil {
 		return Result{}, err
@@ -555,6 +708,9 @@ func (r *Recognizer) RecognizeContext(ctx context.Context, samples []float64) (R
 	scoringKernel := "gmm"
 	if r.engine == EngineDNN {
 		scoringKernel = "dnn"
+	}
+	if prec == PrecisionInt8 {
+		scoringKernel += "_i8"
 	}
 	telemetry.RecordKernel("asr", scoringKernel, tm.Scoring)
 	telemetry.RecordKernel("asr", "viterbi", tm.Search)

@@ -183,7 +183,10 @@ func TestDNNBatchScoringMatchesPerFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scorer := rec.scorerFor(context.Background())
+	scorer, err := rec.scorerFor(context.Background(), PrecisionFP64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	bs, ok := scorer.(hmm.BatchScorer)
 	if !ok {
 		t.Fatal("DNN scorer chain must support batch scoring")
@@ -214,7 +217,10 @@ func TestDNNBatchScoringMatchesPerFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gScorer := recG.scorerFor(context.Background())
+	gScorer, err := recG.scorerFor(context.Background(), PrecisionFP64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	gbs, ok := gScorer.(hmm.BatchScorer)
 	if !ok {
 		t.Fatal("GMM scorer chain must support batch scoring")

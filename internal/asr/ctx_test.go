@@ -17,7 +17,7 @@ type fakeBatcher struct {
 	calls int
 }
 
-func (f *fakeBatcher) Submit(ctx context.Context, frames [][]float64) ([][]float64, error) {
+func (f *fakeBatcher) Submit(ctx context.Context, key string, frames [][]float64) ([][]float64, error) {
 	f.calls++
 	if f.err != nil {
 		return nil, f.err

@@ -24,6 +24,9 @@ type StreamConfig struct {
 	// The server leaves it nil for bit-parity with the one-shot path,
 	// which does not trim either.
 	VAD *audio.VADConfig
+	// Precision selects the acoustic scoring format for the whole
+	// session ("" = fp64); int8 requires Models.Quantize.
+	Precision Precision
 }
 
 // DefaultStableFrames is 300 ms of unchanged best-path prefix.
@@ -82,7 +85,11 @@ func (r *Recognizer) NewStream(ctx context.Context, cfg StreamConfig) (*Stream, 
 	if cfg.StableFrames <= 0 {
 		cfg.StableFrames = DefaultStableFrames
 	}
-	ts := &timedScorer{inner: r.scorerFor(ctx)}
+	scorer, err := r.scorerFor(ctx, cfg.Precision)
+	if err != nil {
+		return nil, err
+	}
+	ts := &timedScorer{inner: scorer}
 	dec, err := hmm.NewDecoder(r.graph, ts, r.cfg)
 	if err != nil {
 		return nil, err

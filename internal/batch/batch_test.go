@@ -20,7 +20,7 @@ type echoScore struct {
 	calls [][]int // row counts per call (single element: total rows)
 }
 
-func (e *echoScore) fn(frames [][]float64) [][]float64 {
+func (e *echoScore) fn(key string, frames [][]float64) [][]float64 {
 	e.mu.Lock()
 	e.calls = append(e.calls, []int{len(frames)})
 	e.mu.Unlock()
@@ -50,7 +50,7 @@ func TestSchedulerCoalescesConcurrentSubmits(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.Submit(context.Background(),
+			results[i], errs[i] = s.Submit(context.Background(), "fp64",
 				[][]float64{frame(float64(i)), frame(float64(i) + 0.5)})
 		}(i)
 	}
@@ -85,6 +85,61 @@ func TestSchedulerCoalescesConcurrentSubmits(t *testing.T) {
 	}
 }
 
+// TestSchedulerPartitionsByKey pins the precision isolation contract:
+// submissions under different keys coalescing in the same tick are
+// scored in separate calls — an fp64 frame and an int8 frame must never
+// share a GEMM — and every Score call reports the key its batch was
+// grouped under.
+func TestSchedulerPartitionsByKey(t *testing.T) {
+	var mu sync.Mutex
+	callKeys := map[string][]int{} // key -> row counts per call
+	s := New(Config{MaxBatch: 8, MaxWait: 50 * time.Millisecond, Score: func(key string, frames [][]float64) [][]float64 {
+		mu.Lock()
+		callKeys[key] = append(callKeys[key], len(frames))
+		mu.Unlock()
+		out := make([][]float64, len(frames))
+		for i, f := range frames {
+			out[i] = []float64{2 * f[0]}
+		}
+		return out
+	}})
+	defer s.Close()
+
+	const perKey = 3
+	var wg sync.WaitGroup
+	for _, key := range []string{"fp64", "int8"} {
+		for i := 0; i < perKey; i++ {
+			wg.Add(1)
+			go func(key string, i int) {
+				defer wg.Done()
+				out, err := s.Submit(context.Background(), key, [][]float64{frame(float64(i))})
+				if err != nil {
+					t.Errorf("submit %s/%d: %v", key, i, err)
+					return
+				}
+				if len(out) != 1 || out[0][0] != 2*float64(i) {
+					t.Errorf("submit %s/%d: wrong rows %v", key, i, out)
+				}
+			}(key, i)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, key := range []string{"fp64", "int8"} {
+		total := 0
+		for _, n := range callKeys[key] {
+			total += n
+		}
+		if total != perKey {
+			t.Fatalf("key %q scored %d rows across %v, want %d", key, total, callKeys[key], perKey)
+		}
+	}
+	if len(callKeys) != 2 {
+		t.Fatalf("score calls saw keys %v, want exactly fp64 and int8", callKeys)
+	}
+}
+
 func TestSchedulerFlushesFullBatchImmediately(t *testing.T) {
 	sc := &echoScore{}
 	// MaxWait far beyond the test deadline: only the MaxBatch trigger
@@ -95,7 +150,7 @@ func TestSchedulerFlushesFullBatchImmediately(t *testing.T) {
 	done := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func(i int) {
-			_, err := s.Submit(context.Background(), [][]float64{frame(float64(i))})
+			_, err := s.Submit(context.Background(), "fp64", [][]float64{frame(float64(i))})
 			done <- err
 		}(i)
 	}
@@ -119,7 +174,7 @@ func TestSchedulerCancellationDoesNotStallBatch(t *testing.T) {
 	canceled, cancel := context.WithCancel(context.Background())
 	cancelErr := make(chan error, 1)
 	go func() {
-		_, err := s.Submit(canceled, [][]float64{frame(1)})
+		_, err := s.Submit(canceled, "fp64", [][]float64{frame(1)})
 		cancelErr <- err
 	}()
 	// Let the canceled job reach the queue, then cancel it.
@@ -135,7 +190,7 @@ func TestSchedulerCancellationDoesNotStallBatch(t *testing.T) {
 	}
 
 	// A live submission sharing the tick still completes.
-	out, err := s.Submit(context.Background(), [][]float64{frame(3)})
+	out, err := s.Submit(context.Background(), "fp64", [][]float64{frame(3)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +204,7 @@ func TestSchedulerCancellationDoesNotStallBatch(t *testing.T) {
 
 func TestSchedulerCloseFailsPending(t *testing.T) {
 	block := make(chan struct{})
-	s := New(Config{MaxBatch: 1, MaxWait: time.Millisecond, Score: func(frames [][]float64) [][]float64 {
+	s := New(Config{MaxBatch: 1, MaxWait: time.Millisecond, Score: func(key string, frames [][]float64) [][]float64 {
 		<-block
 		out := make([][]float64, len(frames))
 		for i := range out {
@@ -160,13 +215,13 @@ func TestSchedulerCloseFailsPending(t *testing.T) {
 	// Occupy the worker, then close with a job queued behind it.
 	first := make(chan error, 1)
 	go func() {
-		_, err := s.Submit(context.Background(), [][]float64{frame(1)})
+		_, err := s.Submit(context.Background(), "fp64", [][]float64{frame(1)})
 		first <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
 	second := make(chan error, 1)
 	go func() {
-		_, err := s.Submit(context.Background(), [][]float64{frame(2)})
+		_, err := s.Submit(context.Background(), "fp64", [][]float64{frame(2)})
 		second <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -178,19 +233,19 @@ func TestSchedulerCloseFailsPending(t *testing.T) {
 	if err := <-second; err != ErrClosed {
 		t.Fatalf("queued job after close returned %v, want ErrClosed", err)
 	}
-	if _, err := s.Submit(context.Background(), [][]float64{frame(3)}); err != ErrClosed {
+	if _, err := s.Submit(context.Background(), "fp64", [][]float64{frame(3)}); err != ErrClosed {
 		t.Fatalf("submit after close returned %v, want ErrClosed", err)
 	}
 }
 
 func TestSchedulerEmptySubmit(t *testing.T) {
 	var calls atomic.Int64
-	s := New(Config{Score: func(frames [][]float64) [][]float64 {
+	s := New(Config{Score: func(key string, frames [][]float64) [][]float64 {
 		calls.Add(1)
 		return make([][]float64, len(frames))
 	}})
 	defer s.Close()
-	out, err := s.Submit(context.Background(), nil)
+	out, err := s.Submit(context.Background(), "fp64", nil)
 	if out != nil || err != nil {
 		t.Fatalf("empty submit: %v, %v", out, err)
 	}
@@ -206,7 +261,7 @@ func TestSchedulerMetricsExposition(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	s.RegisterMetrics(reg)
 
-	if _, err := s.Submit(context.Background(), [][]float64{frame(1)}); err != nil {
+	if _, err := s.Submit(context.Background(), "fp64", [][]float64{frame(1)}); err != nil {
 		t.Fatal(err)
 	}
 	var b strings.Builder
@@ -232,14 +287,14 @@ func TestSchedulerMetricsExposition(t *testing.T) {
 // counting the batch would inflate the coalesce ratio with scoring work
 // nobody received.
 func TestSchedulerWrongRowCountFailsWithoutCounting(t *testing.T) {
-	s := New(Config{MaxBatch: 4, MaxWait: time.Millisecond, Score: func(frames [][]float64) [][]float64 {
+	s := New(Config{MaxBatch: 4, MaxWait: time.Millisecond, Score: func(key string, frames [][]float64) [][]float64 {
 		return make([][]float64, len(frames)+1)
 	}})
 	defer s.Close()
 	reg := telemetry.NewRegistry()
 	s.RegisterMetrics(reg)
 
-	if _, err := s.Submit(context.Background(), [][]float64{frame(1), frame(2)}); err == nil {
+	if _, err := s.Submit(context.Background(), "fp64", [][]float64{frame(1), frame(2)}); err == nil {
 		t.Fatal("wrong row count must fail the submission")
 	}
 	st := s.Stats()

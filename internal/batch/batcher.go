@@ -33,8 +33,9 @@ type Config struct {
 	MaxWait time.Duration
 	// Score evaluates the concatenated frames (one row per frame) and
 	// returns one score row per input row. It runs on the scheduler's
-	// worker goroutine, one call per batch.
-	Score func(frames [][]float64) [][]float64
+	// worker goroutine, one call per batch; key is the Submit key the
+	// batch was grouped under (e.g. the scoring precision).
+	Score func(key string, frames [][]float64) [][]float64
 }
 
 // DefaultConfig returns serving-oriented knobs: batches of up to 8
@@ -48,6 +49,7 @@ func DefaultConfig() Config {
 // job is one request's scoring work in the queue.
 type job struct {
 	ctx      context.Context
+	key      string // coalescing partition (jobs with different keys never share a Score call)
 	frames   [][]float64
 	enqueued time.Time
 	out      chan jobResult
@@ -164,14 +166,16 @@ func (s *Scheduler) Close() {
 // Submit queues frames for the next batch and blocks until they are
 // scored, the context is canceled, or the scheduler closes. A canceled
 // submission never stalls the batch: the worker skips it at flush time
-// and the remaining requests are scored on schedule.
-func (s *Scheduler) Submit(ctx context.Context, frames [][]float64) ([][]float64, error) {
+// and the remaining requests are scored on schedule. key partitions
+// coalescing — only submissions sharing a key are scored together, so
+// e.g. fp64 and int8 frames never meet in one GEMM.
+func (s *Scheduler) Submit(ctx context.Context, key string, frames [][]float64) ([][]float64, error) {
 	if len(frames) == 0 {
 		return nil, nil
 	}
 	_, sp := telemetry.StartSpan(ctx, "batch_queue")
 	defer sp.End()
-	j := job{ctx: ctx, frames: frames, enqueued: time.Now(), out: make(chan jobResult, 1)}
+	j := job{ctx: ctx, key: key, frames: frames, enqueued: time.Now(), out: make(chan jobResult, 1)}
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
@@ -252,9 +256,12 @@ func (s *Scheduler) drain() {
 	}
 }
 
-// flush scores one coalesced batch. Requests canceled while queued are
+// flush scores one coalesced tick. Requests canceled while queued are
 // skipped — their Submit has already returned — so one slow client
-// cannot wedge everyone sharing its tick.
+// cannot wedge everyone sharing its tick. The survivors are grouped by
+// Submit key and each group is scored in its own call: mixed-key ticks
+// (fp64 next to int8) split into per-key batches rather than sharing a
+// GEMM.
 func (s *Scheduler) flush(pending []job) {
 	live := pending[:0]
 	for _, j := range pending {
@@ -267,6 +274,23 @@ func (s *Scheduler) flush(pending []job) {
 	if len(live) == 0 {
 		return
 	}
+	// Group in arrival order: keys almost always number one, occasionally
+	// two, so a slice scan beats a map here.
+	var keys []string
+	groups := map[string][]job{}
+	for _, j := range live {
+		if _, ok := groups[j.key]; !ok {
+			keys = append(keys, j.key)
+		}
+		groups[j.key] = append(groups[j.key], j)
+	}
+	for _, key := range keys {
+		s.flushGroup(key, groups[key])
+	}
+}
+
+// flushGroup scores one same-key batch and splits the rows back out.
+func (s *Scheduler) flushGroup(key string, live []job) {
 	total := 0
 	for _, j := range live {
 		total += len(j.frames)
@@ -279,7 +303,7 @@ func (s *Scheduler) flush(pending []job) {
 	for _, j := range live {
 		s.queueWait.Observe(now.Sub(j.enqueued))
 	}
-	scores := s.cfg.Score(all)
+	scores := s.cfg.Score(key, all)
 	if len(scores) != total {
 		err := errors.New("batch: score function returned wrong row count")
 		for _, j := range live {

@@ -17,8 +17,12 @@ import (
 )
 
 // forwardBatchTime records batched-forward wall time on the shared
-// kernel histogram (sirius_kernel_seconds{kernel="dnn_forward_batch"}).
-var forwardBatchTime = mat.KernelTimer("dnn_forward_batch")
+// kernel histogram (sirius_kernel_seconds{kernel="dnn_forward_batch"});
+// forwardBatchI8Time is the quantized path's counterpart.
+var (
+	forwardBatchTime   = mat.KernelTimer("dnn_forward_batch")
+	forwardBatchI8Time = mat.KernelTimer("dnn_forward_batch_i8")
+)
 
 // Activation selects a layer nonlinearity.
 type Activation int
@@ -41,9 +45,12 @@ type Layer struct {
 	Out int        `json:"out"`
 }
 
-// Network is a feed-forward stack of layers.
+// Network is a feed-forward stack of layers. quant holds the int8
+// weight images built by QuantizeWeights; it is derived state and is
+// neither serialized nor updated by Train.
 type Network struct {
 	Layers []*Layer `json:"layers"`
+	quant  []*mat.DenseI8
 }
 
 // New constructs a network with the given layer sizes, e.g.
@@ -196,6 +203,80 @@ func (n *Network) ForwardBatch(batch *mat.Dense) *mat.Dense {
 	return cur
 }
 
+// QuantizeWeights builds the int8 scoring image of every layer: each
+// weight matrix is quantized per output-neuron row (mat.QuantizeDense
+// with per-row scales) in the right-hand-side packing MulI8 streams.
+// Weights are already stored Out×In — the dot-product layout — so no
+// transpose is needed, and unlike ForwardBatch's per-pass fp64
+// transpose the quantized image is built once. Call after training;
+// Train invalidates the image.
+func (n *Network) QuantizeWeights() {
+	n.quant = make([]*mat.DenseI8, len(n.Layers))
+	for i, l := range n.Layers {
+		n.quant[i] = mat.QuantizeDense(l.W, true)
+	}
+}
+
+// Quantized reports whether QuantizeWeights has run (and is still
+// valid) so callers can gate the int8 scoring path.
+func (n *Network) Quantized() bool { return n.quant != nil }
+
+// QuantizedLayer exposes layer i's int8 weight image (nil before
+// QuantizeWeights) — tests use it to assert the per-layer quantization
+// error bound.
+func (n *Network) QuantizedLayer(i int) *mat.DenseI8 {
+	if n.quant == nil {
+		return nil
+	}
+	return n.quant[i]
+}
+
+// ForwardBatchI8 is ForwardBatch on the int8 scoring path: activations
+// are quantized per frame row at each layer boundary and multiplied
+// against the prequantized weights with MulI8 (int8×int8→int32
+// accumulate, dequantize on writeback); bias, nonlinearity, and the
+// final log-softmax stay in fp64. Panics unless QuantizeWeights has
+// run. Returns log-posteriors, one row per input row.
+func (n *Network) ForwardBatchI8(batch *mat.Dense) *mat.Dense {
+	if n.quant == nil {
+		panic("dnn: ForwardBatchI8 before QuantizeWeights")
+	}
+	start := time.Now()
+	cur := batch
+	qact := mat.GetDenseI8()
+	for li, l := range n.Layers {
+		qact = mat.QuantizeDenseInto(qact, cur, false)
+		var next *mat.Dense
+		if li == len(n.Layers)-1 {
+			next = mat.NewDense(cur.Rows, l.Out) // escapes to the caller
+		} else {
+			next = mat.GetDense(cur.Rows, l.Out)
+		}
+		mat.MulI8(next, qact, n.quant[li])
+		for r := 0; r < next.Rows; r++ {
+			row := next.Row(r)
+			for i := range row {
+				row[i] += l.B[i]
+			}
+			applyAct(l.Act, row)
+		}
+		if cur != batch {
+			mat.PutDense(cur)
+		}
+		cur = next
+	}
+	mat.PutDenseI8(qact)
+	for r := 0; r < cur.Rows; r++ {
+		row := cur.Row(r)
+		lse := mat.LogSumExp(row)
+		for i := range row {
+			row[i] -= lse
+		}
+	}
+	forwardBatchI8Time.Observe(time.Since(start))
+	return cur
+}
+
 // TrainConfig controls SGD training.
 type TrainConfig struct {
 	LearningRate float64
@@ -213,6 +294,8 @@ func (n *Network) Train(inputs [][]float64, labels []int, cfg TrainConfig, rng *
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
 	}
+	// Weights are about to move; any quantized image is stale.
+	n.quant = nil
 	idx := make([]int, len(inputs))
 	for i := range idx {
 		idx[i] = i

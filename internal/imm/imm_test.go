@@ -348,3 +348,34 @@ func TestEstimateSimilarity(t *testing.T) {
 		t.Fatal("identical points must fail")
 	}
 }
+
+// TestSearch2NNDoesNotAllocate pins the hot-path contract: the
+// best-bin-first search reuses pooled heap scratch, so a steady-state
+// query allocates nothing. The old container/heap traversal boxed every
+// deferred branch (~50 allocs per query); a regression here multiplies
+// across every descriptor of every matched image.
+func TestSearch2NNDoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	vecs, owners := randomVecs(rng, 2000)
+	tree := BuildKDTree(vecs, owners)
+	queries := make([][vision.DescriptorSize]float64, 16)
+	for i := range queries {
+		for d := range queries[i] {
+			queries[i][d] = rng.NormFloat64()
+		}
+	}
+	// Warm the scratch pool outside the measured runs.
+	tree.Search2NN(&queries[0], 0)
+	qi := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		q := &queries[qi%len(queries)]
+		qi++
+		best, second := tree.Search2NN(q, 0)
+		if best.Index < 0 || second.Index < 0 {
+			t.Fatal("search failed")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Search2NN allocates %.1f objects per query, want 0", allocs)
+	}
+}

@@ -7,8 +7,8 @@
 package imm
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
 	"sirius/internal/vision"
 )
@@ -124,18 +124,55 @@ type branch struct {
 	dist2 float64 // lower bound on distance to the region
 }
 
-type branchHeap []branch
+// searchScratch is the reusable per-query state of Search2NN: a manual
+// binary min-heap over branches. container/heap would box every Push
+// through interface{} — ~one allocation per deferred subtree, which a
+// matching pass multiplies by thousands of query descriptors — so the
+// heap is sifted by hand over a pooled slice and a whole search
+// allocates nothing in steady state.
+type searchScratch struct {
+	heap []branch
+}
 
-func (h branchHeap) Len() int            { return len(h) }
-func (h branchHeap) Less(i, j int) bool  { return h[i].dist2 < h[j].dist2 }
-func (h branchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *branchHeap) Push(x interface{}) { *h = append(*h, x.(branch)) }
-func (h *branchHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+var scratchPool = sync.Pool{New: func() any { return &searchScratch{heap: make([]branch, 0, 64)} }}
+
+// push adds a branch, restoring the min-heap invariant on dist2.
+func (s *searchScratch) push(b branch) {
+	s.heap = append(s.heap, b)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].dist2 <= s.heap[i].dist2 {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the branch with the smallest bound.
+func (s *searchScratch) pop() branch {
+	top := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.heap[l].dist2 < s.heap[min].dist2 {
+			min = l
+		}
+		if r < n && s.heap[r].dist2 < s.heap[min].dist2 {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+	return top
 }
 
 // Search2NN returns the two nearest neighbors of q. maxChecks bounds the
@@ -148,9 +185,12 @@ func (t *KDTree) Search2NN(q *[vision.DescriptorSize]float64, maxChecks int) (be
 		return best, second
 	}
 	checks := 0
-	h := &branchHeap{{node: t.root, dist2: 0}}
-	for h.Len() > 0 {
-		br := heap.Pop(h).(branch)
+	h := scratchPool.Get().(*searchScratch)
+	h.heap = h.heap[:0]
+	defer scratchPool.Put(h)
+	h.push(branch{node: t.root, dist2: 0})
+	for len(h.heap) > 0 {
+		br := h.pop()
 		if br.dist2 >= second.Dist2 {
 			continue
 		}
@@ -168,7 +208,7 @@ func (t *KDTree) Search2NN(q *[vision.DescriptorSize]float64, maxChecks int) (be
 			// on the same dimension must not both contribute.)
 			farBound := diff * diff
 			if farBound < second.Dist2 {
-				heap.Push(h, branch{node: far, dist2: farBound})
+				h.push(branch{node: far, dist2: farBound})
 			}
 			node = near
 		}

@@ -68,32 +68,44 @@ func measure(name string, workers int, minTime time.Duration, op func()) Result 
 	}
 }
 
-// mulResults benchmarks the three GEMM variants at n x n x n.
+// mulResults benchmarks the GEMM variants — naive, packed-panel,
+// pool-parallel, and int8 SWAR — at n x n x n.
 func mulResults(rng *rand.Rand, n int, tag string, minTime time.Duration) []Result {
 	a := mat.NewDense(n, n)
 	b := mat.NewDense(n, n)
 	dst := mat.NewDense(n, n)
 	a.Randomize(rng, 1)
 	b.Randomize(rng, 1)
+	bt := mat.NewDense(n, n)
+	mat.TransposeInto(bt, b)
+	qa := mat.QuantizeDense(a, false)
+	qb := mat.QuantizeDense(bt, true)
 	return []Result{
 		measure("mul_naive_"+tag, 1, minTime, func() { mat.Mul(dst, a, b) }),
-		measure("mul_blocked_"+tag, 1, minTime, func() { mat.MulBlocked(dst, a, b) }),
+		measure("mul_packed_"+tag, 1, minTime, func() { mat.MulPacked(dst, a, b) }),
 		measure("mul_parallel_"+tag, mat.Workers(), minTime, func() { mat.MulParallel(dst, a, b) }),
+		measure("mul_i8_"+tag, 1, minTime, func() { mat.MulI8(dst, qa, qb) }),
 	}
 }
 
 // mulLargeResults is the acceptance-size multiply: (512x2048)x(2048x2048),
-// the shape where row-panel sharding must beat serial on a multicore box.
+// the shape where packed panels must beat naive and the int8 kernel must
+// beat packed fp64.
 func mulLargeResults(rng *rand.Rand, minTime time.Duration) []Result {
 	a := mat.NewDense(512, 2048)
 	b := mat.NewDense(2048, 2048)
 	dst := mat.NewDense(512, 2048)
 	a.Randomize(rng, 1)
 	b.Randomize(rng, 1)
+	bt := mat.NewDense(2048, 2048)
+	mat.TransposeInto(bt, b)
+	qa := mat.QuantizeDense(a, false)
+	qb := mat.QuantizeDense(bt, true)
 	return []Result{
 		measure("mul_naive_512x2048x2048", 1, minTime, func() { mat.Mul(dst, a, b) }),
-		measure("mul_blocked_512x2048x2048", 1, minTime, func() { mat.MulBlocked(dst, a, b) }),
+		measure("mul_packed_512x2048x2048", 1, minTime, func() { mat.MulPacked(dst, a, b) }),
 		measure("mul_parallel_512x2048x2048", mat.Workers(), minTime, func() { mat.MulParallel(dst, a, b) }),
+		measure("mul_i8_512x2048x2048", 1, minTime, func() { mat.MulI8(dst, qa, qb) }),
 	}
 }
 
@@ -108,10 +120,12 @@ func dnnResults(rng *rand.Rand, minTime time.Duration) []Result {
 	const batchRows = 32
 	batch := mat.NewDense(batchRows, 39)
 	batch.Randomize(rng, 1)
+	net.QuantizeWeights()
 	return []Result{
 		measure("dnn_forward", 1, minTime, func() { _ = net.Forward(x) }),
 		measure("dnn_forward_into", 1, minTime, func() { net.ForwardInto(dst, x, scratch) }),
 		measure(fmt.Sprintf("dnn_forward_batch_%d", batchRows), mat.Workers(), minTime, func() { _ = net.ForwardBatch(batch) }),
+		measure(fmt.Sprintf("dnn_forward_batch_i8_%d", batchRows), 1, minTime, func() { _ = net.ForwardBatchI8(batch) }),
 	}
 }
 
@@ -137,9 +151,11 @@ func gmmResults(rng *rand.Rand, minTime time.Duration) []Result {
 		x[i] = rng.NormFloat64()
 	}
 	dst := make([]float64, bank.States())
+	qbank := bank.Quantize()
 	return []Result{
 		measure("gmm_bank_serial", 1, minTime, func() { bank.ScoreAll(dst, x) }),
 		measure("gmm_bank_pool", mat.Workers(), minTime, func() { bank.ScoreAllParallel(dst, x, 0) }),
+		measure("gmm_bank_i8", 1, minTime, func() { qbank.ScoreAll(dst, x) }),
 	}
 }
 

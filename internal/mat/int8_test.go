@@ -1,0 +1,192 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantizeDenseErrorBound asserts the symmetric per-row scheme's
+// elementwise guarantee: |v − dequant(quant(v))| ≤ scale/2, with scale
+// = rowmax/127 — the bound the per-layer DNN quantization test in
+// internal/dnn leans on.
+func TestQuantizeDenseErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, rhs := range []bool{false, true} {
+		m := NewDense(17, 39)
+		m.Randomize(rng, 40)
+		q := QuantizeDense(m, rhs)
+		for i := 0; i < m.Rows; i++ {
+			bound := q.Scales[i] / 2
+			for j := 0; j < m.Cols; j++ {
+				if err := math.Abs(m.At(i, j) - q.At(i, j)); err > bound+1e-12 {
+					t.Fatalf("rhs=%v (%d,%d): error %v exceeds scale/2 = %v", rhs, i, j, err, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizeDenseZeroRow(t *testing.T) {
+	m := NewDense(2, 5)
+	for j := 0; j < 5; j++ {
+		m.Set(1, j, float64(j)-2)
+	}
+	q := QuantizeDense(m, false)
+	if q.Scales[0] != 0 || q.Sums[0] != 0 {
+		t.Fatalf("zero row must quantize to scale 0, sum 0: %v %v", q.Scales[0], q.Sums[0])
+	}
+	for j := 0; j < 5; j++ {
+		if q.At(0, j) != 0 {
+			t.Fatalf("zero row element %d dequantizes to %v", j, q.At(0, j))
+		}
+	}
+}
+
+// quantizedRef recomputes MulI8's result from the dequantized lattice:
+// the integer dot of the quantized values, scaled back — the SWAR
+// kernel must reproduce it exactly (its accumulation is exact integer
+// arithmetic; only the final writeback rounds).
+func quantizedRef(dst *Dense, a, bt *DenseI8) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < bt.Rows; j++ {
+			var acc int64
+			for k := 0; k < a.Cols; k++ {
+				var qa, qb int64
+				if a.Scales[i] > 0 {
+					qa = int64(math.Round(a.At(i, k) / a.Scales[i]))
+				}
+				if bt.Scales[j] > 0 {
+					qb = int64(math.Round(bt.At(j, k) / bt.Scales[j]))
+				}
+				acc += qa * qb
+			}
+			dst.Set(i, j, a.Scales[i]*bt.Scales[j]*float64(acc))
+		}
+	}
+}
+
+// TestKernelParityI8 asserts two layers of correctness: the SWAR dot is
+// bit-exact against a scalar integer reference over the same quantized
+// values, and the dequantized product tracks the fp64 product within
+// the propagated quantization error bound. verify.sh runs this as part
+// of the kernel-parity smoke.
+func TestKernelParityI8(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 7}, {1, 39, 144}, {32, 40, 96},
+		{7, 2049, 3}, {5, 78, 1}, {2, 1, 2},
+	}
+	for _, dims := range shapes {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := NewDense(m, k)
+		b := NewDense(k, n)
+		a.Randomize(rng, 3)
+		b.Randomize(rng, 3)
+		bt := NewDense(n, k)
+		TransposeInto(bt, b)
+		qa := QuantizeDense(a, false)
+		qb := QuantizeDense(bt, true)
+		got := NewDense(m, n)
+		MulI8(got, qa, qb)
+
+		ref := NewDense(m, n)
+		quantizedRef(ref, qa, qb)
+		for i := range got.Data {
+			if got.Data[i] != ref.Data[i] {
+				t.Fatalf("dims %v: element %d: SWAR %v != integer reference %v", dims, i, got.Data[i], ref.Data[i])
+			}
+		}
+
+		// Against fp64: per-element error is bounded by the propagated
+		// per-row quantization steps, summed over the reduction depth.
+		want := NewDense(m, n)
+		Mul(want, a, b)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var aMax, bMax float64
+				for _, v := range a.Row(i) {
+					if av := math.Abs(v); av > aMax {
+						aMax = av
+					}
+				}
+				for _, v := range bt.Row(j) {
+					if av := math.Abs(v); av > bMax {
+						bMax = av
+					}
+				}
+				bound := float64(k) * (qa.Scales[i]/2*(bMax+qb.Scales[j]/2) + qb.Scales[j]/2*aMax)
+				if err := math.Abs(got.At(i, j) - want.At(i, j)); err > bound+1e-9 {
+					t.Fatalf("dims %v (%d,%d): quantized error %v exceeds bound %v", dims, i, j, err, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestMulI8PackingRolePanics(t *testing.T) {
+	a := NewDense(2, 4)
+	qa := QuantizeDense(a, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on two straight-packed operands")
+		}
+	}()
+	MulI8(NewDense(2, 2), qa, qa)
+}
+
+func TestMulI8DimPanic(t *testing.T) {
+	qa := QuantizeDense(NewDense(2, 4), false)
+	qb := QuantizeDense(NewDense(3, 5), true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on depth mismatch")
+		}
+	}()
+	MulI8(NewDense(2, 3), qa, qb)
+}
+
+// TestQuantizeDenseInto reuses buffers across shapes without leaking
+// stale state.
+func TestQuantizeDenseInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := GetDenseI8()
+	big := NewDense(8, 33)
+	big.Randomize(rng, 2)
+	d = QuantizeDenseInto(d, big, false)
+	small := NewDense(2, 5)
+	small.Randomize(rng, 2)
+	d = QuantizeDenseInto(d, small, false)
+	if d.Rows != 2 || d.Cols != 5 {
+		t.Fatalf("shape not updated: %dx%d", d.Rows, d.Cols)
+	}
+	fresh := QuantizeDense(small, false)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 5; j++ {
+			if d.At(i, j) != fresh.At(i, j) {
+				t.Fatalf("reused buffer differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	PutDenseI8(d)
+}
+
+func BenchmarkMulI8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{256, 256, 256}, {512, 2048, 2048}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := NewDense(m, k)
+		bt := NewDense(n, k)
+		a.Randomize(rng, 1)
+		bt.Randomize(rng, 1)
+		qa := QuantizeDense(a, false)
+		qb := QuantizeDense(bt, true)
+		dst := NewDense(m, n)
+		b.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MulI8(dst, qa, qb)
+			}
+		})
+	}
+}

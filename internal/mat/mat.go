@@ -94,14 +94,23 @@ func TransposeInto(dst, src *Dense) {
 	}
 }
 
+// checkMulDims panics with a uniform message when dst/a/b are not
+// conformable for dst = a * b.
+func checkMulDims(op string, dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s dims %dx%d * %dx%d -> %dx%d",
+			op, a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+}
+
 // Mul computes dst = a * b. dst must not alias a or b; it is resized via
 // panic if dimensions mismatch. The k-loop is hoisted so the inner loop
-// streams both b and dst rows (ikj order), which matters for DNN layers.
+// streams both b and dst rows (ikj order), and rows of a are consumed
+// with a zero-skip — worthless for dense operands (MulPacked wins
+// there) but still the right kernel when a's rows are sparse, e.g.
+// zero-padded GMM bank component matrices.
 func Mul(dst, a, b *Dense) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: Mul dims %dx%d * %dx%d -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
+	checkMulDims("Mul", dst, a, b)
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
@@ -250,87 +259,47 @@ func Softmax(dst, src []float64) {
 	}
 }
 
-// mulBlockSize is the cache-tiling block edge for MulBlocked; 64x64
-// float64 tiles (32 KiB working set) fit comfortably in L1/L2.
-const mulBlockSize = 64
-
-// MulBlocked computes dst = a * b with cache tiling. It produces the
-// same result as Mul but touches b in block-sized working sets. Whether
-// it beats Mul depends on the cache hierarchy: Mul's ikj order already
-// streams b row-wise, so blocking only pays once a's rows plus a b panel
-// stop fitting in L2 (see BenchmarkMulVariants before switching).
-func MulBlocked(dst, a, b *Dense) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MulBlocked dims %dx%d * %dx%d -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	mulPanel(dst, a, b, 0, a.Rows)
-}
-
-// mulPanel computes the dst row panel [r0, r1) of a * b with cache
-// tiling, zeroing the panel first. Panels are disjoint row ranges of
-// dst, so MulParallel can run panels concurrently with no locking.
-func mulPanel(dst, a, b *Dense, r0, r1 int) {
-	for i := r0; i < r1; i++ {
-		row := dst.Row(i)
-		for j := range row {
-			row[j] = 0
-		}
-	}
-	for kk := 0; kk < a.Cols; kk += mulBlockSize {
-		kMax := kk + mulBlockSize
-		if kMax > a.Cols {
-			kMax = a.Cols
-		}
-		for jj := 0; jj < b.Cols; jj += mulBlockSize {
-			jMax := jj + mulBlockSize
-			if jMax > b.Cols {
-				jMax = b.Cols
-			}
-			for i := r0; i < r1; i++ {
-				arow := a.Row(i)
-				drow := dst.Row(i)
-				for k := kk; k < kMax; k++ {
-					av := arow[k]
-					if av == 0 {
-						continue
-					}
-					brow := b.Row(k)
-					for j := jj; j < jMax; j++ {
-						drow[j] += av * brow[j]
-					}
-				}
-			}
-		}
-	}
-}
-
 // mulRowGrain is the smallest dst row panel MulParallel hands a worker;
-// a quarter tile keeps dispatch overhead small relative to panel work.
+// a multiple of packMR so every worker range tiles cleanly.
 const mulRowGrain = 16
 
 // minParallelFlops gates MulParallel's fan-out: below roughly this many
-// multiply-adds the dispatch overhead beats the speedup and the tiled
-// serial kernel wins (see BenchmarkMulVariants for the crossover).
+// multiply-adds the dispatch overhead beats the speedup and the serial
+// packed kernel wins (see BenchmarkMulVariants for the crossover).
 const minParallelFlops = 1 << 18
 
-// MulParallel computes dst = a * b by sharding dst rows into panels
-// across the shared worker pool, each panel running the MulBlocked
-// tiling. It matches Mul exactly (panels touch disjoint dst rows and
-// float addition order within a row is unchanged). Small products and
-// width-1 pools fall back to MulBlocked.
+// MulParallel computes dst = a * b with the packed-panel kernel,
+// sharding dst rows across the shared worker pool. Each K-block of B is
+// packed once and shared read-only by every worker; workers pack their
+// own A blocks and write disjoint dst rows, so there is no locking.
+// Small products and width-1 pools fall back to the serial packed
+// kernel. Both paths record on sirius_kernel_seconds{kernel=
+// "mul_parallel"} — the serial fallback is how every small-shape GEMM
+// in the pipeline runs, and it must not vanish from the breakdown.
 func MulParallel(dst, a, b *Dense) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MulParallel dims %dx%d * %dx%d -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	checkMulDims("MulParallel", dst, a, b)
+	start := time.Now()
+	for i := range dst.Data {
+		dst.Data[i] = 0
 	}
 	if Workers() <= 1 || a.Rows < 2*mulRowGrain || a.Rows*a.Cols*b.Cols < minParallelFlops {
-		mulPanel(dst, a, b, 0, a.Rows)
+		mulPackedSerial(dst, a, b)
+		mulParallelTime.Observe(time.Since(start))
 		return
 	}
-	start := time.Now()
-	Parallel(a.Rows, mulRowGrain, func(lo, hi int) {
-		mulPanel(dst, a, b, lo, hi)
-	})
+	bbuf := GetVec(packBufLen(b.Cols, a.Cols))
+	for kk := 0; kk < a.Cols; kk += packKC {
+		kc := min(packKC, a.Cols-kk)
+		for jj := 0; jj < b.Cols; jj += packNC {
+			nc := min(packNC, b.Cols-jj)
+			packB(bbuf, b, jj, nc, kk, kc)
+			Parallel(a.Rows, mulRowGrain, func(lo, hi int) {
+				abuf := GetVec(packABufLen())
+				mulPackedRows(dst, a, abuf, bbuf, lo, hi, jj, nc, kk, kc)
+				PutVec(abuf)
+			})
+		}
+	}
+	PutVec(bbuf)
 	mulParallelTime.Observe(time.Since(start))
 }

@@ -268,9 +268,23 @@ func BenchmarkMul64(b *testing.B) {
 	}
 }
 
-func TestMulBlockedMatchesMul(t *testing.T) {
+// parityShapes exercises every ragged edge of the packed kernel:
+// sub-tile shapes, exact block multiples, non-multiples of packMR (4),
+// packNR (2), packMC (64) and packNC/packKC (2048), plus degenerate
+// 1×N and N×1 products.
+var parityShapes = [][3]int{
+	{1, 1, 1}, {3, 5, 7}, {64, 64, 64}, {65, 130, 67}, {200, 150, 90},
+	{1, 300, 1}, {1, 17, 129}, {129, 17, 1}, {4, 2049, 2}, {67, 2100, 3},
+	{5, 31, 2051}, {63, 64, 65}, {128, 2048, 16},
+}
+
+// TestKernelParityPacked asserts MulPacked matches the naive Mul
+// bit-for-bit up to depth packKC (identical per-element summation
+// order) and within summation-rounding tolerance beyond one K-block.
+// verify.sh runs this as the kernel-parity smoke.
+func TestKernelParityPacked(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
-	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {64, 64, 64}, {65, 130, 67}, {200, 150, 90}} {
+	for _, dims := range parityShapes {
 		a := NewDense(dims[0], dims[1])
 		b := NewDense(dims[1], dims[2])
 		a.Randomize(rng, 1)
@@ -278,8 +292,12 @@ func TestMulBlockedMatchesMul(t *testing.T) {
 		want := NewDense(dims[0], dims[2])
 		got := NewDense(dims[0], dims[2])
 		Mul(want, a, b)
-		MulBlocked(got, a, b)
+		MulPacked(got, a, b)
+		exact := dims[1] <= packKC
 		for i := range want.Data {
+			if exact && want.Data[i] != got.Data[i] {
+				t.Fatalf("dims %v: element %d not bit-identical: %v vs %v", dims, i, want.Data[i], got.Data[i])
+			}
 			if math.Abs(want.Data[i]-got.Data[i]) > 1e-9 {
 				t.Fatalf("dims %v: element %d differs: %v vs %v", dims, i, want.Data[i], got.Data[i])
 			}
@@ -290,7 +308,7 @@ func TestMulBlockedMatchesMul(t *testing.T) {
 			t.Fatal("expected dim panic")
 		}
 	}()
-	MulBlocked(NewDense(2, 2), NewDense(2, 3), NewDense(2, 2))
+	MulPacked(NewDense(2, 2), NewDense(2, 3), NewDense(2, 2))
 }
 
 func TestTransposeInto(t *testing.T) {
@@ -316,7 +334,7 @@ func TestMulParallelMatchesMul(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	// Odd shapes, shapes below the parallel gate, and shapes wide enough
 	// to shard across several row panels.
-	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {31, 17, 5}, {64, 64, 64}, {65, 130, 67}, {200, 150, 90}} {
+	for _, dims := range append([][3]int{{31, 17, 5}}, parityShapes...) {
 		a := NewDense(dims[0], dims[1])
 		b := NewDense(dims[1], dims[2])
 		a.Randomize(rng, 1)
@@ -351,9 +369,9 @@ func benchMulSet(b *testing.B, rows, inner, cols int) {
 			Mul(dst, x, y)
 		}
 	})
-	b.Run("blocked", func(b *testing.B) {
+	b.Run("packed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			MulBlocked(dst, x, y)
+			MulPacked(dst, x, y)
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {

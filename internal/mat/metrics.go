@@ -14,8 +14,13 @@ var kernelTimes = telemetry.NewHistogramVec("kernel")
 // key per call, which would put an allocation on every observation.
 func KernelTimer(name string) *telemetry.Histogram { return kernelTimes.With(name) }
 
-// mulParallelTime is resolved once; MulParallel observes per call.
+// mulParallelTime is resolved once; MulParallel observes per call on
+// both the fan-out and serial-fallback paths, so small-shape GEMMs
+// appear in the kernel breakdown too.
 var mulParallelTime = KernelTimer("mul_parallel")
+
+// mulI8Time times the quantized GEMM (MulI8).
+var mulI8Time = KernelTimer("mul_i8")
 
 // RegisterKernelMetrics exposes the per-kernel timing histograms on a
 // /metrics registry as sirius_kernel_seconds{kernel=...}.

@@ -136,8 +136,9 @@ func TestScratchPoolsReuse(t *testing.T) {
 }
 
 // MulParallel's dispatch cost must be O(1) tiny allocations (the
-// escaping closure and WaitGroup), independent of matrix size — the
-// panels themselves write in place.
+// escaping closure, WaitGroup, and the slice-header boxes of the
+// pooled pack-buffer returns), independent of matrix size — the pack
+// buffers themselves are pooled and the panels write in place.
 func TestMulParallelConstantDispatchAllocs(t *testing.T) {
 	defer SetWorkers(0)
 	SetWorkers(2)
@@ -148,8 +149,11 @@ func TestMulParallelConstantDispatchAllocs(t *testing.T) {
 	b.Randomize(rng, 1)
 	dst := NewDense(64, 80)
 	MulParallel(dst, a, b) // warm the pool workers
+	// The bound leaves headroom over the measured 8 (the race detector
+	// adds one more for its sync shadow state) while still failing
+	// loudly if dispatch ever scales with the matrix instead of O(1).
 	allocs := testing.AllocsPerRun(50, func() { MulParallel(dst, a, b) })
-	if allocs > 4 {
-		t.Fatalf("MulParallel allocates %v per op in steady state, want <= 4 dispatch allocs", allocs)
+	if allocs > 12 {
+		t.Fatalf("MulParallel allocates %v per op in steady state, want O(1) dispatch allocs", allocs)
 	}
 }

@@ -112,6 +112,12 @@ func cacheKey(req Request) string {
 	if len(parts) == 0 {
 		return ""
 	}
+	if req.Precision != "" {
+		// Precision changes the scoring path (and possibly the
+		// transcript), so an int8 request must never be answered from an
+		// fp64 entry.
+		parts = append([]string{"p:" + req.Precision}, parts...)
+	}
 	return strings.Join(parts, "|")
 }
 

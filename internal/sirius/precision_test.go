@@ -1,0 +1,109 @@
+package sirius
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sirius/internal/asr"
+)
+
+// TestServerPrecisionRoundTrip drives a voice query through POST
+// /v1/query at both precisions: the int8 reply must be labeled
+// precision:"int8", decode to the same transcript as fp64, and show up
+// under sirius_query_precision_total{precision="int8"} on /metrics.
+func TestServerPrecisionRoundTrip(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	samples, err := asr.SynthesizeText(p.Lexicon(), "call mom", 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(prec string) Response {
+		t.Helper()
+		body, ctype, err := BuildJSONQueryPrecision(samples, nil, "", prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/v1/query", ctype, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("precision %q: status %d; body %s", prec, resp.StatusCode, payload)
+		}
+		var r Response
+		if err := json.Unmarshal(payload, &r); err != nil {
+			t.Fatalf("precision %q: bad body %q: %v", prec, payload, err)
+		}
+		return r
+	}
+
+	fp := post("fp64")
+	q8 := post("int8")
+	if fp.Precision != "fp64" || q8.Precision != "int8" {
+		t.Fatalf("precision labels: fp64 request says %q, int8 request says %q", fp.Precision, q8.Precision)
+	}
+	if fp.Transcript == "" || fp.Transcript != q8.Transcript {
+		t.Fatalf("int8 transcript %q diverged from fp64 %q", q8.Transcript, fp.Transcript)
+	}
+
+	// A default-precision request must also be labeled (with the
+	// pipeline's default, fp64 here).
+	def := post("")
+	if def.Precision != "fp64" {
+		t.Fatalf("default request labeled %q, want fp64", def.Precision)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`sirius_query_precision_total{precision="int8"} 1`,
+		`sirius_query_precision_total{precision="fp64"} 2`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerBadPrecisionRejected pins the validation contract: an
+// unknown precision is a 400 bad_precision envelope, whether it fails
+// JSON-side (parse time) or multipart-side.
+func TestServerBadPrecisionRejected(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+
+	body, ctype, err := BuildJSONQueryPrecision(nil, nil, "call mom", "fp32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/query", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", resp.StatusCode, payload)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		t.Fatalf("not an error envelope %q: %v", payload, err)
+	}
+	if env.Reason != "bad_precision" {
+		t.Fatalf("envelope reason %q, want bad_precision; %+v", env.Reason, env)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sirius/internal/asr"
 	"sirius/internal/audio"
 	"sirius/internal/envelope"
 	"sirius/internal/mat"
@@ -64,6 +65,10 @@ type Server struct {
 	timeouts *telemetry.Counter      // sirius_timeouts_total
 	queryLat *telemetry.HistogramVec // sirius_query_latency_seconds{kind}
 	stageLat *telemetry.HistogramVec // sirius_stage_latency_seconds{stage}
+	// precisions counts voice queries by the scoring precision they
+	// actually ran under (fp64 vs int8) — the serving-side visibility
+	// for the quantized path.
+	precisions *telemetry.CounterVec // sirius_query_precision_total{precision}
 
 	// /v1/stream session metrics. Stream latency stays out of queryLat
 	// — a session legitimately lasts as long as its audio, so folding
@@ -96,6 +101,8 @@ func NewServer(p *Pipeline) *Server {
 		timeouts: reg.NewCounter("sirius_timeouts_total", "Queries that exceeded their deadline."),
 		queryLat: reg.NewHistogramVec("sirius_query_latency_seconds", "End-to-end query latency, by kind.", "kind"),
 		stageLat: reg.NewHistogramVec("sirius_stage_latency_seconds", "Pipeline stage latency (asr/qa/imm and their components).", "stage"),
+		precisions: reg.NewCounterVec("sirius_query_precision_total",
+			"Voice queries by acoustic scoring precision (fp64/int8).", "precision"),
 		streamSessions: reg.NewCounterVec("sirius_stream_sessions_total",
 			"Streaming ASR sessions, by outcome (ok/timeout/canceled/error).", "outcome"),
 		streamChunkLat: reg.NewHistogram("sirius_stream_chunk_seconds",
@@ -320,11 +327,13 @@ func (s *Server) queryError(w http.ResponseWriter, code int, reason, requestID, 
 }
 
 // jsonQuery is the application/json request body for /v1/query: any of
-// a typed query, a base64 16-bit WAV recording, and a base64 PNG photo.
+// a typed query, a base64 16-bit WAV recording, and a base64 PNG photo,
+// plus the acoustic scoring precision for voice queries.
 type jsonQuery struct {
-	Text  string `json:"text,omitempty"`
-	Audio []byte `json:"audio,omitempty"` // WAV bytes, base64 in JSON
-	Image []byte `json:"image,omitempty"` // PNG bytes, base64 in JSON
+	Text      string `json:"text,omitempty"`
+	Audio     []byte `json:"audio,omitempty"`     // WAV bytes, base64 in JSON
+	Image     []byte `json:"image,omitempty"`     // PNG bytes, base64 in JSON
+	Precision string `json:"precision,omitempty"` // "fp64", "int8", or "" for the server default
 }
 
 // bodyTooLarge reports whether err came from the http.MaxBytesReader
@@ -351,6 +360,10 @@ func (s *Server) parseQuery(r *http.Request) (req Request, reason, msg string) {
 			return req, "bad_json", "bad json body: " + err.Error()
 		}
 		req.Text = q.Text
+		if _, err := asr.ParsePrecision(q.Precision); err != nil {
+			return req, "bad_precision", err.Error()
+		}
+		req.Precision = q.Precision
 		if len(q.Audio) > 0 {
 			samples, sr, err := audio.ReadWAV(bytes.NewReader(q.Audio))
 			if err != nil {
@@ -390,6 +403,12 @@ func (s *Server) parseQuery(r *http.Request) (req Request, reason, msg string) {
 		req.Image = img
 	}
 	req.Text = r.FormValue("text")
+	if prec := r.FormValue("precision"); prec != "" {
+		if _, err := asr.ParsePrecision(prec); err != nil {
+			return req, "bad_precision", err.Error()
+		}
+		req.Precision = prec
+	}
 	return req, "", ""
 }
 
@@ -521,6 +540,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrEmptyQuery):
 			s.queryError(w, http.StatusBadRequest, "empty_query", reqID, "provide audio, text, or text+image")
+		case errors.Is(err, ErrBadPrecision):
+			s.queryError(w, http.StatusBadRequest, "bad_precision", reqID, err.Error())
 		case errors.Is(err, context.DeadlineExceeded):
 			s.timeouts.Inc()
 			s.queryError(w, http.StatusServiceUnavailable, "timeout", reqID, "query deadline exceeded")
@@ -557,6 +578,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) observe(resp Response, reqID string) {
 	s.queries.With(string(resp.Kind)).Inc()
 	s.queryLat.With(string(resp.Kind)).ObserveTrace(resp.Latency.Total, reqID)
+	if resp.Precision != "" {
+		s.precisions.With(resp.Precision).Inc()
+	}
 	for _, st := range []struct {
 		name string
 		d    time.Duration
@@ -619,8 +643,15 @@ func DecodePNG(r io.Reader) (*vision.Image, error) {
 // BuildJSONQuery assembles the application/json body a client POSTs to
 // /v1/query. Any of samples, img, text may be zero-valued.
 func BuildJSONQuery(samples []float64, img *vision.Image, text string) (body *bytes.Buffer, contentType string, err error) {
+	return BuildJSONQueryPrecision(samples, img, text, "")
+}
+
+// BuildJSONQueryPrecision is BuildJSONQuery with the acoustic scoring
+// precision field set ("fp64", "int8", or "" for the server default).
+func BuildJSONQueryPrecision(samples []float64, img *vision.Image, text, precision string) (body *bytes.Buffer, contentType string, err error) {
 	var q jsonQuery
 	q.Text = text
+	q.Precision = precision
 	if samples != nil {
 		var wav bytes.Buffer
 		if err := audio.WriteWAV(&wav, samples, 16000); err != nil {
@@ -645,6 +676,12 @@ func BuildJSONQuery(samples []float64, img *vision.Image, text string) (body *by
 // BuildMultipartQuery assembles the multipart body a client POSTs to
 // /query. Any of samples, img, text may be zero-valued.
 func BuildMultipartQuery(samples []float64, img *vision.Image, text string) (body *bytes.Buffer, contentType string, err error) {
+	return BuildMultipartQueryPrecision(samples, img, text, "")
+}
+
+// BuildMultipartQueryPrecision is BuildMultipartQuery with a
+// "precision" field ("fp64", "int8", or "" to omit it).
+func BuildMultipartQueryPrecision(samples []float64, img *vision.Image, text, precision string) (body *bytes.Buffer, contentType string, err error) {
 	body = &bytes.Buffer{}
 	mw := multipart.NewWriter(body)
 	if samples != nil {
@@ -667,6 +704,11 @@ func BuildMultipartQuery(samples []float64, img *vision.Image, text string) (bod
 	}
 	if text != "" {
 		if err := mw.WriteField("text", text); err != nil {
+			return nil, "", err
+		}
+	}
+	if precision != "" {
+		if err := mw.WriteField("precision", precision); err != nil {
 			return nil, "", err
 		}
 	}

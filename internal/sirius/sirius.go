@@ -50,7 +50,11 @@ type Response struct {
 	// Truncated reports graceful degradation: a per-stage budget expired
 	// mid-QA-retrieval or mid-IMM-matching, so the answer aggregates only
 	// the work completed in time (the request itself still succeeded).
-	Truncated bool    `json:"truncated,omitempty"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Precision is the acoustic scoring format the query actually ran
+	// under ("fp64" or "int8"); empty for text-only paths that never
+	// touched ASR.
+	Precision string  `json:"precision,omitempty"`
 	Latency   Latency `json:"latency"`
 }
 
@@ -127,6 +131,12 @@ type Config struct {
 	// embedded corpus index, which remains the fallback when the tier
 	// errors. "" keeps retrieval embedded.
 	SearchFrontend string
+	// Quantize makes int8 the default acoustic scoring precision:
+	// requests that don't name a precision score through the quantized
+	// kernels, and "precision":"fp64" opts back out per request. The
+	// int8 images are built at construction either way, so per-request
+	// int8 works even when the default stays fp64.
+	Quantize bool
 }
 
 // DefaultConfig mirrors the benchmark setup.
@@ -148,6 +158,7 @@ func DefaultConfig() Config {
 // concurrent queries: all members are read-only after construction.
 type Pipeline struct {
 	minMatchVotes int
+	defaultPrec   asr.Precision
 	queryTimeout  time.Duration
 	asrBudget     time.Duration
 	qaBudget      time.Duration
@@ -192,6 +203,15 @@ func New(cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("sirius: acoustic training: %w", err)
 	}
 	p.models = models
+	// The int8 scoring images are derived state, cheap to build (one
+	// pass over the weights), and required for any "precision":"int8"
+	// request — so every pipeline carries them; Quantize only moves the
+	// default.
+	models.Quantize()
+	p.defaultPrec = asr.PrecisionFP64
+	if cfg.Quantize {
+		p.defaultPrec = asr.PrecisionInt8
+	}
 	p.recognizer, err = asr.NewRecognizer(models, cfg.Engine, p.lex, p.lm, cfg.ASRConfig)
 	if err != nil {
 		return nil, fmt.Errorf("sirius: recognizer: %w", err)
@@ -272,6 +292,10 @@ func (p *Pipeline) ClassifyText(text string) Kind {
 // audio, or image — there is no pathway to select.
 var ErrEmptyQuery = errors.New("sirius: empty query: provide audio, text, or text+image")
 
+// ErrBadPrecision wraps Process failures caused by an unknown
+// Request.Precision value (a client input error, not a pipeline fault).
+var ErrBadPrecision = errors.New("sirius: bad precision")
+
 // Request is one query in the unified API: the populated fields select
 // the pathway (Figure 2's VC/VQ/VIQ split).
 //
@@ -283,6 +307,10 @@ type Request struct {
 	Text    string        // pre-transcribed query (skips ASR)
 	Samples []float64     // 16 kHz mono recording
 	Image   *vision.Image // photo accompanying the query
+	// Precision selects the acoustic scoring format for the voice
+	// paths: "int8" (quantized kernels), "fp64", or "" for the
+	// pipeline's default (fp64 unless Config.Quantize).
+	Precision string
 }
 
 // Process runs one query end to end, selecting the pathway from the
@@ -298,11 +326,15 @@ func (p *Pipeline) Process(ctx context.Context, req Request) (Response, error) {
 		ctx, cancel = context.WithTimeout(ctx, p.queryTimeout)
 		defer cancel()
 	}
+	prec, err := p.resolvePrecision(req.Precision)
+	if err != nil {
+		return Response{}, err
+	}
 	switch {
 	case req.Samples != nil && req.Image != nil:
-		return p.processVoiceImage(ctx, req.Samples, req.Image)
+		return p.processVoiceImage(ctx, req.Samples, req.Image, prec)
 	case req.Samples != nil:
-		return p.processVoice(ctx, req.Samples)
+		return p.processVoice(ctx, req.Samples, prec)
 	case req.Text != "" && req.Image != nil:
 		return p.processTextImage(ctx, req.Text, req.Image)
 	case req.Text != "":
@@ -310,6 +342,20 @@ func (p *Pipeline) Process(ctx context.Context, req Request) (Response, error) {
 	default:
 		return Response{}, ErrEmptyQuery
 	}
+}
+
+// resolvePrecision maps a request's precision string to the scoring
+// format: "" takes the pipeline default, anything unknown fails with
+// ErrBadPrecision.
+func (p *Pipeline) resolvePrecision(s string) (asr.Precision, error) {
+	if s == "" {
+		return p.defaultPrec, nil
+	}
+	prec, err := asr.ParsePrecision(s)
+	if err != nil {
+		return "", fmt.Errorf("%w: %q", ErrBadPrecision, s)
+	}
+	return prec, nil
 }
 
 // stageCtx derives a per-stage budget context. With no budget the
@@ -329,6 +375,9 @@ func stageCtx(ctx context.Context, budget time.Duration) (context.Context, conte
 // ctx — the pipeline's query timeout is not applied, because a
 // streaming session legitimately lasts as long as the utterance.
 func (p *Pipeline) NewStream(ctx context.Context, cfg asr.StreamConfig) (*asr.Stream, error) {
+	if cfg.Precision == "" {
+		cfg.Precision = p.defaultPrec
+	}
 	return p.recognizer.NewStream(ctx, cfg)
 }
 
@@ -385,11 +434,11 @@ func (p *Pipeline) processText(ctx context.Context, text string) (Response, erro
 // cancellation) when batching is enabled and into the Viterbi frame
 // loop's cancellation checks. An expired ASR budget is a hard failure
 // (no transcript to continue with) surfacing context.DeadlineExceeded.
-func (p *Pipeline) recognize(ctx context.Context, samples []float64) (asr.Result, error) {
+func (p *Pipeline) recognize(ctx context.Context, samples []float64, prec asr.Precision) (asr.Result, error) {
 	asrCtx, cancel := stageCtx(ctx, p.asrBudget)
 	defer cancel()
 	spanCtx, sp := telemetry.StartSpan(asrCtx, "asr")
-	rec, err := p.recognizer.RecognizeContext(spanCtx, samples)
+	rec, err := p.recognizer.RecognizePrecision(spanCtx, samples, prec)
 	sp.End()
 	if err != nil {
 		return rec, err
@@ -402,9 +451,9 @@ func (p *Pipeline) recognize(ctx context.Context, samples []float64) (asr.Result
 
 // processVoice runs the full voice path: ASR, QC, then either the
 // action path or QA (the VC and VQ pathways of Figure 2).
-func (p *Pipeline) processVoice(ctx context.Context, samples []float64) (Response, error) {
+func (p *Pipeline) processVoice(ctx context.Context, samples []float64, prec asr.Precision) (Response, error) {
 	start := time.Now()
-	rec, err := p.recognize(ctx, samples)
+	rec, err := p.recognize(ctx, samples, prec)
 	if err != nil {
 		return Response{}, fmt.Errorf("sirius: asr: %w", err)
 	}
@@ -413,6 +462,7 @@ func (p *Pipeline) processVoice(ctx context.Context, samples []float64) (Respons
 		return Response{}, err
 	}
 	resp.Transcript = rec.Text
+	resp.Precision = string(prec)
 	resp.Latency.ASRFeature = rec.Timings.FeatureExtraction
 	resp.Latency.ASRScoring = rec.Timings.Scoring
 	resp.Latency.ASRSearch = rec.Timings.Search
@@ -424,9 +474,9 @@ func (p *Pipeline) processVoice(ctx context.Context, samples []float64) (Respons
 // processVoiceImage runs the VIQ pathway: ASR and IMM, then the
 // question is rewritten with the matched entity ("this restaurant" ->
 // "luigis restaurant") and answered by QA.
-func (p *Pipeline) processVoiceImage(ctx context.Context, samples []float64, img *vision.Image) (Response, error) {
+func (p *Pipeline) processVoiceImage(ctx context.Context, samples []float64, img *vision.Image, prec asr.Precision) (Response, error) {
 	start := time.Now()
-	rec, err := p.recognize(ctx, samples)
+	rec, err := p.recognize(ctx, samples, prec)
 	if err != nil {
 		return Response{}, fmt.Errorf("sirius: asr: %w", err)
 	}
@@ -435,6 +485,7 @@ func (p *Pipeline) processVoiceImage(ctx context.Context, samples []float64, img
 		return Response{}, err
 	}
 	resp.Transcript = rec.Text
+	resp.Precision = string(prec)
 	resp.Latency.ASRFeature = rec.Timings.FeatureExtraction
 	resp.Latency.ASRScoring = rec.Timings.Scoring
 	resp.Latency.ASRSearch = rec.Timings.Search

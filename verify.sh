@@ -31,6 +31,14 @@ echo "== metrics lint =="
 # through the telemetry linter.
 go test -race -run TestMetricsLint -count=1 ./internal/sirius/
 
+echo "== kernel parity smoke =="
+# The packed GEMM must agree with the naive kernel bit-for-bit across
+# the ragged-shape matrix, the int8 kernel within its quantization
+# tolerance, and int8 transcripts must equal fp64 on the seed
+# utterances (the end-to-end guardrail for quantized scoring).
+go test -count=1 -run 'TestKernelParityPacked|TestKernelParityI8' ./internal/mat/
+go test -count=1 -run 'TestInt8TranscriptParity' ./internal/asr/
+
 echo "== kernel bench smoke =="
 # A fast sweep of the kernel micro-benchmarks: proves the -bench-json
 # path stays wired and every kernel (GEMM, DNN, GMM, Viterbi, k-d) still
