@@ -29,13 +29,25 @@
 // partial:true, shard 0's documents only, and a positive
 // sirius_shard_partials_total on a lint-clean /metrics.
 //
+// With -autoscaler-bin set, a churn-under-load phase closes the run: a
+// second, empty frontend comes up with a sirius-autoscaler owning its
+// whole backend pool (replicas pinned to a known 25 q/s capacity via
+// -query-delay 40ms). The smoke first holds a light steady load until
+// the controller's dcsim-predicted p99 lands within 2 histogram buckets
+// (2×) of the frontend's measured p99, then ramps the offered load ~10×
+// (4 → 40 q/s): the pool must scale out past one replica without
+// exceeding its max of 3, with zero client-visible 5xx, and once the
+// ramp ends it must drain back to the min of 1 — with both up and down
+// decisions counted on a lint-clean autoscaler /metrics.
+//
 // Everything runs under a hard deadline — on timeout the processes are
 // killed and the gate fails rather than hangs. verify.sh runs this
 // after the unit tests.
 //
 // Usage:
 //
-//	sirius-clustersmoke -server-bin ./sirius-server -frontend-bin ./sirius-frontend [-timeout 120s]
+//	sirius-clustersmoke -server-bin ./sirius-server -frontend-bin ./sirius-frontend \
+//	    [-autoscaler-bin ./sirius-autoscaler] [-timeout 240s]
 package main
 
 import (
@@ -51,14 +63,17 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"sirius/internal/asr"
 	"sirius/internal/kb"
+	"sirius/internal/loadgen"
 	"sirius/internal/sirius"
 	"sirius/internal/telemetry"
 )
@@ -158,7 +173,8 @@ func waitHTTP(ctx context.Context, client *http.Client, url string, wantStatus i
 func run() (err error) {
 	serverBin := flag.String("server-bin", "", "path to the sirius-server binary")
 	frontendBin := flag.String("frontend-bin", "", "path to the sirius-frontend binary")
-	timeout := flag.Duration("timeout", 120*time.Second, "hard deadline for the whole smoke test")
+	autoscalerBin := flag.String("autoscaler-bin", "", "path to the sirius-autoscaler binary (empty skips the churn phase)")
+	timeout := flag.Duration("timeout", 240*time.Second, "hard deadline for the whole smoke test")
 	queries := flag.Int("queries", 12, "text queries to issue through the frontend")
 	flag.Parse()
 	if *serverBin == "" || *frontendBin == "" {
@@ -989,6 +1005,269 @@ func run() (err error) {
 		}
 	}
 	log.Printf("sirius_shard_partials_total advanced and /metrics lints clean; cluster smoke OK")
+
+	if *autoscalerBin != "" {
+		if err := churnSmoke(ctx, client, *frontendBin, *serverBin, *autoscalerBin, &procs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// autoscaleStatus mirrors the /autoscale JSON contract (kept local so
+// the smoke exercises the wire shape, not the Go types).
+type autoscaleStatus struct {
+	Rate         float64 `json:"rate_qps"`
+	ObservedP99  int64   `json:"observed_p99_ns"`
+	PredictedP99 int64   `json:"predicted_p99_ns"`
+	Desired      int     `json:"desired_replicas"`
+	Live         int     `json:"live_replicas"`
+	Ready        int     `json:"ready_replicas"`
+	Max          int     `json:"max_replicas"`
+	LastDecision string  `json:"last_decision"`
+}
+
+// churnSmoke stands up a second, empty frontend plus a sirius-autoscaler
+// managing its whole backend pool, and drives the paper's provisioning
+// story end to end: replicas run -query-delay 40ms so each is a known
+// 25 q/s single-server queue, the load ramps ~10× (4 → 40 q/s) while the
+// controller scales the pool 1 → >1 under a max of 3, then the load
+// stops and the pool drains back to min — with zero client-visible 5xx
+// throughout, the dcsim-predicted p99 within 2 histogram buckets (2×)
+// of the measured frontend p99, and both up and down decisions on a
+// lint-clean /metrics.
+func churnSmoke(ctx context.Context, client *http.Client, frontendBin, serverBin, autoscalerBin string, procs *[]*proc) error {
+	f2Port, err := freePort()
+	if err != nil {
+		return err
+	}
+	asPort, err := freePort()
+	if err != nil {
+		return err
+	}
+	f2URL := fmt.Sprintf("http://127.0.0.1:%d", f2Port)
+	asURL := fmt.Sprintf("http://127.0.0.1:%d", asPort)
+
+	// Replicas share one model cache so only the first spawn pays
+	// training; the persist is atomic (temp + rename), so concurrent
+	// spawns never read a torn bundle.
+	modelDir, err := os.MkdirTemp("", "sirius-churn-models-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(modelDir)
+
+	front2 := &proc{name: "frontend2"}
+	scaler := &proc{name: "autoscaler"}
+	*procs = append(*procs, front2, scaler)
+	if err := front2.start(ctx, frontendBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", f2Port),
+		"-check-interval", "500ms",
+	); err != nil {
+		return fmt.Errorf("start frontend2: %w", err)
+	}
+	if err := scaler.start(ctx, autoscalerBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", asPort),
+		"-frontend", f2URL,
+		"-server-bin", serverBin,
+		"-min", "1", "-max", "3",
+		"-interval", "1s",
+		"-cooldown", "2s",
+		"-down-stable", "2",
+		"-sim-requests", "256",
+		"-server-arg", "-query-delay=40ms",
+		"-server-arg", "-models="+filepath.Join(modelDir, "models.gob"),
+	); err != nil {
+		return fmt.Errorf("start autoscaler: %w", err)
+	}
+
+	// The controller's first tick spawns the min replica, which
+	// self-registers; the frontend goes ready once it passes a probe.
+	if err := waitHTTP(ctx, client, asURL+"/healthz", http.StatusOK); err != nil {
+		return err
+	}
+	if err := waitHTTP(ctx, client, f2URL+"/readyz", http.StatusOK); err != nil {
+		return err
+	}
+	log.Printf("churn: autoscaler on :%d manages frontend2 on :%d (1 replica up)", asPort, f2Port)
+
+	getStatus := func() (autoscaleStatus, error) {
+		var st autoscaleStatus
+		resp, err := client.Get(asURL + "/autoscale")
+		if err != nil {
+			return st, err
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return st, fmt.Errorf("/autoscale: status %s", resp.Status)
+		}
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return st, fmt.Errorf("/autoscale: bad JSON %q: %w", payload, err)
+		}
+		return st, nil
+	}
+
+	// Every request is a client of record: any 5xx (or transport error)
+	// during churn is a smoke failure.
+	var status5xx atomic.Int64
+	texts := []string{
+		"what is the capital of france",
+		"call mom",
+		"what is the capital of spain",
+		"set my alarm for eight",
+	}
+	send := func(i int) (string, string, error) {
+		body, ctype, err := sirius.BuildMultipartQuery(nil, nil, texts[i%len(texts)])
+		if err != nil {
+			return "", "", err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, f2URL+"/query", body)
+		if err != nil {
+			return "", "", err
+		}
+		req.Header.Set("Content-Type", ctype)
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", "", err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			status5xx.Add(1)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", "", fmt.Errorf("status %s", resp.Status)
+		}
+		return "answer", "", nil
+	}
+
+	// Phase A — steady light load (10 q/s, well inside one replica's
+	// capacity) while polling /autoscale for a tick where the dcsim
+	// prediction lands within 2 histogram buckets (√2 wide, so 2×) of
+	// the measured frontend p99.
+	calDone := make(chan struct{})
+	var calibrated atomic.Bool
+	var lastCal atomic.Value // autoscaleStatus at best-seen ratio
+	go func() {
+		defer close(calDone)
+		for {
+			st, err := getStatus()
+			if err == nil && st.ObservedP99 > 0 && st.PredictedP99 > 0 {
+				lastCal.Store(st)
+				ratio := float64(st.PredictedP99) / float64(st.ObservedP99)
+				if ratio >= 0.5 && ratio <= 2.0 {
+					calibrated.Store(true)
+					return
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+	}()
+	resA, err := loadgen.Run(ctx, loadgen.Spec{Rate: 10, Requests: 120, Seed: 42}, send)
+	if err != nil {
+		return fmt.Errorf("churn baseline load: %w", err)
+	}
+	<-calDone
+	if !calibrated.Load() {
+		return fmt.Errorf("churn: dcsim prediction never landed within 2 buckets of measured p99 (last: %+v)", lastCal.Load())
+	}
+	if resA.Errors > 0 || status5xx.Load() > 0 {
+		return fmt.Errorf("churn baseline: %d errors, %d 5xx (want 0)", resA.Errors, status5xx.Load())
+	}
+	cal := lastCal.Load().(autoscaleStatus)
+	log.Printf("churn baseline: predicted p99 %v vs observed %v at %.1f q/s — within 2 buckets",
+		time.Duration(cal.PredictedP99).Round(time.Millisecond), time.Duration(cal.ObservedP99).Round(time.Millisecond), cal.Rate)
+
+	// Phase B — the ~10× ramp (4 → 40 q/s). 40 q/s exceeds one
+	// replica's 25 q/s capacity, so the controller must scale out; a
+	// watcher records the pool's excursion while the ramp runs.
+	var maxLive, maxDesired atomic.Int64
+	maxLive.Store(1)
+	watchDone := make(chan struct{})
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	go func() {
+		defer close(watchDone)
+		for {
+			if st, err := getStatus(); err == nil {
+				if int64(st.Live) > maxLive.Load() {
+					maxLive.Store(int64(st.Live))
+				}
+				if int64(st.Desired) > maxDesired.Load() {
+					maxDesired.Store(int64(st.Desired))
+				}
+			}
+			select {
+			case <-watchCtx.Done():
+				return
+			case <-time.After(150 * time.Millisecond):
+			}
+		}
+	}()
+	resB, err := loadgen.Run(ctx, loadgen.Spec{Rate: 4, RampTo: 40, Requests: 450, Seed: 7}, send)
+	stopWatch()
+	<-watchDone
+	if err != nil {
+		return fmt.Errorf("churn ramp load: %w", err)
+	}
+	if resB.Errors > 0 || status5xx.Load() > 0 {
+		return fmt.Errorf("churn ramp: %d errors, %d 5xx (want 0)", resB.Errors, status5xx.Load())
+	}
+	if maxLive.Load() < 2 {
+		return fmt.Errorf("churn ramp: pool never scaled out (max live %d)", maxLive.Load())
+	}
+	if maxLive.Load() > 3 || maxDesired.Load() > 3 {
+		return fmt.Errorf("churn ramp: bounds violated (max live %d, max desired %d, cap 3)", maxLive.Load(), maxDesired.Load())
+	}
+	log.Printf("churn ramp 4→40 q/s: pool peaked at %d replicas (cap 3), 0 client 5xx across %d requests",
+		maxLive.Load(), resA.Sent+resB.Sent)
+
+	// Phase C — the load stops; the down-stable streak plus cooldown
+	// must walk the pool back to min without undershooting it.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := getStatus()
+		if err == nil && st.Live == 1 {
+			break
+		}
+		if err == nil && st.Live < 1 {
+			return fmt.Errorf("churn drain: pool fell below min (live %d)", st.Live)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("churn drain: pool never returned to min (last: %+v)", st)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("churn drain: %w", ctx.Err())
+		case <-time.After(300 * time.Millisecond):
+		}
+	}
+	log.Printf("churn drain: pool back to 1 replica after the ramp")
+
+	// The decision ledger must show both directions, and the
+	// autoscaler's own exposition must lint clean.
+	mresp, err := client.Get(asURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	mtext, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, name := range []string{
+		`sirius_autoscale_decisions_total{action="up"}`,
+		`sirius_autoscale_decisions_total{action="down"}`,
+	} {
+		if !metricPositive(string(mtext), name) {
+			return fmt.Errorf("autoscaler /metrics: %s not positive;\n--- metrics ---\n%s", name, mtext)
+		}
+	}
+	if err := telemetry.LintPrometheus(string(mtext)); err != nil {
+		return fmt.Errorf("autoscaler /metrics fails lint: %w", err)
+	}
+	log.Printf("autoscaler decisions up+down recorded, /metrics lints clean; churn smoke OK")
 	return nil
 }
 

@@ -83,6 +83,7 @@ func main() {
 	flag.Var(&addrs, "addr", "target base URL (a server or a frontend); repeat to spray several targets")
 	server := flag.String("server", "", "deprecated alias for a single -addr")
 	rate := flag.Float64("rate", 20, "arrival rate (queries/second)")
+	ramp := flag.Float64("ramp", 0, "final arrival rate: the instantaneous rate sweeps linearly from -rate to this over the run (0 = constant)")
 	n := flag.Int("n", 200, "total queries to send")
 	seed := flag.Int64("seed", 1, "arrival-process seed")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
@@ -350,9 +351,13 @@ func main() {
 		log.Printf("debug listener on %s (/metrics, /slo)", *debugAddr)
 	}
 
-	log.Printf("driving %s at %.1f q/s with %d queries over %d texts...", addrs.String(), *rate, *n, len(queries))
+	if *ramp > 0 {
+		log.Printf("driving %s ramping %.1f → %.1f q/s with %d queries over %d texts...", addrs.String(), *rate, *ramp, *n, len(queries))
+	} else {
+		log.Printf("driving %s at %.1f q/s with %d queries over %d texts...", addrs.String(), *rate, *n, len(queries))
+	}
 	res, err := loadgen.Run(context.Background(),
-		loadgen.Spec{Rate: *rate, Requests: *n, Seed: *seed, Timeout: *timeout, OnResult: onResult}, send)
+		loadgen.Spec{Rate: *rate, RampTo: *ramp, Requests: *n, Seed: *seed, Timeout: *timeout, OnResult: onResult}, send)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -227,6 +227,7 @@ func main() {
 	workers := flag.Int("workers", 0, "kernel worker-pool width (0 = runtime.NumCPU())")
 	maxInflight := flag.Int("max-inflight", 0, "admission gate: max concurrent queries before shedding with 429 (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline; expired queries abort mid-stage with a 503 timeout envelope (0 = none)")
+	queryDelay := flag.Duration("query-delay", 0, "fault injection: serialized synthetic service time per query — capacity becomes a known 1/delay q/s (0 = off)")
 	traceBuffer := flag.Int("trace-buffer", 0, "/debug/traces ring capacity in requests (0 = default 64)")
 	sloTarget := flag.Duration("slo-target", 500*time.Millisecond, "SLO latency target for /slo and sirius_slo_* metrics")
 	sloObjective := flag.Float64("slo-objective", 0.99, "SLO objective: fraction of queries that must meet -slo-target")
@@ -289,6 +290,10 @@ func main() {
 	if *traceBuffer > 0 {
 		s.SetTraceBuffer(*traceBuffer)
 		log.Printf("trace ring buffer resized to %d requests", *traceBuffer)
+	}
+	if *queryDelay > 0 {
+		s.SetQueryDelay(*queryDelay)
+		log.Printf("fault injection: serialized %v service time per query (capacity %.1f q/s)", *queryDelay, 1/queryDelay.Seconds())
 	}
 	s.SetSLO(*sloTarget, *sloObjective)
 	srv := &http.Server{

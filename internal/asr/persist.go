@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"sirius/internal/audio"
 	"sirius/internal/dnn"
@@ -101,13 +102,26 @@ func LoadOrTrain(path string, phones []string, cfg TrainConfig) (*Models, error)
 		return nil, err
 	}
 	if path != "" {
-		f, err := os.Create(path)
+		// Write-to-temp + rename so a reader never sees a half-written
+		// bundle: replicas spawned concurrently (the autoscaler boots
+		// several against one shared cache path) either load a complete
+		// file or miss and train — never crash on a torn one.
+		tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 		if err != nil {
 			return nil, fmt.Errorf("asr: create model cache: %w", err)
 		}
-		defer f.Close()
-		if err := m.Save(f); err != nil {
+		if err := m.Save(tmp); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
 			return nil, err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("asr: write model cache: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("asr: install model cache: %w", err)
 		}
 	}
 	return m, nil

@@ -195,7 +195,8 @@ func TestParseKinds(t *testing.T) {
 	if _, err := ParseKinds("asr,bogus"); err == nil {
 		t.Fatal("unknown kind must error")
 	}
-	b := &Backend{Kinds: km}
+	b := &Backend{}
+	b.SetRole(km, 0, 0)
 	if !b.Serves(KindASR) || b.Serves(KindIMM) {
 		t.Fatal("Serves ignores the kind set")
 	}
@@ -311,6 +312,99 @@ func TestBackendLoadStaleness(t *testing.T) {
 	b.reportedAt.Store(time.Now().Add(-2 * reportedLoadTTL).UnixNano())
 	if b.Load() != 2 {
 		t.Fatalf("Load() = %d with stale report, want local 2", b.Load())
+	}
+}
+
+// Re-registration must adopt the announced role (kinds and shard
+// assignment) while keeping the original entry's breaker and health
+// state — an autoscaler respawn that comes back as a different pool
+// member would otherwise silently keep its old membership.
+func TestReRegistrationUpdatesRole(t *testing.T) {
+	reg := NewRegistry()
+	first, err := NewBackend("http://10.0.0.7:8080", "asr", NewBreaker(3, time.Second, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.healthy.Store(true)
+	if got := reg.Add(first); got != first {
+		t.Fatal("first Add must insert the backend")
+	}
+
+	second, err := NewBackend("http://10.0.0.7:8080", "search", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.SetRole(second.Kinds(), 1, 4)
+	got := reg.Add(second)
+	if got != first {
+		t.Fatal("re-Add must return the original entry")
+	}
+	if got.breaker != first.breaker {
+		t.Fatal("re-registration must preserve the breaker")
+	}
+	if !got.healthy.Load() {
+		t.Fatal("re-registration must preserve health state")
+	}
+	if got.Serves(KindASR) || !got.Serves(KindSearch) {
+		t.Fatalf("stale kinds survived re-registration: %s", got.KindsString())
+	}
+	if si, sn := got.ShardSpec(); si != 1 || sn != 4 {
+		t.Fatalf("shard spec %d/%d after re-registration, want 1/4", si, sn)
+	}
+	if len(reg.ReadyFor(KindSearch)) != 1 || len(reg.ReadyFor(KindASR)) != 0 {
+		t.Fatal("router ready sets must follow the new role")
+	}
+}
+
+// A backend that re-registers over HTTP with changed kinds must be
+// routed by its new role end to end: asr-only first (text queries have
+// no pool), then qa after the second registration.
+func TestFrontendReRegistrationChangesRouting(t *testing.T) {
+	b := newStubBackend(t, "morph")
+	f, srv := newTestFrontend(t, DefaultFrontendConfig())
+
+	if err := Register(http.DefaultClient, srv.URL, Registration{URL: b.srv.URL, Kinds: "asr"}); err != nil {
+		t.Fatal(err)
+	}
+	resp := postQuery(t, srv.URL, "text goes to qa", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("asr-only pool served a qa query: %d", resp.StatusCode)
+	}
+
+	if err := Register(http.DefaultClient, srv.URL, Registration{URL: b.srv.URL, Kinds: "qa"}); err != nil {
+		t.Fatal(err)
+	}
+	resp = postQuery(t, srv.URL, "text goes to qa", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-registered qa backend not routed: %d", resp.StatusCode)
+	}
+	if b.queries.Load() != 1 {
+		t.Fatalf("backend served %d queries, want 1", b.queries.Load())
+	}
+	st := f.Backends().Status()
+	if len(st) != 1 || st[0].Kinds != "qa" {
+		t.Fatalf("status kinds after re-registration: %+v", st)
+	}
+}
+
+// All three CheckBackend failure paths must agree: a request-build
+// error (URL stopped parsing) clears draining just like transport
+// errors and bad statuses do, instead of wedging the backend in a
+// permanent "draining" report.
+func TestCheckBackendBuildErrorClearsDraining(t *testing.T) {
+	b := &Backend{ID: "bad", URL: "http://bad host"} // space: NewRequest rejects it
+	b.healthy.Store(true)
+	b.draining.Store(true)
+	NewRegistry().CheckBackend(context.Background(), http.DefaultClient, b)
+	if b.healthy.Load() {
+		t.Fatal("unbuildable probe must mark the backend unhealthy")
+	}
+	if b.draining.Load() {
+		t.Fatal("unbuildable probe must clear draining like the other failure paths")
 	}
 }
 

@@ -210,6 +210,7 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	f.mux.HandleFunc("/register", f.handleRegister)
 	f.mux.HandleFunc("/deregister", f.handleDeregister)
 	f.mux.HandleFunc("/backends", f.handleBackends)
+	f.mux.HandleFunc("/loadstate", f.handleLoadState)
 	f.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -258,7 +259,7 @@ func (f *Frontend) AddShardBackend(rawURL, kinds string, shard, shards int) (*Ba
 	if err != nil {
 		return nil, err
 	}
-	b.Shard, b.Shards = shard, shards
+	b.SetRole(b.Kinds(), shard, shards)
 	id := b.ID
 	b.breaker = NewBreaker(f.cfg.BreakerThreshold, f.cfg.BreakerOpenFor, func(from, to BreakerState) {
 		f.breakerTrans.With(id, to.String()).Inc()

@@ -42,19 +42,34 @@ const (
 	KindSearch = "search"
 )
 
+// backendRole is the pool-membership half of a Backend — which stage
+// kinds it serves and, for search leaves, which partition it holds. It
+// lives behind an atomic pointer because re-registration may change it
+// in place (an autoscaler respawn can come back with a different role)
+// while the router's lock-free readers (Serves, the scatter topology
+// walk) are mid-flight; swapping the whole struct keeps every read
+// internally consistent.
+type backendRole struct {
+	kinds map[string]bool // kinds served; empty = all kinds
+
+	// shard/shards identify a search-leaf backend's partition (shard in
+	// [0, shards)); shards == 0 means the backend is not a shard leaf.
+	// Replicas of the same partition share a shard value.
+	shard  int
+	shards int
+}
+
+// emptyRole backs role reads on a zero-value Backend.
+var emptyRole backendRole
+
 // Backend is one registered server replica, as seen from the
 // frontend: its address, which stage pools it belongs to, and the
 // liveness/load/breaker state routing decisions read.
 type Backend struct {
-	ID    string          // stable identity, defaults to host:port
-	URL   string          // base URL, e.g. http://10.0.0.7:8080
-	Kinds map[string]bool // kinds served; empty = all kinds
+	ID  string // stable identity, defaults to host:port
+	URL string // base URL, e.g. http://10.0.0.7:8080
 
-	// Shard/Shards identify a search-leaf backend's partition (Shard in
-	// [0, Shards)); Shards == 0 means the backend is not a shard leaf.
-	// Replicas of the same partition share a Shard value.
-	Shard  int
-	Shards int
+	role atomic.Pointer[backendRole] // kinds + shard assignment (see SetRole)
 
 	healthy    atomic.Bool  // last active /readyz probe returned 200
 	draining   atomic.Bool  // last probe returned 503 (graceful drain)
@@ -64,6 +79,31 @@ type Backend struct {
 
 	breaker *Breaker
 	latency *telemetry.Histogram // frontend-observed, includes network
+}
+
+// curRole returns the current role snapshot (never nil).
+func (b *Backend) curRole() *backendRole {
+	if r := b.role.Load(); r != nil {
+		return r
+	}
+	return &emptyRole
+}
+
+// Kinds returns the backend's kind set (nil = all kinds). Callers must
+// treat the map as read-only; role changes swap in a fresh map.
+func (b *Backend) Kinds() map[string]bool { return b.curRole().kinds }
+
+// ShardSpec returns the backend's search partition assignment; shards
+// is 0 for non-leaf backends.
+func (b *Backend) ShardSpec() (shard, shards int) {
+	r := b.curRole()
+	return r.shard, r.shards
+}
+
+// SetRole atomically replaces the backend's kind set and shard
+// assignment. The kinds map must not be mutated after the call.
+func (b *Backend) SetRole(kinds map[string]bool, shard, shards int) {
+	b.role.Store(&backendRole{kinds: kinds, shard: shard, shards: shards})
 }
 
 // ParseKinds parses a comma-separated kind list ("asr,qa"); "" and
@@ -111,11 +151,12 @@ func ParseShardSpec(spec string) (int, int, error) {
 // KindsString renders the backend's pools for display ("all" when
 // unrestricted).
 func (b *Backend) KindsString() string {
-	if len(b.Kinds) == 0 {
+	kinds := b.Kinds()
+	if len(kinds) == 0 {
 		return "all"
 	}
-	out := make([]string, 0, len(b.Kinds))
-	for k := range b.Kinds {
+	out := make([]string, 0, len(kinds))
+	for k := range kinds {
 		out = append(out, k)
 	}
 	sort.Strings(out)
@@ -128,10 +169,11 @@ func (b *Backend) KindsString() string {
 // carries a shard assignment and exposes /v1/shard/search) may receive
 // scatter-gather arms.
 func (b *Backend) Serves(kind string) bool {
+	kinds := b.Kinds()
 	if kind == KindSearch {
-		return b.Kinds[kind]
+		return kinds[kind]
 	}
-	return len(b.Kinds) == 0 || b.Kinds[kind]
+	return len(kinds) == 0 || kinds[kind]
 }
 
 // Ready reports whether the router may send new work here: the last
@@ -199,22 +241,27 @@ func NewBackend(rawURL, kinds string, breaker *Breaker) (*Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{
+	b := &Backend{
 		ID:      u.Host,
 		URL:     strings.TrimRight(u.String(), "/"),
-		Kinds:   km,
 		breaker: breaker,
 		latency: &telemetry.Histogram{},
-	}, nil
+	}
+	b.SetRole(km, 0, 0)
+	return b, nil
 }
 
 // Add registers a backend. Re-adding an existing ID keeps the original
-// (preserving its breaker and health state across re-registration —
-// a restarting backend re-announces itself idempotently) and returns it.
+// entry (preserving its breaker, health, and latency state across
+// re-registration — a restarting backend re-announces itself
+// idempotently) but adopts the announced kinds and shard assignment: a
+// replica respawned into a different role (asr-only → all, or a new
+// partition) must be routed by what it is now, not what it was.
 func (r *Registry) Add(b *Backend) *Backend {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if old, ok := r.backends[b.ID]; ok {
+		old.role.Store(b.curRole())
 		return old
 	}
 	r.backends[b.ID] = b
@@ -269,7 +316,11 @@ func (r *Registry) ReadyFor(kind string) []*Backend {
 func (r *Registry) CheckBackend(ctx context.Context, client *http.Client, b *Backend) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/readyz", nil)
 	if err != nil {
+		// Clear draining like the other failure paths do: a backend whose
+		// URL stops building requests must not stay wedged in "draining"
+		// (which Status would keep reporting) once it is simply unhealthy.
 		b.healthy.Store(false)
+		b.draining.Store(false)
 		return
 	}
 	resp, err := client.Do(req)
@@ -354,8 +405,8 @@ func (r *Registry) Status() []BackendStatus {
 	out := make([]BackendStatus, len(all))
 	for i, b := range all {
 		shardLabel := ""
-		if b.Shards > 0 {
-			shardLabel = fmt.Sprintf("%d/%d", b.Shard, b.Shards)
+		if shard, shards := b.ShardSpec(); shards > 0 {
+			shardLabel = fmt.Sprintf("%d/%d", shard, shards)
 		}
 		out[i] = BackendStatus{
 			ID:       b.ID,

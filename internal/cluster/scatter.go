@@ -38,15 +38,16 @@ const ShardBudgetHeader = "X-Sirius-Shard-Budget-Ms"
 func shardTopology(ready []*Backend) (shards int, present map[int]bool, err error) {
 	present = map[int]bool{}
 	for _, b := range ready {
-		if b.Shards <= 0 {
+		si, sn := b.ShardSpec()
+		if sn <= 0 {
 			return 0, nil, fmt.Errorf("backend %s registered kind search without a shard assignment", b.ID)
 		}
 		if shards == 0 {
-			shards = b.Shards
-		} else if b.Shards != shards {
-			return 0, nil, fmt.Errorf("inconsistent shard topology: %s declares %d shards, others %d", b.ID, b.Shards, shards)
+			shards = sn
+		} else if sn != shards {
+			return 0, nil, fmt.Errorf("inconsistent shard topology: %s declares %d shards, others %d", b.ID, sn, shards)
 		}
-		present[b.Shard] = true
+		present[si] = true
 	}
 	return shards, present, nil
 }
@@ -127,7 +128,8 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 			spCtx, sp := telemetry.StartSpan(sctx, fmt.Sprintf("shard %d/%d", si, shards))
 			defer sp.End()
 			res, derr := f.dispatch(spCtx, KindSearch, "/v1/shard/search", "application/json", leafBody, reqID, "", func(b *Backend) bool {
-				return b.Shards == shards && b.Shard == si
+				bi, bn := b.ShardSpec()
+				return bn == shards && bi == si
 			})
 			a := arm{shard: si}
 			if derr == nil && res.ok() && res.status == http.StatusOK {

@@ -263,8 +263,11 @@ func TestShardRegistrationRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	all := f.Backends().All()
-	if len(all) != 1 || all[0].Shard != 1 || all[0].Shards != 2 {
+	if len(all) != 1 {
 		t.Fatalf("backends: %+v", all)
+	}
+	if si, sn := all[0].ShardSpec(); si != 1 || sn != 2 {
+		t.Fatalf("shard spec: %d/%d", si, sn)
 	}
 	st := f.Backends().Status()
 	if st[0].Shard != "1/2" {

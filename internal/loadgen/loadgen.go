@@ -23,6 +23,7 @@ import (
 // Spec configures one run.
 type Spec struct {
 	Rate     float64       // requests per second (Poisson)
+	RampTo   float64       // final rate; 0 = constant at Rate (see Run)
 	Requests int           // total requests to send
 	Seed     int64         // arrival-process seed
 	Timeout  time.Duration // per-request timeout (0 = none)
@@ -62,13 +63,10 @@ func Run(ctx context.Context, spec Spec, send func(i int) (kind, target string, 
 	if spec.Rate <= 0 || spec.Requests <= 0 {
 		return Result{}, fmt.Errorf("loadgen: rate and requests must be positive")
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
-	arrivals := make([]time.Duration, spec.Requests)
-	var t float64
-	for i := range arrivals {
-		t += rng.ExpFloat64() / spec.Rate
-		arrivals[i] = time.Duration(t * float64(time.Second))
+	if spec.RampTo < 0 {
+		return Result{}, fmt.Errorf("loadgen: ramp-to rate must be non-negative")
 	}
+	arrivals := arrivalTimes(spec, rand.New(rand.NewSource(spec.Seed)))
 
 	overall := &telemetry.Histogram{}
 	var (
@@ -145,6 +143,27 @@ func Run(ctx context.Context, spec Spec, send func(i int) (kind, target string, 
 	}
 	res.Throughput = float64(res.Latency.Count) / elapsed.Seconds()
 	return res, nil
+}
+
+// arrivalTimes precomputes the open-loop arrival schedule. With RampTo
+// unset the gaps are i.i.d. exponential at Rate (stationary Poisson);
+// with RampTo set, the instantaneous rate sweeps linearly from Rate to
+// RampTo across the request sequence — the surge profile capacity tests
+// drive (a 10× ramp for the autoscaler smoke) instead of a stationary
+// process.
+func arrivalTimes(spec Spec, rng *rand.Rand) []time.Duration {
+	arrivals := make([]time.Duration, spec.Requests)
+	var t float64
+	for i := range arrivals {
+		rate := spec.Rate
+		if spec.RampTo > 0 && spec.Requests > 1 {
+			frac := float64(i) / float64(spec.Requests-1)
+			rate += (spec.RampTo - spec.Rate) * frac
+		}
+		t += rng.ExpFloat64() / rate
+		arrivals[i] = time.Duration(t * float64(time.Second))
+	}
+	return arrivals
 }
 
 func summaryLine(s telemetry.Summary) string {

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -97,5 +98,53 @@ func TestRunHonorsContext(t *testing.T) {
 	_, err := Run(ctx, Spec{Rate: 1, Requests: 100, Seed: 4}, func(int) (string, string, error) { return "answer", "", nil })
 	if err == nil {
 		t.Fatal("cancelled context must abort")
+	}
+}
+
+// Ramp mode must accelerate the arrival process: mean inter-arrival
+// gaps in the first quarter of the schedule sit near 1/Rate, the last
+// quarter near 1/RampTo, and a constant-rate schedule of the same seed
+// shows no such skew.
+func TestRampArrivalSchedule(t *testing.T) {
+	const n = 2000
+	meanGap := func(a []time.Duration, lo, hi int) float64 {
+		var sum time.Duration
+		for i := lo + 1; i < hi; i++ {
+			sum += a[i] - a[i-1]
+		}
+		return sum.Seconds() / float64(hi-lo-1)
+	}
+
+	ramp := arrivalTimes(Spec{Rate: 10, RampTo: 100, Requests: n}, rand.New(rand.NewSource(7)))
+	early := meanGap(ramp, 0, n/4)
+	late := meanGap(ramp, 3*n/4, n)
+	if early < 0.5/10 || early > 2.0/10 {
+		t.Fatalf("early mean gap %.4fs, want ≈ %.4fs", early, 1.0/10)
+	}
+	if late < 0.5/100 || late > 2.0/100 {
+		t.Fatalf("late mean gap %.4fs, want ≈ %.4fs", late, 1.0/100)
+	}
+	if early < 3*late {
+		t.Fatalf("ramp did not accelerate: early %.4fs vs late %.4fs", early, late)
+	}
+
+	flat := arrivalTimes(Spec{Rate: 10, Requests: n}, rand.New(rand.NewSource(7)))
+	fe, fl := meanGap(flat, 0, n/4), meanGap(flat, 3*n/4, n)
+	if fe > 1.5*fl && fl > 1.5*fe {
+		t.Fatalf("constant schedule skewed: early %.4fs late %.4fs", fe, fl)
+	}
+
+	// RampTo == Rate degenerates to the constant process exactly.
+	same := arrivalTimes(Spec{Rate: 10, RampTo: 10, Requests: n}, rand.New(rand.NewSource(7)))
+	for i := range same {
+		if same[i] != flat[i] {
+			t.Fatalf("RampTo==Rate diverged at %d: %v vs %v", i, same[i], flat[i])
+		}
+	}
+
+	// Negative ramp target is rejected.
+	if _, err := Run(context.Background(), Spec{Rate: 1, RampTo: -1, Requests: 1},
+		func(int) (string, string, error) { return "", "", nil }); err == nil {
+		t.Fatal("negative RampTo must error")
 	}
 }

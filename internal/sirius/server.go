@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -54,6 +55,12 @@ type Server struct {
 	timeout     time.Duration
 	maxBody     int64
 	admitted    atomic.Int64
+
+	// queryDelay, when set, injects a synthetic serialized service time
+	// per query (see SetQueryDelay); delayMu is the single FIFO slot the
+	// delayed queries queue behind.
+	queryDelay time.Duration
+	delayMu    sync.Mutex
 
 	registry *telemetry.Registry
 	traces   *telemetry.TraceLog
@@ -253,6 +260,16 @@ func (s *Server) SetMaxInflight(n int) { s.maxInflight = int64(n) }
 // Clients can only tighten it per request via X-Sirius-Timeout-Ms.
 // d <= 0 means no server-imposed deadline. Call before serving.
 func (s *Server) SetTimeout(d time.Duration) { s.timeout = d }
+
+// SetQueryDelay injects a synthetic per-query service time: each query
+// sleeps d while holding a single shared slot, so concurrent queries
+// queue FIFO behind one another exactly like dcsim's single-server
+// queue at a fixed service cost. This is load-test fault injection —
+// it makes a replica's capacity a known constant (1/d queries per
+// second) at near-zero CPU, which is what the autoscaler smoke needs
+// to drive real queueing behavior on a small CI box. d <= 0 disables.
+// Call before serving.
+func (s *Server) SetQueryDelay(d time.Duration) { s.queryDelay = d }
 
 // SetMaxBodyBytes overrides the request-body cap (default 32 MiB).
 // Oversized bodies are rejected with a 413 "body_too_large" envelope.
@@ -488,6 +505,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(v)*time.Millisecond)
 			defer cancel()
 		}
+	}
+
+	// Synthetic serialized service time (SetQueryDelay): queue FIFO
+	// behind the single delay slot, bailing out if the deadline expires
+	// while waiting — the pipeline below turns the expired context into
+	// the normal timeout envelope.
+	if s.queryDelay > 0 {
+		s.delayMu.Lock()
+		select {
+		case <-time.After(s.queryDelay):
+		case <-ctx.Done():
+		}
+		s.delayMu.Unlock()
 	}
 
 	// Cache lookup before any pipeline work. Trace requests bypass the

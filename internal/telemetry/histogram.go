@@ -285,6 +285,33 @@ func (h *Histogram) cumulative() (cum [numBuckets + 1]uint64) {
 	return cum
 }
 
+// Counts returns a snapshot of the raw per-bucket counts: one entry
+// per finite bucket (index-aligned with BucketBounds) plus a final
+// overflow entry. Because the layout is fixed and counts only grow,
+// two snapshots diff element-wise into the observations of the
+// interval between them — the feed an autoscaler's rate/latency
+// windows are built from.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, numBuckets+1)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// QuantileOfCounts estimates the q-th quantile of a raw bucket-count
+// snapshot shaped like Counts (finite buckets then overflow) — for
+// example the diff of two Counts snapshots. Interpolation matches
+// Histogram.Quantile, except the exact max is unknown here so overflow
+// observations resolve to the largest finite bound.
+func QuantileOfCounts(counts []uint64, q float64) time.Duration {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return quantileFrom(counts, total, q, bucketBounds[numBuckets-1])
+}
+
 // BucketBounds exposes the fixed layout (upper bounds of the finite
 // buckets), for documentation and tests.
 func BucketBounds() []time.Duration {

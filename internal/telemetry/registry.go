@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -158,6 +159,18 @@ func (v *HistogramVec) Exemplars(q float64) map[string][]Exemplar {
 	return out
 }
 
+// Counts snapshots every child's raw bucket counts (see
+// Histogram.Counts), keyed by the child's first label value.
+func (v *HistogramVec) Counts() map[string][]uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string][]uint64, len(v.children))
+	for key, h := range v.children {
+		out[v.labelSets[key][0]] = h.Counts()
+	}
+	return out
+}
+
 // TotalAndBelow sums every child's observation count and its
 // conservative count at or below d (see Histogram.CountAtOrBelow) —
 // the good/total feed an SLO computes burn rates from.
@@ -216,10 +229,29 @@ func (r *Registry) RegisterCounterVec(name, help string, v *CounterVec) {
 // NewGauge registers and returns a gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}
+	r.RegisterGauge(name, help, g)
+	return g
+}
+
+// RegisterGauge exposes an already-allocated gauge (the zero Gauge is
+// ready to use) under name.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
 	r.register(name, help, "gauge", func(w io.Writer, n string) {
 		fmt.Fprintf(w, "%s %d\n", n, g.Value())
 	})
-	return g
+}
+
+// NewGaugeFunc exposes a float gauge computed at scrape time — for
+// derived values (predicted p99s, ratios) that have no meaningful
+// stored integer form.
+func (r *Registry) NewGaugeFunc(name, help string, f func() float64) {
+	r.register(name, help, "gauge", func(w io.Writer, n string) {
+		v := f()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		fmt.Fprintf(w, "%s %g\n", n, v)
+	})
 }
 
 // NewHistogram registers and returns an unlabeled latency histogram,

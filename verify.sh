@@ -48,7 +48,7 @@ benchout=$(mktemp)
 go run ./cmd/sirius-bench -bench-json "$benchout" -bench-time 5ms
 rm -f "$benchout"
 
-echo "== cluster smoke (1 frontend + 2 backends + 2 search shards) =="
+echo "== cluster smoke (1 frontend + 2 backends + 2 search shards + autoscaler churn) =="
 # Backend 2 runs under -max-inflight 1; the smoke asserts a 1 ms
 # X-Sirius-Timeout-Ms voice query returns the 503 timeout envelope, a
 # concurrent burst sheds with the 429 overloaded envelope + Retry-After,
@@ -62,15 +62,19 @@ echo "== cluster smoke (1 frontend + 2 backends + 2 search shards) =="
 # replaces it with a -shard-delay-stalled leaf, and asserts a 250 ms
 # shard budget still answers 200 + partial:true while
 # sirius_shard_partials_total advances on a lint-clean /metrics.
+# Finally the churn phase: a second frontend whose backend pool is owned
+# by sirius-autoscaler ramps ~10x while the controller scales the pool
+# 1 -> >1 -> 1 under its bounds with zero client-visible 5xx and the
+# dcsim-predicted p99 within 2 histogram buckets of the measured one.
 bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT
-go build -o "$bindir" ./cmd/sirius-frontend ./cmd/sirius-server ./cmd/sirius-clustersmoke
-# The smoke binary enforces its own -timeout deadline (raised to 150 s
-# for the streaming phase); the outer `timeout` (where available) is a
-# belt-and-braces guard against a wedged runtime.
-smoke="$bindir/sirius-clustersmoke -server-bin $bindir/sirius-server -frontend-bin $bindir/sirius-frontend -timeout 150s"
+go build -o "$bindir" ./cmd/sirius-frontend ./cmd/sirius-server ./cmd/sirius-autoscaler ./cmd/sirius-clustersmoke
+# The smoke binary enforces its own -timeout deadline (raised to 240 s
+# for the autoscaler churn phase); the outer `timeout` (where available)
+# is a belt-and-braces guard against a wedged runtime.
+smoke="$bindir/sirius-clustersmoke -server-bin $bindir/sirius-server -frontend-bin $bindir/sirius-frontend -autoscaler-bin $bindir/sirius-autoscaler -timeout 240s"
 if command -v timeout >/dev/null 2>&1; then
-    timeout 210 $smoke
+    timeout 300 $smoke
 else
     $smoke
 fi
